@@ -1,0 +1,103 @@
+"""Design-decision ablations (DESIGN.md §5).
+
+Beyond the paper's own Table IV, these benches probe the design choices
+the reproduction calls out as load-bearing, on the CUB-mini benchmark:
+
+* **A1 — prompt form**: baseline vs hard vs soft zero-shot quality
+  (Challenge 2: how much structure reaches the text tower).
+* **A2 — Eq. 6 aggregation weight alpha**: extreme alphas (no structure
+  vs no label identity) versus the balanced default.
+* **A3 — Eq. 10 loss weight beta**: pure contrastive (beta=1) vs
+  heavily orthogonal (beta=0.2) vs the default.
+* **A4 — matching temperature tau (Eq. 4)**: sharp vs smooth softmax.
+
+Each sweep asserts the sanity property that motivated the default.
+"""
+
+import pytest
+
+from bench_common import TUNE_EPOCHS, TUNE_LR
+from repro.core import CrossEM, CrossEMConfig, CrossEMPlus, CrossEMPlusConfig
+from repro.datasets import cub_bundle, load_cub, train_test_split
+
+
+@pytest.fixture(scope="module")
+def setting():
+    bundle = cub_bundle()
+    dataset = load_cub()
+    split = train_test_split(dataset, 0.5, seed=0)
+    return bundle, dataset, split
+
+
+def _fit_crossem(bundle, dataset, **kwargs):
+    config = CrossEMConfig(epochs=kwargs.pop("epochs", TUNE_EPOCHS),
+                           lr=TUNE_LR, seed=0, **kwargs)
+    matcher = CrossEM(bundle, config)
+    matcher.fit(dataset.graph, dataset.images, dataset.entity_vertices)
+    return matcher
+
+
+def _fit_plus(bundle, dataset, **kwargs):
+    config = CrossEMPlusConfig(epochs=TUNE_EPOCHS, lr=TUNE_LR, seed=0,
+                               **kwargs)
+    matcher = CrossEMPlus(bundle, config)
+    matcher.fit(dataset.graph, dataset.images, dataset.entity_vertices)
+    return matcher
+
+
+def test_a1_prompt_form(setting, benchmark):
+    bundle, dataset, split = setting
+    rows = {}
+    for prompt in ("baseline", "hard", "soft"):
+        matcher = _fit_crossem(bundle, dataset, prompt=prompt, epochs=0)
+        rows[prompt] = matcher.evaluate(dataset, split.test)
+    benchmark.pedantic(lambda: rows, rounds=1, iterations=1)
+    print("\n=== A1 prompt form (zero-shot) ===")
+    for prompt, result in rows.items():
+        print(f"  {prompt:10s} {result}")
+    # structured prompts must stay competitive with the naive template
+    assert rows["hard"].mrr > rows["baseline"].mrr * 0.8
+    assert rows["soft"].mrr > rows["baseline"].mrr * 0.8
+
+
+def test_a2_alpha_sweep(setting, benchmark):
+    bundle, dataset, split = setting
+    rows = {}
+    for alpha in (0.0, 0.5, 1.0):
+        matcher = _fit_crossem(bundle, dataset, prompt="soft", alpha=alpha)
+        rows[alpha] = matcher.evaluate(dataset, split.test)
+    benchmark.pedantic(lambda: rows, rounds=1, iterations=1)
+    print("\n=== A2 Eq.6 alpha sweep (soft prompt) ===")
+    for alpha, result in rows.items():
+        print(f"  alpha={alpha:<4} {result}")
+    best = max(result.mrr for result in rows.values())
+    # the balanced blend should not be dominated by either extreme
+    assert rows[0.5].mrr >= best - 0.10
+
+
+def test_a3_beta_sweep(setting, benchmark):
+    bundle, dataset, split = setting
+    rows = {}
+    for beta in (0.2, 0.8, 1.0):
+        matcher = _fit_plus(bundle, dataset, beta=beta)
+        rows[beta] = matcher.evaluate(dataset, split.test)
+    benchmark.pedantic(lambda: rows, rounds=1, iterations=1)
+    print("\n=== A3 Eq.10 beta sweep (CrossEM+) ===")
+    for beta, result in rows.items():
+        print(f"  beta={beta:<4} {result}")
+    # drowning the contrastive signal in the constraint must not win
+    assert rows[0.8].mrr >= rows[0.2].mrr - 0.02
+
+
+def test_a4_temperature_sweep(setting, benchmark):
+    bundle, dataset, split = setting
+    rows = {}
+    for tau in (0.03, 0.07, 0.5):
+        matcher = _fit_crossem(bundle, dataset, prompt="soft",
+                               temperature=tau)
+        rows[tau] = matcher.evaluate(dataset, split.test)
+    benchmark.pedantic(lambda: rows, rounds=1, iterations=1)
+    print("\n=== A4 temperature sweep (Eq. 4 tau) ===")
+    for tau, result in rows.items():
+        print(f"  tau={tau:<5} {result}")
+    assert all(0.0 < result.mrr <= 1.0 for result in rows.values())

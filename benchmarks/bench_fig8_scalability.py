@@ -1,0 +1,68 @@
+"""Figure 8 — scalability over FB2K / FB6K / FB10K-IMG.
+
+The paper scales the candidate-pair count (54M → 284M → 755M; here the
+miniature series grows 32K → 128K → 288K) and plots MRR, per-epoch
+training time and peak memory for CrossEM w/ f_s versus CrossEM+.
+
+Shape assertions (the paper's two findings):
+1. At every scale, CrossEM+ trains faster and peaks no higher in memory
+   than CrossEM w/ f_s.
+2. Training time grows more slowly for CrossEM+ — its time ratio from
+   the smallest to the largest dataset is smaller than CrossEM's.
+"""
+
+import pytest
+
+from bench_common import crossem_config, crossem_plus_config
+from repro.core import CrossEM, CrossEMPlus
+from repro.datasets import FB_SIZES, fb_bundle, load_fbimg, train_test_split
+
+SCALE_EPOCHS = 3  # the sweep trains 6 models; keep per-model cost bounded
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    bundle = fb_bundle()
+    series = []
+    for size in FB_SIZES:
+        dataset = load_fbimg(size)
+        split = train_test_split(dataset, 0.5, seed=0)
+        config_s = crossem_config("soft", dataset)
+        config_s.epochs = SCALE_EPOCHS
+        soft = CrossEM(bundle, config_s)
+        soft.fit(dataset.graph, dataset.images, dataset.entity_vertices)
+        config_p = crossem_plus_config(dataset)
+        config_p.epochs = SCALE_EPOCHS
+        plus = CrossEMPlus(bundle, config_p)
+        plus.fit(dataset.graph, dataset.images, dataset.entity_vertices)
+        series.append({
+            "size": size,
+            "pairs": dataset.num_candidate_pairs,
+            "soft_mrr": soft.evaluate(dataset, split.test).mrr,
+            "plus_mrr": plus.evaluate(dataset, split.test).mrr,
+            "soft_t": soft.efficiency.seconds_per_epoch,
+            "plus_t": plus.efficiency.seconds_per_epoch,
+            "soft_mem": soft.efficiency.peak_memory_mb,
+            "plus_mem": plus.efficiency.peak_memory_mb,
+        })
+    print("\n=== Figure 8 - scalability on FB15K-IMG series ===")
+    print(f"{'size':>6s} {'pairs':>8s} | {'MRR soft':>8s} {'MRR plus':>8s} | "
+          f"{'T soft':>7s} {'T plus':>7s} | {'Mem soft':>8s} {'Mem plus':>8s}")
+    for row in series:
+        print(f"{row['size']:>6s} {row['pairs']:>8d} | "
+              f"{row['soft_mrr']:>8.3f} {row['plus_mrr']:>8.3f} | "
+              f"{row['soft_t']:>7.2f} {row['plus_t']:>7.2f} | "
+              f"{row['soft_mem']:>8.1f} {row['plus_mem']:>8.1f}")
+    return series
+
+
+def test_fig8_scalability(sweep, benchmark):
+    benchmark.pedantic(lambda: sweep[-1]["plus_t"], rounds=1, iterations=1)
+    for row in sweep:
+        # finding 1: CrossEM+ is cheaper at every scale
+        assert row["plus_t"] < row["soft_t"], row["size"]
+        assert row["plus_mem"] <= row["soft_mem"] * 1.05, row["size"]
+    # finding 2: CrossEM+'s time grows more slowly with data size
+    soft_growth = sweep[-1]["soft_t"] / sweep[0]["soft_t"]
+    plus_growth = sweep[-1]["plus_t"] / sweep[0]["plus_t"]
+    assert plus_growth < soft_growth

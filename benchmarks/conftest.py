@@ -1,0 +1,6 @@
+"""Make the benchmark helpers importable and pre-warm model bundles."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))

@@ -1,0 +1,92 @@
+"""Data-lake integration: match heterogeneous sources against images.
+
+Reproduces the paper's motivating scenario (Fig. 1): animal facts live
+in a relational table AND a JSON document, their photos in an image
+repository.  The data mapping unifies tables and JSON into one graph
+(tuples/keys -> entity vertices, values -> attribute vertices, foreign
+keys/references -> relationship edges), and CrossEM matches the entity
+vertices against the images with structure-aware hard prompts — no
+training labels anywhere.
+
+Run:
+    python examples/data_lake_integration.py
+"""
+
+from repro.core import CrossEM, CrossEMConfig
+from repro.datalake import (DataLake, JsonDocument, JsonObject,
+                            RelationalTable, TableSchema)
+from repro.datasets import cub_bundle
+from repro.datasets.world import SYMBOLIC_FAMILIES
+from repro.vision.image import render_repository
+
+
+def build_sources(bundle):
+    """A table for the first half of the concepts, JSON for the rest."""
+    universe = bundle.universe
+    schema = universe.schema
+    concepts = list(universe)[:12]
+    half = len(concepts) // 2
+
+    columns = (("name",)
+               + tuple(f"{p} color" for p in schema.part_names)
+               + tuple(SYMBOLIC_FAMILIES))
+    table = RelationalTable(TableSchema("animals", columns, key="name"))
+    for concept in concepts[:half]:
+        values = {"name": concept.name}
+        for part, color in concept.visual_items():
+            values[f"{schema.part_names[part]} color"] = \
+                schema.color_names[color]
+        values.update(concept.symbolic)
+        table.insert_dict(values)
+
+    objects = []
+    for concept in concepts[half:]:
+        fields = {f"{schema.part_names[p]} color": schema.color_names[c]
+                  for p, c in concept.visual_items()}
+        fields.update(concept.symbolic)
+        objects.append(JsonObject(concept.name, fields))
+    return concepts, table, JsonDocument(objects)
+
+
+def main() -> None:
+    bundle = cub_bundle()
+    concepts, table, document = build_sources(bundle)
+
+    lake = DataLake()
+    lake.add_table(table)
+    lake.add_json(document)
+    graph = lake.unified_graph()
+    print(f"Unified graph: {graph.num_vertices} vertices, "
+          f"{graph.num_edges} edges from {lake.num_sources} sources")
+
+    images = render_repository(concepts, images_per_concept=3, seed=1)
+    print(f"Image repository: {len(images)} images")
+
+    matcher = CrossEM(bundle, CrossEMConfig(prompt="hard", d=1))
+    matcher.fit(graph, images)
+
+    gold = {graph.label(v): dataset_concept.index
+            for v, dataset_concept in zip(graph.entity_ids(), concepts)}
+    result = matcher.evaluate(_as_dataset(graph, images, concepts))
+    print(f"\nCross-modal EM accuracy over the unified lake: {result}")
+
+    vertex = graph.entity_ids()[0]
+    from repro.core import HardPromptGenerator
+    prompt = HardPromptGenerator(graph, d=1).generate(vertex)
+    print(f"\nExample hard prompt for '{graph.label(vertex)}':\n  {prompt}")
+
+
+def _as_dataset(graph, images, concepts):
+    """Wrap the ad-hoc lake into the evaluation-friendly dataset type."""
+    from repro.datasets.generator import CrossModalDataset
+
+    name_to_concept = {c.name: c.index for c in concepts}
+    entity_vertices = graph.entity_ids()
+    vertex_concept = {v: name_to_concept[graph.label(v)]
+                      for v in entity_vertices}
+    return CrossModalDataset("lake-demo", graph, images, entity_vertices,
+                             vertex_concept, universe=None)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Case study: multi-modal knowledge graph integration (paper §V-D).
+
+Given the FB-IMG-style knowledge graph, integrate an image repository:
+link every entity to its photos.  KG-completion methods (DistMult here)
+must be *trained* on known entity-image links and still fail to
+generalize to unseen entities, while CrossEM+ matches them zero-link
+via prompt tuning — the Table V result.
+
+Run:
+    python examples/kg_integration.py
+"""
+
+from repro.baselines import DistMultKG, MKGformerLite
+from repro.core import CrossEMPlus, CrossEMPlusConfig
+from repro.datasets import fb_bundle, load_fbimg, train_test_split
+
+
+def main() -> None:
+    bundle = fb_bundle()
+    dataset = load_fbimg("fb2k")
+    print(f"Knowledge graph benchmark: {dataset.statistics()}")
+    split = train_test_split(dataset, test_fraction=0.5, seed=0)
+    print(f"{len(split.train)} entities with known image links (train), "
+          f"{len(split.test)} unseen entities (test)")
+
+    print("\nTraining DistMult on graph edges + train links...")
+    distmult = DistMultKG(bundle, seed=0).fit(dataset, split)
+    print("  train entities:", distmult.evaluate(dataset, split.train))
+    print("  unseen entities:", distmult.evaluate(dataset, split.test))
+
+    print("\nTraining MKGformer-lite (text x patch fusion)...")
+    mkg = MKGformerLite(bundle, seed=0).fit(dataset, split)
+    print("  unseen entities:", mkg.evaluate(dataset, split.test))
+
+    print("\nPrompt-tuning CrossEM+ (no link supervision at all)...")
+    matcher = CrossEMPlus(bundle, CrossEMPlusConfig(epochs=10, lr=1e-3,
+                                                    aggregator="sage",
+                                                    seed=0))
+    matcher.fit(dataset.graph, dataset.images, dataset.entity_vertices)
+    print("  unseen entities:", matcher.evaluate(dataset, split.test))
+
+    print("\nIntegrated matching pairs ready for KG insertion:")
+    for vertex, image_id in sorted(matcher.match_pairs(split.test[:4])):
+        print(f"  ({dataset.graph.label(vertex)}) --has_image--> "
+              f"image #{image_id}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setup shim so ``pip install -e .`` works on environments whose
+setuptools predates PEP 660 editable installs (no ``wheel`` package).
+All metadata lives in ``pyproject.toml``."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,42 @@
+"""CrossEM: a prompt tuning framework for cross-modal entity matching.
+
+Reproduction of Yuan et al., ICDE 2025.  The most-used names are
+re-exported lazily at the top level::
+
+    from repro import CrossEMPlus, CrossEMPlusConfig, load_cub
+
+Subpackages:
+
+* :mod:`repro.core` -- CrossEM / CrossEM+ matchers, prompts, metrics.
+* :mod:`repro.datasets` -- synthetic CUB / SUN / FB-IMG benchmark builders.
+* :mod:`repro.clip` -- the MiniCLIP multi-modal pre-trained model.
+* :mod:`repro.datalake` -- graph / table / JSON / text data-lake substrate.
+* :mod:`repro.baselines` -- competitor methods from the paper's evaluation.
+* :mod:`repro.nn` -- the numpy autodiff engine everything runs on.
+"""
+
+import importlib
+
+__version__ = "1.0.0"
+
+__all__ = ["CrossEM", "CrossEMConfig", "CrossEMPlus", "CrossEMPlusConfig",
+           "load_cub", "load_sun", "load_fbimg", "cub_bundle", "sun_bundle",
+           "fb_bundle", "train_test_split", "__version__"]
+
+_HOME_OF = {
+    "CrossEM": "core", "CrossEMConfig": "core",
+    "CrossEMPlus": "core", "CrossEMPlusConfig": "core",
+    "load_cub": "datasets", "load_sun": "datasets", "load_fbimg": "datasets",
+    "cub_bundle": "datasets", "sun_bundle": "datasets",
+    "fb_bundle": "datasets", "train_test_split": "datasets",
+}
+
+
+def __getattr__(name):
+    """Lazily resolve the public API (keeps ``import repro`` instant)."""
+    if name in _HOME_OF:
+        module = importlib.import_module(f".{_HOME_OF[name]}", __name__)
+        value = getattr(module, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

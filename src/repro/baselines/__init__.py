@@ -1,0 +1,13 @@
+"""Competitor methods from the paper's evaluation (§V-A)."""
+
+from .common import BaselineMatcher, caption_pairs_for_training
+from .dual import ALIGNZeroShot, CLIPZeroShot, align_bundle_like
+from .fusion import (IMRAMMatcher, TransAEMatcher, ViLBERTMatcher,
+                     VisualBERTMatcher)
+from .gppt import GPPTMatcher
+from .kg import DistMultKG, MKGformerLite, RotatEKG, RSMEKG
+
+__all__ = ["BaselineMatcher", "caption_pairs_for_training", "CLIPZeroShot",
+           "ALIGNZeroShot", "align_bundle_like", "VisualBERTMatcher",
+           "ViLBERTMatcher", "IMRAMMatcher", "TransAEMatcher", "GPPTMatcher",
+           "DistMultKG", "RotatEKG", "RSMEKG", "MKGformerLite"]

@@ -1,0 +1,82 @@
+"""Dual-encoder baselines: CLIP and ALIGN zero-shot (§V-A competitors).
+
+Both "directly measure the distance of cross-modal representations":
+the vertex label goes through the text tower with the naive photo
+template, images through the image tower, and cosine similarity ranks
+candidates.  No tuning — the paper evaluates released pre-trained
+checkpoints directly.
+
+ALIGN differs from CLIP by pre-training on *noisier* alt-text at larger
+scale; the miniature reproduces the noise side (a bundle pre-trained
+with triple the caption-swap rate), which is why it trails CLIP here
+just as it does in Table II.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..clip.pretrain import PretrainConfig
+from ..clip.zoo import PretrainedBundle, get_pretrained_bundle
+from ..core.prompts import baseline_prompt
+from ..datasets.generator import CrossModalDataset
+from .common import BaselineMatcher
+
+__all__ = ["CLIPZeroShot", "ALIGNZeroShot", "align_bundle_like"]
+
+
+class CLIPZeroShot(BaselineMatcher):
+    """Frozen MiniCLIP with the naive "a photo of a [label]" prompt."""
+
+    name = "CLIP"
+
+    def __init__(self, bundle: PretrainedBundle,
+                 template: str = "a photo of a [MASK]") -> None:
+        super().__init__(bundle)
+        self.template = template
+        self._image_embeds: Optional[np.ndarray] = None
+
+    def fit(self, dataset: CrossModalDataset, split=None) -> "CLIPZeroShot":
+        super().fit(dataset, split)
+        self._image_embeds = self._encode_images_clip()
+        return self
+
+    def _encode_labels(self, vertex_ids: Sequence[int]) -> np.ndarray:
+        dataset = self._require_fitted()
+        prompts = [baseline_prompt(dataset.graph.label(v), self.template)
+                   for v in vertex_ids]
+        token_ids = self.bundle.tokenizer.encode_batch(prompts)
+        mask = self.bundle.tokenizer.attention_mask(token_ids)
+        with nn.no_grad():
+            return self.bundle.clip.encode_text(token_ids, mask).numpy()
+
+    def score(self, vertex_ids: Sequence[int]) -> np.ndarray:
+        if self._image_embeds is None:
+            raise RuntimeError("fit must be called first")
+        return self._encode_labels(vertex_ids) @ self._image_embeds.T
+
+
+def align_bundle_like(bundle: PretrainedBundle,
+                      noisy_caption_rate: float = 0.35) -> PretrainedBundle:
+    """A second bundle pre-trained the ALIGN way: same universe, same
+    architecture, much noisier captions.  Cached by the zoo like any
+    other pre-trained checkpoint."""
+    base = PretrainConfig()
+    config = dataclasses.replace(base, noisy_caption_rate=noisy_caption_rate)
+    return get_pretrained_bundle(kind=bundle.universe.kind,
+                                 num_concepts=len(bundle.universe),
+                                 config=config)
+
+
+class ALIGNZeroShot(CLIPZeroShot):
+    """ALIGN stand-in: the same dual-encoder recipe on noisy captions."""
+
+    name = "ALIGN"
+
+    def __init__(self, bundle: PretrainedBundle,
+                 template: str = "a photo of a [MASK]") -> None:
+        super().__init__(align_bundle_like(bundle), template)

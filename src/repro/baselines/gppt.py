@@ -1,0 +1,124 @@
+"""GPPT — graph pre-training and prompt tuning (supervised baseline).
+
+GPPT [31] prompts a *graph* representation model for downstream graph
+tasks; the paper adapts it to cross-modal EM by switching its objective
+to binary classification "like previous EM works" and training it with
+supervision.  The miniature follows that adaptation:
+
+* vertex representations come from graph structure only (MiniLM label
+  features aggregated over neighborhoods — GPPT's pre-trained GNN role),
+* a task prompt head maps vertex and image features into a shared space,
+* a binary classifier is trained on the *train* split's gold pairs with
+  random negatives.
+
+Because the graph side never sees pixels during pre-training and the
+supervision covers only training vertices, transfer to unseen test
+vertices is poor — reproducing GPPT's weak Table II numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..clip.zoo import PretrainedBundle
+from ..datalake.aggregate import GNNAggregator, aggregate_soft_features
+from ..datasets.generator import CrossModalDataset
+from ..datasets.splits import VertexSplit
+from ..nn.init import rng_from
+from .common import BaselineMatcher
+
+__all__ = ["GPPTMatcher"]
+
+
+class GPPTMatcher(BaselineMatcher):
+    """Supervised graph-prompt baseline (binary classification head)."""
+
+    name = "GPPT"
+    epochs = 30
+    lr = 5e-3
+    negatives_per_positive = 4
+
+    def __init__(self, bundle: PretrainedBundle, seed: int = 0) -> None:
+        super().__init__(bundle)
+        self.seed = seed
+        self._vertex_features: Optional[dict] = None
+        self._image_features: Optional[np.ndarray] = None
+
+    def _build_features(self, dataset: CrossModalDataset) -> None:
+        minilm = self.bundle.minilm
+        features = {vid: minilm.embed_text(dataset.graph.label(vid))
+                    for vid in dataset.graph.vertex_ids()}
+        self._vertex_features = aggregate_soft_features(
+            dataset.graph, features, alpha=0.5, aggregator=GNNAggregator())
+        # Image side: frozen patch statistics (GPPT has no vision tower;
+        # the adaptation feeds it fixed visual features).
+        self._image_features = np.stack([
+            self.bundle.patch_extractor.features(img.pixels).reshape(-1)
+            for img in dataset.images])
+
+    def fit(self, dataset: CrossModalDataset,
+            split: Optional[VertexSplit] = None) -> "GPPTMatcher":
+        super().fit(dataset, split)
+        self._build_features(dataset)
+        rng = rng_from(self.seed)
+        dim_v = self.bundle.minilm.dim
+        dim_i = self._image_features.shape[1]
+        hidden = 32
+        self.vertex_prompt = nn.MLP([dim_v, hidden], rng=rng)
+        self.image_prompt = nn.MLP([dim_i, hidden], rng=rng)
+        self.classifier = nn.MLP([2 * hidden, hidden, 1], rng=rng)
+        train_vertices = list(split.train) if split is not None \
+            else list(dataset.entity_vertices)
+        positives = [(v, i) for v in train_vertices
+                     for i in dataset.images_of_vertex(v)]
+        if not positives:
+            return self
+        params = [p for m in (self.vertex_prompt, self.image_prompt,
+                              self.classifier) for p in m.parameters()]
+        optimizer = nn.AdamW(params, lr=self.lr)
+        num_images = len(dataset.images)
+        for _ in range(self.epochs):
+            order = rng.permutation(len(positives))
+            for start in range(0, len(order), 16):
+                chunk = [positives[i] for i in order[start:start + 16]]
+                rows_v, rows_i, labels = [], [], []
+                for v, i in chunk:
+                    rows_v.append(v)
+                    rows_i.append(i)
+                    labels.append(1.0)
+                    for _ in range(self.negatives_per_positive):
+                        rows_v.append(v)
+                        rows_i.append(int(rng.integers(num_images)))
+                        labels.append(0.0)
+                optimizer.zero_grad()
+                logits = self._logits(rows_v, np.asarray(rows_i))
+                targets = nn.Tensor(np.asarray(labels, dtype=np.float32))
+                probs = logits.sigmoid().clip(1e-6, 1.0 - 1e-6)
+                loss = -(targets * probs.log()
+                         + (1.0 - targets) * (1.0 - probs).log()).mean()
+                loss.backward()
+                optimizer.step()
+        return self
+
+    def _logits(self, vertex_ids: Sequence[int],
+                image_rows: np.ndarray) -> nn.Tensor:
+        vertex_feats = np.stack([self._vertex_features[v] for v in vertex_ids])
+        image_feats = self._image_features[image_rows]
+        joint = nn.concat([self.vertex_prompt(nn.Tensor(vertex_feats)).tanh(),
+                           self.image_prompt(nn.Tensor(image_feats)).tanh()],
+                          axis=1)
+        return self.classifier(joint).reshape(-1)
+
+    def score(self, vertex_ids: Sequence[int]) -> np.ndarray:
+        dataset = self._require_fitted()
+        num_images = len(dataset.images)
+        scores = np.zeros((len(vertex_ids), num_images), dtype=np.float32)
+        image_rows = np.arange(num_images)
+        with nn.no_grad():
+            for row, vertex in enumerate(vertex_ids):
+                logits = self._logits([vertex] * num_images, image_rows)
+                scores[row] = logits.numpy()
+        return scores

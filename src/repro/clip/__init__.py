@@ -1,0 +1,10 @@
+"""MMLM substrate: the MiniCLIP dual encoder, its pre-training and zoo."""
+
+from .alignment import PropertyAligner
+from .model import MiniCLIP, TextEncoder
+from .pretrain import PretrainConfig, clip_contrastive_loss, pretrain_clip
+from .zoo import PretrainedBundle, clear_memory_cache, get_pretrained_bundle
+
+__all__ = ["MiniCLIP", "TextEncoder", "PretrainConfig", "pretrain_clip",
+           "clip_contrastive_loss", "PropertyAligner", "PretrainedBundle",
+           "get_pretrained_bundle", "clear_memory_cache"]

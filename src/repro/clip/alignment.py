@@ -1,0 +1,74 @@
+"""Cross-modal property alignment for PCP.
+
+Algorithm 2 computes the property closeness matrix ``S_c = A x C`` from
+BERT features of vertex labels (A) and ResNet patch features (C).  Real
+BERT and ResNet do not share a space; in practice this requires a
+pre-trained alignment between local text and local visual features.  We
+make that component explicit: :class:`PropertyAligner` fits a ridge
+regression from frozen patch features onto MiniLM phrase embeddings
+using (rendered patch, attribute phrase) pairs sampled from the
+pre-training universe — the same supervision web-scale pre-training
+provides implicitly.  After fitting, patch features live in the MiniLM
+space and ``A x C`` is meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..datasets.world import ConceptUniverse
+from ..nn.init import SeedLike, rng_from
+from ..text.minilm import MiniLM
+from ..vision.encoder import PatchFeatureExtractor
+from ..vision.image import render_concept
+
+__all__ = ["PropertyAligner"]
+
+
+class PropertyAligner:
+    """Maps frozen patch features into the MiniLM text-embedding space."""
+
+    def __init__(self, extractor: PatchFeatureExtractor, minilm: MiniLM,
+                 ridge: float = 1e-2) -> None:
+        self.extractor = extractor
+        self.minilm = minilm
+        self.ridge = ridge
+        self._weights: np.ndarray | None = None
+
+    def fit(self, universe: ConceptUniverse, views_per_concept: int = 2,
+            seed: SeedLike = 0) -> "PropertyAligner":
+        """Fit the patch→text map on rendered views of ``universe``."""
+        rng = rng_from(seed)
+        schema = universe.schema
+        features: List[np.ndarray] = []
+        targets: List[np.ndarray] = []
+        for concept in universe:
+            for _ in range(views_per_concept):
+                pixels = render_concept(concept, rng, occlusion_prob=0.0)
+                patch_feats = self.extractor.features(pixels)
+                for part, color in concept.visual_items():
+                    phrase = (f"{schema.color_names[color]} "
+                              f"{schema.part_names[part]}")
+                    features.append(patch_feats[part])
+                    targets.append(self.minilm.embed_text(phrase))
+        x = np.stack(features)
+        y = np.stack(targets)
+        gram = x.T @ x + self.ridge * np.eye(x.shape[1], dtype=np.float64)
+        self._weights = np.linalg.solve(gram, x.T @ y).astype(np.float32)
+        return self
+
+    def _require_fit(self) -> np.ndarray:
+        if self._weights is None:
+            raise RuntimeError("PropertyAligner.fit must be called first")
+        return self._weights
+
+    def project_patches(self, patch_features: np.ndarray) -> np.ndarray:
+        """Project patch features (..., extractor.dim) into MiniLM space."""
+        return patch_features @ self._require_fit()
+
+    def patch_text_space(self, pixels: np.ndarray) -> np.ndarray:
+        """Patch features of one image, already in MiniLM space:
+        ``(num_patches, minilm.dim)``."""
+        return self.project_patches(self.extractor.features(pixels))

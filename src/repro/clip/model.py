@@ -1,0 +1,134 @@
+"""MiniCLIP — the pre-trained multi-modal large model substitute.
+
+Architecture follows CLIP (§II-B of the paper): a transformer text
+encoder and a ViT-style image encoder projected into a joint embedding
+space, trained with the symmetric contrastive loss.  Three properties
+the paper relies on are preserved:
+
+* a **joint space** where cosine similarity ranks text-image pairs,
+* a **frozen image tower** during downstream prompt tuning (§II-C), and
+* a text tower that can consume either *token id sequences* (hard
+  prompts, sequence-based encoder of Fig. 4a) or *precomputed input
+  embeddings* (soft prompts injected before the transformer, the
+  feature-based encoder of Fig. 4b).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import nn
+from ..nn.init import SeedLike, rng_from
+from ..vision.encoder import VisionEncoder
+from ..vision.image import ImageSpec
+
+__all__ = ["TextEncoder", "MiniCLIP"]
+
+
+class TextEncoder(nn.Module):
+    """CLIP text tower with CLS pooling and a projection head."""
+
+    def __init__(self, vocab_size: int, embed_dim: int = 64, width: int = 48,
+                 depth: int = 2, num_heads: int = 4, max_len: int = 77,
+                 rng: SeedLike = None) -> None:
+        super().__init__()
+        rng = rng_from(rng)
+        self.width = width
+        self.max_len = max_len
+        self.token_embed = nn.Embedding(vocab_size, width, rng=rng)
+        self.positions = nn.Parameter(nn.normal((1, max_len, width), rng))
+        self.encoder = nn.TransformerEncoder(width, depth, num_heads, rng=rng)
+        self.project = nn.Linear(width, embed_dim, bias=False, rng=rng)
+
+    def forward(self, token_ids: np.ndarray,
+                mask: Optional[np.ndarray] = None) -> nn.Tensor:
+        """Encode ``(B, L)`` integer token ids into ``(B, embed_dim)``."""
+        token_ids = np.asarray(token_ids)
+        if token_ids.ndim == 1:
+            token_ids = token_ids[None]
+        length = token_ids.shape[1]
+        if length > self.max_len:
+            raise ValueError(f"sequence length {length} exceeds max_len {self.max_len}")
+        embeddings = self.token_embed(token_ids)
+        return self.forward_embeddings(embeddings, mask)
+
+    def forward_embeddings(self, embeddings: nn.Tensor,
+                           mask: Optional[np.ndarray] = None) -> nn.Tensor:
+        """Encode precomputed input embeddings ``(B, L, width)``.
+
+        This is the hook the feature-based soft-prompt encoder uses: the
+        fused label ⊕ structural-prompt vectors (Eq. 7) enter here in
+        place of token embeddings.
+        """
+        length = embeddings.shape[1]
+        if length > self.max_len:
+            raise ValueError(f"sequence length {length} exceeds max_len {self.max_len}")
+        x = embeddings + self.positions[:, :length, :]
+        encoded = self.encoder(x, mask)
+        return self.project(encoded[:, 0, :])
+
+
+class MiniCLIP(nn.Module):
+    """Dual-encoder CLIP miniature with a learnable logit scale."""
+
+    def __init__(self, vocab_size: int, embed_dim: int = 64,
+                 text_width: int = 48, text_depth: int = 2,
+                 vision_width: int = 48, vision_depth: int = 2,
+                 num_heads: int = 4, max_len: int = 77,
+                 spec: ImageSpec = ImageSpec(), rng: SeedLike = None) -> None:
+        super().__init__()
+        self._init_args = dict(vocab_size=vocab_size, embed_dim=embed_dim,
+                               text_width=text_width, text_depth=text_depth,
+                               vision_width=vision_width,
+                               vision_depth=vision_depth, num_heads=num_heads,
+                               max_len=max_len, spec=spec)
+        rng = rng_from(rng)
+        self.embed_dim = embed_dim
+        self.text = TextEncoder(vocab_size, embed_dim, text_width, text_depth,
+                                num_heads, max_len, rng=rng)
+        self.vision = VisionEncoder(embed_dim, vision_width, vision_depth,
+                                    num_heads, spec, rng=rng)
+        # CLIP parameterizes temperature as exp(logit_scale); init ~ 1/0.07.
+        self.logit_scale = nn.Parameter(np.asarray([np.log(1.0 / 0.07)],
+                                                   dtype=np.float32))
+
+    # -- encoding --------------------------------------------------------
+    def encode_text(self, token_ids: np.ndarray,
+                    mask: Optional[np.ndarray] = None) -> nn.Tensor:
+        """L2-normalized text embeddings."""
+        return nn.functional.l2_normalize(self.text(token_ids, mask))
+
+    def encode_text_embeddings(self, embeddings: nn.Tensor,
+                               mask: Optional[np.ndarray] = None) -> nn.Tensor:
+        """L2-normalized embeddings from precomputed input embeddings."""
+        return nn.functional.l2_normalize(self.text.forward_embeddings(embeddings, mask))
+
+    def encode_image(self, pixels: np.ndarray) -> nn.Tensor:
+        """L2-normalized image embeddings."""
+        return nn.functional.l2_normalize(self.vision(pixels))
+
+    # -- scoring ------------------------------------------------------------
+    def similarity_logits(self, text_embeds: nn.Tensor,
+                          image_embeds: nn.Tensor) -> nn.Tensor:
+        """Scaled cosine logits: ``exp(logit_scale) * T @ I^T``."""
+        scale = self.logit_scale.exp()
+        return (text_embeds @ image_embeds.transpose()) * scale
+
+    def clone(self) -> "MiniCLIP":
+        """A fresh MiniCLIP with identical weights and no shared state.
+
+        Each matcher tunes its own copy so pre-trained weights in the
+        zoo stay pristine across experiments.
+        """
+        copy = MiniCLIP(**self._init_args, rng=0)
+        copy.load_state_dict(self.state_dict())
+        return copy
+
+    def freeze_image_tower(self) -> "MiniCLIP":
+        """Freeze the image encoder (and the contrastive temperature), as
+        CrossEM does before prompt tuning (§II-C)."""
+        self.vision.freeze()
+        self.logit_scale.requires_grad = False
+        return self

@@ -1,0 +1,109 @@
+"""Contrastive pre-training of MiniCLIP on the synthetic caption corpus.
+
+Stands in for the web-scale pre-training of CLIP/ALIGN: batches of
+(caption, rendered image) pairs are pushed together with the symmetric
+InfoNCE objective, producing the joint embedding space CrossEM
+prompt-tunes.  Pre-training is deterministic given its seed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..datasets.world import ConceptUniverse
+from ..nn.init import rng_from
+from ..text.corpus import build_caption_corpus
+from ..text.tokenizer import WordTokenizer
+from ..vision.image import render_concept
+from .model import MiniCLIP
+
+__all__ = ["PretrainConfig", "pretrain_clip", "clip_contrastive_loss"]
+
+
+@dataclasses.dataclass
+class PretrainConfig:
+    """Hyper-parameters of the pre-training run."""
+
+    epochs: int = 80
+    batch_size: int = 32
+    lr: float = 2e-3
+    captions_per_concept: int = 8
+    noisy_caption_rate: float = 0.1
+    seed: int = 0
+
+
+def clip_contrastive_loss(model: MiniCLIP, text_embeds: nn.Tensor,
+                          image_embeds: nn.Tensor) -> nn.Tensor:
+    """Symmetric InfoNCE over in-batch positives (CLIP's objective).
+
+    Row *i* of texts matches row *i* of images; all other pairs in the
+    batch act as negatives, in both directions.
+    """
+    logits = model.similarity_logits(text_embeds, image_embeds)
+    targets = np.arange(len(text_embeds))
+    loss_t = nn.functional.cross_entropy(logits, targets)
+    loss_i = nn.functional.cross_entropy(logits.transpose(), targets)
+    return (loss_t + loss_i) * 0.5
+
+
+def pretrain_clip(model: MiniCLIP, universe: ConceptUniverse,
+                  tokenizer: WordTokenizer,
+                  config: Optional[PretrainConfig] = None,
+                  verbose: bool = False) -> List[float]:
+    """Pre-train ``model`` in place; returns per-epoch mean losses.
+
+    A small fraction of captions is swapped between concepts
+    (``noisy_caption_rate``), reproducing ALIGN-style label noise so the
+    learned space is imperfect — leaving headroom for prompt tuning to
+    improve on zero-shot, as the paper observes.
+    """
+    config = config or PretrainConfig()
+    rng = rng_from(config.seed)
+    corpus = build_caption_corpus(universe, config.captions_per_concept,
+                                  seed=config.seed)
+    # Render one image per caption pair.
+    pairs: List[Tuple[str, np.ndarray]] = []
+    for concept_index, caption in corpus:
+        pixels = render_concept(universe[concept_index], rng)
+        pairs.append((caption, pixels))
+    # Noise: shuffle a fraction of captions across pairs.
+    n_noisy = int(len(pairs) * config.noisy_caption_rate)
+    if n_noisy >= 2:
+        idx = rng.choice(len(pairs), size=n_noisy, replace=False)
+        shuffled = rng.permutation(idx)
+        captions = [pairs[i][0] for i in idx]
+        for j, i in enumerate(shuffled):
+            pairs[i] = (captions[j], pairs[i][1])
+
+    optimizer = nn.AdamW(model.parameters(), lr=config.lr)
+    losses: List[float] = []
+    for epoch in range(config.epochs):
+        order = rng.permutation(len(pairs))
+        epoch_losses: List[float] = []
+        for start in range(0, len(order), config.batch_size):
+            batch = [pairs[i] for i in order[start:start + config.batch_size]]
+            if len(batch) < 2:
+                continue
+            token_ids = tokenizer.encode_batch([caption for caption, _ in batch])
+            mask = tokenizer.attention_mask(token_ids)
+            pixels = np.stack([img for _, img in batch])
+            optimizer.zero_grad()
+            text_embeds = model.encode_text(token_ids, mask)
+            image_embeds = model.encode_image(pixels)
+            loss = clip_contrastive_loss(model, text_embeds, image_embeds)
+            loss.backward()
+            nn.clip_grad_norm(model.parameters(), 5.0)
+            optimizer.step()
+            # Keep the temperature in CLIP's stable range.
+            model.logit_scale.data = np.clip(model.logit_scale.data, 0.0,
+                                             np.log(100.0))
+            epoch_losses.append(loss.item())
+        losses.append(float(np.mean(epoch_losses)))
+        if verbose:
+            print(f"[pretrain] epoch {epoch + 1}/{config.epochs} "
+                  f"loss {losses[-1]:.4f}")
+    return losses

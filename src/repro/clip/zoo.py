@@ -1,0 +1,142 @@
+"""Pre-trained model zoo.
+
+Pre-training MiniCLIP and MiniLM is deterministic but not free, so this
+module memoizes complete pre-trained bundles — in memory per process and
+on disk across processes (``.cache/repro`` beside the working
+directory).  Benchmarks and tests ask the zoo for a bundle instead of
+pre-training inline, just as the original code downloads HuggingFace
+checkpoints.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..datasets.world import ConceptUniverse
+from ..text.corpus import build_text_corpus
+from ..text.minilm import MiniLM
+from ..text.tokenizer import Vocabulary, WordTokenizer
+from ..vision.encoder import PatchFeatureExtractor
+from .alignment import PropertyAligner
+from .model import MiniCLIP
+from .pretrain import PretrainConfig, pretrain_clip
+
+__all__ = ["PretrainedBundle", "get_pretrained_bundle", "clear_memory_cache"]
+
+_MEMORY_CACHE: Dict[str, "PretrainedBundle"] = {}
+
+
+@dataclasses.dataclass
+class PretrainedBundle:
+    """Everything downstream code needs from pre-training."""
+
+    universe: ConceptUniverse
+    vocab: Vocabulary
+    tokenizer: WordTokenizer
+    minilm: MiniLM
+    clip: MiniCLIP
+    patch_extractor: PatchFeatureExtractor
+    aligner: PropertyAligner
+    pretrain_losses: list
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parents[3] / ".cache" / "repro"
+
+
+def _config_key(kind: str, num_concepts: int, seed: int, max_len: int,
+                config: PretrainConfig) -> str:
+    payload = json.dumps({
+        "kind": kind, "num_concepts": num_concepts, "seed": seed,
+        "max_len": max_len, "pretrain": dataclasses.asdict(config),
+        "version": 5,
+    }, sort_keys=True)
+    return hashlib.sha1(payload.encode()).hexdigest()[:16]
+
+
+def _build_bundle(kind: str, num_concepts: int, seed: int, max_len: int,
+                  config: PretrainConfig) -> PretrainedBundle:
+    universe = ConceptUniverse(num_concepts, kind=kind, seed=seed)
+    vocab = Vocabulary(universe.vocabulary_words())
+    tokenizer = WordTokenizer(vocab, max_len=max_len)
+    minilm = MiniLM(vocab).pretrain(build_text_corpus(universe, seed=seed),
+                                    seed=seed)
+    clip = MiniCLIP(len(vocab), max_len=max_len, rng=seed)
+    losses = pretrain_clip(clip, universe, tokenizer, config)
+    extractor = PatchFeatureExtractor(seed=seed)
+    aligner = PropertyAligner(extractor, minilm).fit(universe, seed=seed)
+    return PretrainedBundle(universe, vocab, tokenizer, minilm, clip,
+                            extractor, aligner, losses)
+
+
+def _save_bundle(path: Path, bundle: PretrainedBundle) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = {f"clip.{k}": v for k, v in bundle.clip.state_dict().items()}
+    state["minilm.embeddings"] = bundle.minilm.embeddings
+    state["aligner.weights"] = bundle.aligner._weights
+    state["losses"] = np.asarray(bundle.pretrain_losses, dtype=np.float64)
+    np.savez_compressed(path, **state)
+
+
+def _load_bundle(path: Path, kind: str, num_concepts: int, seed: int,
+                 max_len: int) -> Optional[PretrainedBundle]:
+    try:
+        archive = np.load(path)
+    except (OSError, ValueError):
+        return None
+    universe = ConceptUniverse(num_concepts, kind=kind, seed=seed)
+    vocab = Vocabulary(universe.vocabulary_words())
+    tokenizer = WordTokenizer(vocab, max_len=max_len)
+    minilm = MiniLM(vocab)
+    minilm.embeddings = archive["minilm.embeddings"]
+    clip = MiniCLIP(len(vocab), max_len=max_len, rng=seed)
+    try:
+        clip.load_state_dict({k[len("clip."):]: archive[k]
+                              for k in archive.files if k.startswith("clip.")})
+    except (KeyError, ValueError):
+        return None
+    extractor = PatchFeatureExtractor(seed=seed)
+    aligner = PropertyAligner(extractor, minilm)
+    aligner._weights = archive["aligner.weights"]
+    losses = archive["losses"].tolist()
+    return PretrainedBundle(universe, vocab, tokenizer, minilm, clip,
+                            extractor, aligner, losses)
+
+
+def get_pretrained_bundle(kind: str = "bird", num_concepts: int = 80,
+                          seed: int = 0, max_len: int = 77,
+                          config: Optional[PretrainConfig] = None,
+                          use_disk_cache: bool = True) -> PretrainedBundle:
+    """Return a (possibly cached) fully pre-trained model bundle."""
+    config = config or PretrainConfig(seed=seed)
+    key = _config_key(kind, num_concepts, seed, max_len, config)
+    if key in _MEMORY_CACHE:
+        return _MEMORY_CACHE[key]
+    path = _cache_dir() / f"bundle-{key}.npz"
+    bundle = None
+    if use_disk_cache and path.exists():
+        bundle = _load_bundle(path, kind, num_concepts, seed, max_len)
+    if bundle is None:
+        bundle = _build_bundle(kind, num_concepts, seed, max_len, config)
+        if use_disk_cache:
+            try:
+                _save_bundle(path, bundle)
+            except OSError:
+                pass  # a read-only checkout should not break pre-training
+    _MEMORY_CACHE[key] = bundle
+    return bundle
+
+
+def clear_memory_cache() -> None:
+    """Drop all in-process cached bundles (used by tests)."""
+    _MEMORY_CACHE.clear()

@@ -1,0 +1,30 @@
+"""The paper's contribution: CrossEM / CrossEM+ prompt-tuning matchers."""
+
+from .cleaning import (ImageFlag, affinity_outliers, clean_repository,
+                       provenance_conflicts)
+from .crossem_plus import CrossEMPlus, CrossEMPlusConfig
+from .losses import (batch_contrastive_loss, combined_loss,
+                     matching_probability, orthogonal_constraint)
+from .matcher import CrossEM, CrossEMConfig
+from .metrics import (EfficiencyReport, MatchingSetResult, RankingResult,
+                      evaluate_ranking, hits_at_k, matching_set_metrics,
+                      mean_reciprocal_rank)
+from .minibatch import (MiniBatchPlan, Partition, PCPConfig,
+                        generate_minibatches, kmeans, pairwise_proximity,
+                        property_closeness)
+from .negative import NegativeSamplingConfig, augment_plan, sample_negatives
+from .persistence import load_matcher, save_matcher
+from .prompts import HardPromptGenerator, SoftPromptModule, baseline_prompt
+
+__all__ = ["CrossEM", "CrossEMConfig", "CrossEMPlus", "CrossEMPlusConfig",
+           "baseline_prompt", "HardPromptGenerator", "SoftPromptModule",
+           "matching_probability", "batch_contrastive_loss",
+           "orthogonal_constraint", "combined_loss", "PCPConfig",
+           "Partition", "MiniBatchPlan", "generate_minibatches", "kmeans",
+           "property_closeness", "pairwise_proximity",
+           "NegativeSamplingConfig", "sample_negatives", "augment_plan",
+           "RankingResult", "evaluate_ranking", "hits_at_k",
+           "mean_reciprocal_rank", "EfficiencyReport", "save_matcher",
+           "load_matcher", "ImageFlag", "affinity_outliers",
+           "provenance_conflicts", "clean_repository", "MatchingSetResult",
+           "matching_set_metrics"]

@@ -1,0 +1,118 @@
+"""Data cleaning with matching probabilities (the paper's future work).
+
+The conclusion of the paper proposes extending prompt tuning "to support
+more data management tasks such as data cleaning".  This module
+implements that extension for the image side of a data lake: a fitted
+matcher's matching-probability distribution (Eq. 4) is used to flag
+repository images that are *unmatchable* — corrupted views, images of
+entities absent from the graph, or mislabeled provenance.
+
+Two complementary detectors:
+
+* :func:`affinity_outliers` — an image whose best matching probability
+  against every vertex prompt is anomalously low matches nothing in the
+  lake (corruption / out-of-scope).
+* :func:`provenance_conflicts` — an image whose claimed provenance
+  (e.g. the directory/record it was ingested with) disagrees with its
+  confidently matched vertex is likely mislabeled.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .matcher import CrossEM
+
+__all__ = ["ImageFlag", "affinity_outliers", "provenance_conflicts",
+           "clean_repository"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ImageFlag:
+    """One flagged image with the reason and supporting evidence."""
+
+    image_position: int
+    reason: str
+    score: float
+    best_vertex: Optional[int] = None
+
+
+def _best_affinities(matcher: CrossEM):
+    """Per-image (best similarity, best row) over all vertex prompts,
+    via the matcher's (frozen) scoring path."""
+    scores = matcher.score()
+    return scores.max(axis=0), scores.argmax(axis=0)
+
+
+def affinity_outliers(matcher: CrossEM, z_threshold: float = 2.0) -> List[ImageFlag]:
+    """Flag images that match nothing in the lake.
+
+    Combines two standardized signals: the image's *best* vertex
+    affinity (low for out-of-scope content) and its matching *margin*
+    (best minus median — a genuine entity photo matches one prompt far
+    better than the rest, a corrupted one matches everything about
+    equally).  Images whose combined z-score falls below
+    ``-z_threshold`` are flagged, worst first.
+    """
+    if z_threshold <= 0:
+        raise ValueError("z_threshold must be positive")
+    scores = matcher.score()
+    best = scores.max(axis=0)
+    argbest = scores.argmax(axis=0)
+    margin = best - np.median(scores, axis=0)
+
+    def zscore(values: np.ndarray) -> np.ndarray:
+        std = values.std()
+        return (values - values.mean()) / std if std > 0 else np.zeros_like(values)
+
+    combined = zscore(best) + zscore(margin)
+    flags = [
+        ImageFlag(int(position), "low-affinity", float(combined[position]),
+                  matcher.vertex_ids[int(argbest[position])])
+        for position in np.flatnonzero(combined < -z_threshold)]
+    return sorted(flags, key=lambda f: f.score)
+
+
+def provenance_conflicts(matcher: CrossEM,
+                         claimed_vertex: Dict[int, int],
+                         margin: float = 0.05) -> List[ImageFlag]:
+    """Flag images whose confident match contradicts their provenance.
+
+    ``claimed_vertex`` maps image position → the vertex the ingestion
+    pipeline claims the image depicts.  An image is flagged when the
+    matcher's best vertex differs from the claim *and* beats the claimed
+    vertex's score by at least ``margin``.
+    """
+    scores = matcher.score()
+    row_of = {v: i for i, v in enumerate(matcher.vertex_ids)}
+    flags: List[ImageFlag] = []
+    for position, claimed in claimed_vertex.items():
+        if claimed not in row_of:
+            raise KeyError(f"claimed vertex {claimed} is not matched by "
+                           "this matcher")
+        column = scores[:, position]
+        best_row = int(column.argmax())
+        claimed_score = float(column[row_of[claimed]])
+        best_score = float(column[best_row])
+        best_vertex = matcher.vertex_ids[best_row]
+        if best_vertex != claimed and best_score - claimed_score >= margin:
+            flags.append(ImageFlag(position, "provenance-conflict",
+                                   best_score - claimed_score, best_vertex))
+    return sorted(flags, key=lambda f: -f.score)
+
+
+def clean_repository(matcher: CrossEM,
+                     claimed_vertex: Optional[Dict[int, int]] = None,
+                     z_threshold: float = 2.0,
+                     margin: float = 0.05) -> List[ImageFlag]:
+    """Run both detectors; returns deduplicated flags, worst first."""
+    flags = list(affinity_outliers(matcher, z_threshold))
+    if claimed_vertex:
+        seen = {f.image_position for f in flags}
+        flags.extend(f for f in provenance_conflicts(matcher, claimed_vertex,
+                                                     margin)
+                     if f.image_position not in seen)
+    return flags

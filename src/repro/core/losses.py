@@ -1,0 +1,99 @@
+"""Training objectives (Eqs. 2-4, 9, 10).
+
+CrossEM casts cross-modal EM as a *matching probability* problem with
+the same contrastive objective CLIP was pre-trained with — this is how
+the paper closes the objective gap (Challenge 1).  Training is
+unsupervised: within each mini-batch, the positive set X_p is the
+top-similarity pair per vertex (self-labeled) and X_n the remaining
+pairs (§II-B, "X_p is collected from the pairs with top similarity").
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .. import nn
+
+__all__ = ["matching_probability", "batch_contrastive_loss",
+           "orthogonal_constraint", "combined_loss"]
+
+
+def matching_probability(text_embeds: nn.Tensor, image_embeds: nn.Tensor,
+                         temperature: float = 0.07) -> nn.Tensor:
+    """Eq. 4: softmax over images of scaled cosine similarities.
+
+    Row *i* is the matching distribution p(v_i, ·) over the image set.
+    ``temperature`` is the paper's tau in (0, 1].
+    """
+    if not 0.0 < temperature <= 1.0:
+        raise ValueError("temperature must be in (0, 1]")
+    logits = (text_embeds @ image_embeds.transpose()) * (1.0 / temperature)
+    return nn.functional.softmax(logits, axis=-1)
+
+
+def _pseudo_positives(logits: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Self-labeled positives: *mutual* top-similarity pairs.
+
+    X_p is "collected from the pairs with top similarity" (§II-B); we
+    keep only pairs where the vertex's best image also names that vertex
+    as its best — the high-precision reading that keeps unsupervised
+    self-training from reinforcing one-directional mistakes.
+    Returns (row indices, column indices) of the retained pairs.
+    """
+    best_image = logits.argmax(axis=1)
+    best_vertex = logits.argmax(axis=0)
+    rows = np.flatnonzero(best_vertex[best_image] == np.arange(len(best_image)))
+    return rows, best_image[rows]
+
+
+def batch_contrastive_loss(text_embeds: nn.Tensor, image_embeds: nn.Tensor,
+                           temperature: float = 0.07,
+                           positives: Optional[np.ndarray] = None
+                           ) -> Optional[nn.Tensor]:
+    """Eqs. 2-3 over one mini-batch (V_i, I_i).
+
+    ``positives[i]`` is the image column treated as x_j for vertex i;
+    when omitted, positives are self-labeled as the batch's mutual
+    top-similarity pairs (unsupervised mode).  The loss is symmetrized
+    as in Eq. 2: ``l(x_i, x_j) + l(x_j, x_i)`` averaged over positive
+    pairs.  Returns ``None`` when no confident pair exists in the batch.
+    """
+    logits = (text_embeds @ image_embeds.transpose()) * (1.0 / temperature)
+    if positives is None:
+        rows, columns = _pseudo_positives(logits.numpy())
+        if not len(rows):
+            return None
+    else:
+        columns = np.asarray(positives)
+        rows = np.arange(len(columns))
+    # l(x_i, x_j): vertex i against all images in the batch.
+    log_p_v = nn.functional.log_softmax(logits, axis=1)[rows, columns]
+    # l(x_j, x_i): the positive image against all vertices in the batch.
+    log_p_i = nn.functional.log_softmax(logits.transpose(), axis=1)[columns, rows]
+    return -(log_p_v + log_p_i).mean() * 0.5
+
+
+def orthogonal_constraint(prompt_matrix: nn.Tensor) -> nn.Tensor:
+    """Eq. 9: ``|| F F^T - I ||_F1`` over row-normalized prompts.
+
+    Encourages the soft prompts of different vertices in a mini-batch to
+    be mutually orthogonal so structurally similar entities keep
+    distinguishable prompts (§IV-C).
+    """
+    normalized = nn.functional.l2_normalize(prompt_matrix, axis=-1)
+    gram = normalized @ normalized.transpose()
+    identity = nn.Tensor(np.eye(gram.shape[0], dtype=np.float32))
+    # Element-mean rather than raw sum so the constraint's scale does not
+    # grow quadratically with batch size (keeps Eq. 10's beta meaningful
+    # across batch shapes).
+    return (gram - identity).abs().mean()
+
+
+def combined_loss(contrastive: nn.Tensor, orthogonal: nn.Tensor,
+                  beta: float = 0.8) -> nn.Tensor:
+    """Eq. 10: ``beta * L_c + (1 - beta) * L_o``."""
+    if not 0.0 <= beta <= 1.0:
+        raise ValueError("beta must be in [0, 1]")
+    return contrastive * beta + orthogonal * (1.0 - beta)

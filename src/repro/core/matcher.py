@@ -1,0 +1,339 @@
+"""CrossEM — the prompt-tuning matching framework (Algorithm 1).
+
+Given the unified graph G and image repository I, CrossEM prompt-tunes
+the pre-trained MiniCLIP text tower (the image tower and temperature
+stay frozen, §II-C) with the batch contrastive objective of Eqs. 2-3,
+using one of three prompt generators (§III).  Training is unsupervised:
+mini-batches tile the full |V| x |I| candidate cross product and
+positives are self-labeled from current similarities — the quadratic
+cost that motivates CrossEM+ (§IV).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..clip.zoo import PretrainedBundle
+from ..datalake.aggregate import GNNAggregator, GraphSageAggregator
+from ..datalake.graph import Graph
+from ..nn.init import rng_from
+from ..vision.image import SyntheticImage
+from .losses import batch_contrastive_loss
+from .metrics import EfficiencyReport, RankingResult, evaluate_ranking
+from .prompts import HardPromptGenerator, SoftPromptModule, baseline_prompt
+
+__all__ = ["CrossEMConfig", "CrossEM"]
+
+
+@dataclasses.dataclass
+class CrossEMConfig:
+    """Hyper-parameters of Algorithm 1.
+
+    ``prompt`` selects the generator: ``"baseline"`` (naive §II-B
+    template), ``"hard"`` (f_pro^h) or ``"soft"`` (f_pro^s).
+    ``vertices_per_batch`` x ``images_per_batch`` is the paper's batch
+    size N = N1 x N2.
+    """
+
+    prompt: str = "hard"
+    d: int = 1
+    epochs: int = 5
+    vertices_per_batch: int = 8
+    images_per_batch: int = 16
+    lr: float = 5e-4
+    temperature: float = 0.07
+    alpha: float = 0.5
+    aggregator: str = "gnn"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.prompt not in ("baseline", "hard", "soft"):
+            raise ValueError(f"unknown prompt kind {self.prompt!r}")
+        if self.aggregator not in ("gnn", "sage"):
+            raise ValueError(f"unknown aggregator {self.aggregator!r}")
+
+    def make_aggregator(self):
+        if self.aggregator == "sage":
+            return GraphSageAggregator(seed=self.seed)
+        return GNNAggregator()
+
+
+class CrossEM:
+    """The CrossEM matcher.
+
+    Typical use::
+
+        matcher = CrossEM(bundle, CrossEMConfig(prompt="soft"))
+        matcher.fit(dataset.graph, dataset.images, dataset.entity_vertices)
+        result = matcher.evaluate(dataset, split.test)
+
+    After :meth:`fit`, :attr:`efficiency` holds per-epoch time and peak
+    memory (the Table III quantities).
+    """
+
+    def __init__(self, bundle: PretrainedBundle,
+                 config: Optional[CrossEMConfig] = None) -> None:
+        self.bundle = bundle
+        self.config = config or CrossEMConfig()
+        # Tune a private copy so the zoo's pre-trained weights survive.
+        self.clip = bundle.clip.clone()
+        self.tokenizer = bundle.tokenizer
+        self.graph: Optional[Graph] = None
+        self.images: List[SyntheticImage] = []
+        self.vertex_ids: List[int] = []
+        self.soft_prompts: Optional[SoftPromptModule] = None
+        self._hard_prompts: Dict[int, str] = {}
+        self._image_embeds: Optional[np.ndarray] = None
+        self._pseudo_labels: Dict[int, int] = {}
+        self.efficiency: Optional[EfficiencyReport] = None
+        self.epoch_losses: List[float] = []
+
+    # -- prompt handling ----------------------------------------------------
+    def _prepare_prompts(self) -> None:
+        config = self.config
+        if config.prompt == "soft":
+            self.soft_prompts = SoftPromptModule(
+                self.graph, self.vertex_ids, self.clip, self.tokenizer,
+                self.bundle.minilm, alpha=config.alpha, d=config.d,
+                aggregator=config.make_aggregator(), rng=config.seed)
+            return
+        if config.prompt == "hard":
+            generator = HardPromptGenerator(self.graph, d=config.d)
+            self._hard_prompts = {v: generator.generate(v)
+                                  for v in self.vertex_ids}
+        else:
+            self._hard_prompts = {v: baseline_prompt(self.graph.label(v))
+                                  for v in self.vertex_ids}
+
+    def encode_vertices(self, vertex_ids: Sequence[int]) -> nn.Tensor:
+        """Prompted text embeddings for ``vertex_ids`` (grad-enabled)."""
+        if self.config.prompt == "soft":
+            return self.soft_prompts(vertex_ids)
+        texts = [self._hard_prompts[v] for v in vertex_ids]
+        token_ids = self.tokenizer.encode_batch(texts)
+        mask = self.tokenizer.attention_mask(token_ids)
+        return self.clip.encode_text(token_ids, mask)
+
+    def _encode_images(self, indices: Sequence[int]) -> nn.Tensor:
+        """Frozen image-tower embeddings for a batch of image indices.
+
+        The tower is frozen (§II-C), so embeddings are computed once per
+        fit and sliced afterwards; the first call fills the cache.
+        """
+        if self._image_embeds is None:
+            chunks = []
+            for start in range(0, len(self.images), 64):
+                pixels = np.stack([img.pixels
+                                   for img in self.images[start:start + 64]])
+                with nn.no_grad():
+                    chunks.append(self.clip.encode_image(pixels).numpy())
+            self._image_embeds = np.concatenate(chunks, axis=0)
+        return nn.Tensor(self._image_embeds[np.asarray(indices)])
+
+    # -- training (Algorithm 1) ------------------------------------------------
+    def _trainable_parameters(self) -> List[nn.Parameter]:
+        """What prompt *tuning* tunes (Alg. 1 line 10 back-propagates to
+        the prompting function Pro, not the encoders): the soft prompt
+        table and the Eq. 7 fusion weights.  Hard and baseline prompts
+        are discrete and have no learnable parameters — matching the
+        paper, where CrossEM w/ f_pro^h reports no training time (the
+        "-" entries of Table IV)."""
+        if self.soft_prompts is None:
+            return []
+        clip_params = set(map(id, self.clip.parameters()))
+        return [p for p in self.soft_prompts.parameters()
+                if id(p) not in clip_params]
+
+    def _epoch_batches(self, rng: np.random.Generator) -> List[Tuple[List[int], List[int]]]:
+        """Randomly split the full candidate cross product into
+        (vertex chunk, image chunk) mini-batches (Alg. 1 line 3)."""
+        config = self.config
+        vertex_order = rng.permutation(len(self.vertex_ids))
+        image_order = rng.permutation(len(self.images))
+        vertex_chunks = [
+            [self.vertex_ids[i] for i in vertex_order[s:s + config.vertices_per_batch]]
+            for s in range(0, len(vertex_order), config.vertices_per_batch)]
+        image_chunks = [
+            list(image_order[s:s + config.images_per_batch])
+            for s in range(0, len(image_order), config.images_per_batch)]
+        batches = [(vc, ic) for vc in vertex_chunks for ic in image_chunks
+                   if len(vc) >= 2 and len(ic) >= 2]
+        rng.shuffle(batches)
+        return batches
+
+    def _train_batch(self, optimizer: nn.AdamW, vertex_chunk: List[int],
+                     image_chunk: List[int]) -> float:
+        # Algorithm 1 lines 5-9: every batch runs prompt generation and
+        # both encoders.  The positive set X_p keeps only vertices whose
+        # current pseudo-positive image sits in this batch; the rest of
+        # the batch acts as negatives.  A batch with empty X_p still
+        # pays its forward cost (this is exactly the inefficiency on
+        # large data that motivates CrossEM+'s mini-batch generation).
+        optimizer.zero_grad()
+        text_embeds = self.encode_vertices(vertex_chunk)
+        image_embeds = self._encode_images(image_chunk)
+        keep_rows: List[int] = []
+        positives: List[int] = []
+        column_of = {image: column for column, image in enumerate(image_chunk)}
+        for row, vertex in enumerate(vertex_chunk):
+            pseudo = self._pseudo_labels.get(vertex)
+            if pseudo is not None and pseudo in column_of:
+                keep_rows.append(row)
+                positives.append(column_of[pseudo])
+        if not keep_rows:
+            return float("nan")
+        loss = self._batch_loss(text_embeds[np.asarray(keep_rows)],
+                                image_embeds,
+                                [vertex_chunk[r] for r in keep_rows],
+                                np.asarray(positives))
+        if loss is None:
+            return float("nan")
+        loss.backward()
+        nn.clip_grad_norm(optimizer.params, 5.0)
+        optimizer.step()
+        return loss.item()
+
+    def _batch_loss(self, text_embeds: nn.Tensor, image_embeds: nn.Tensor,
+                    vertex_chunk: List[int],
+                    positives: np.ndarray) -> Optional[nn.Tensor]:
+        """The per-batch objective; CrossEM+ overrides this to add the
+        orthogonal prompt constraint."""
+        return batch_contrastive_loss(text_embeds, image_embeds,
+                                      self.config.temperature, positives)
+
+    # -- unsupervised pseudo-labeling --------------------------------------
+    def _label_scores(self) -> np.ndarray:
+        """The score matrix pseudo-labels are mined from.
+
+        CrossEM scores the *full* |V| x |I| candidate cross product —
+        the quadratic object whose cost §III's discussion calls out.
+        (CrossEM+ overrides this with partition-local scoring and a PCP
+        proximity prior.)  The matmul runs through tracked tensors so
+        the memory meter sees the materialized candidate matrix.
+        """
+        with nn.no_grad():
+            text = self._encode_all_vertices()
+            scores = nn.Tensor(text) @ self._encode_images(
+                range(len(self.images))).transpose()
+        return scores.numpy()
+
+    def _refresh_pseudo_labels(self) -> None:
+        """Self-label X_p as the *globally mutual* top-similarity pairs:
+        vertex v's best image I such that v is also I's best vertex.
+        Mutuality keeps precision high, which unsupervised contrastive
+        tuning needs to avoid reinforcing one-directional errors."""
+        scores = self._label_scores()
+        best_image = scores.argmax(axis=1)
+        best_vertex = scores.argmax(axis=0)
+        self._pseudo_labels = {
+            vertex: int(best_image[row])
+            for row, vertex in enumerate(self.vertex_ids)
+            if best_vertex[best_image[row]] == row}
+
+    def _encode_all_vertices(self, batch: int = 32) -> np.ndarray:
+        chunks = [self.encode_vertices(self.vertex_ids[s:s + batch]).numpy()
+                  for s in range(0, len(self.vertex_ids), batch)]
+        return np.concatenate(chunks, axis=0)
+
+    def fit(self, graph: Graph, images: Sequence[SyntheticImage],
+            vertex_ids: Optional[Sequence[int]] = None) -> "CrossEM":
+        """Run Algorithm 1; returns self.
+
+        ``vertex_ids`` defaults to the graph's entity vertices.
+        """
+        self.graph = graph
+        self.images = list(images)
+        self.vertex_ids = list(vertex_ids if vertex_ids is not None
+                               else graph.entity_ids())
+        if len(self.vertex_ids) < 2 or len(self.images) < 2:
+            raise ValueError("need at least two vertices and two images")
+        self.clip.freeze_image_tower()
+        self._prepare_prompts()
+        self._image_embeds = None
+        self._pseudo_labels = {}
+        self._before_training()
+        rng = rng_from(self.config.seed)
+        trainable = self._trainable_parameters()
+        epochs = self.config.epochs if trainable else 0
+        optimizer = nn.AdamW(trainable, lr=self.config.lr) if trainable else None
+        epoch_seconds: List[float] = []
+        tracker = nn.MemoryTracker()
+        self.epoch_losses = []
+        with tracker:
+            for _ in range(epochs):
+                start = time.perf_counter()
+                self._refresh_pseudo_labels()
+                losses = [self._train_batch(optimizer, vc, ic)
+                          for vc, ic in self._iter_epoch(rng)]
+                epoch_seconds.append(time.perf_counter() - start)
+                losses = [l for l in losses if not np.isnan(l)]
+                self.epoch_losses.append(float(np.mean(losses)) if losses else 0.0)
+        self.efficiency = EfficiencyReport(
+            seconds_per_epoch=float(np.mean(epoch_seconds)) if epoch_seconds else 0.0,
+            peak_memory_bytes=tracker.peak_bytes)
+        return self
+
+    def _before_training(self) -> None:
+        """Hook for one-time data preprocessing before the timed epochs
+        (CrossEM+ builds its PCP partition plan here — the paper reports
+        *per-epoch training* time, with mini-batch generation counted as
+        preprocessing, §IV-A)."""
+
+    def _iter_epoch(self, rng: np.random.Generator):
+        """Yield this epoch's (vertex chunk, image chunk) batches;
+        CrossEM+ overrides this with PCP partitions."""
+        return self._epoch_batches(rng)
+
+    # -- inference ---------------------------------------------------------------
+    def _require_fitted(self) -> None:
+        if self.graph is None:
+            raise RuntimeError("CrossEM.fit must be called before inference")
+
+    def score(self, vertex_ids: Optional[Sequence[int]] = None,
+              image_batch: int = 64) -> np.ndarray:
+        """Similarity matrix (vertices x all images), evaluated frozen."""
+        self._require_fitted()
+        vertex_ids = list(vertex_ids if vertex_ids is not None else self.vertex_ids)
+        with nn.no_grad():
+            text = np.concatenate(
+                [self.encode_vertices(vertex_ids[s:s + image_batch]).numpy()
+                 for s in range(0, len(vertex_ids), image_batch)], axis=0)
+        image_matrix = self._encode_images(range(len(self.images))).numpy()
+        return text @ image_matrix.T
+
+    def evaluate(self, dataset, vertex_ids: Optional[Sequence[int]] = None) -> RankingResult:
+        """Rank all images per vertex and score H@k/MRR against the
+        dataset's ground truth."""
+        vertex_ids = list(vertex_ids if vertex_ids is not None else self.vertex_ids)
+        scores = self.score(vertex_ids)
+        gold = [dataset.images_of_vertex(v) for v in vertex_ids]
+        return evaluate_ranking(scores, gold)
+
+    def match_pairs(self, vertex_ids: Optional[Sequence[int]] = None,
+                    top_k: int = 1,
+                    threshold: Optional[float] = None) -> Set[Tuple[int, int]]:
+        """The matching set S (Definition 2).
+
+        By default each vertex contributes its ``top_k`` highest-scoring
+        images.  With ``threshold`` set, S instead contains every pair
+        whose similarity reaches the threshold (the paper does not
+        assume one-to-one matching), which trades precision for recall —
+        see :func:`repro.core.metrics.matching_set_metrics`.
+        """
+        self._require_fitted()
+        vertex_ids = list(vertex_ids if vertex_ids is not None else self.vertex_ids)
+        scores = self.score(vertex_ids)
+        pairs: Set[Tuple[int, int]] = set()
+        for row, vertex in enumerate(vertex_ids):
+            if threshold is not None:
+                columns = np.flatnonzero(scores[row] >= threshold)
+            else:
+                columns = np.argsort(-scores[row])[:top_k]
+            for column in columns:
+                pairs.add((vertex, self.images[int(column)].image_id))
+        return pairs

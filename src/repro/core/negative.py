@@ -1,0 +1,83 @@
+"""Property-based negative sampling (§IV-B, Algorithm 3).
+
+Uniform in-batch negatives are often trivially easy.  This sampler pulls
+*hard* negatives into each partition: images whose proximity to the
+partition's vertices is high (they share properties) but which do not
+already belong to the partition — forcing the contrastive model to learn
+the discriminative features the paper illustrates with the woodpecker's
+"spots".  Batches are padded to a multiple of the batch size N and
+shuffled at both the batch and partition level (Alg. 3 lines 3, 16-17).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+import numpy as np
+
+from ..nn.init import rng_from
+from .minibatch import MiniBatchPlan, Partition
+
+__all__ = ["NegativeSamplingConfig", "sample_negatives", "augment_plan"]
+
+
+@dataclasses.dataclass
+class NegativeSamplingConfig:
+    """Knobs of Algorithm 3."""
+
+    #: pad each partition's pair count up to a multiple of this
+    batch_size: int = 16
+    #: upper bound of the per-vertex random top-k (Alg. 3 line 9)
+    max_top_k: int = 4
+    seed: int = 0
+
+
+def sample_negatives(plan: MiniBatchPlan, partition: Partition,
+                     count: int, rng: np.random.Generator,
+                     max_top_k: int = 4) -> List[int]:
+    """Select up to ``count`` hard-negative image indices for
+    ``partition``: per vertex, a random-k prefix of its proximity
+    ranking, excluding images already in the partition."""
+    excluded = set(partition.image_indices)
+    num_images = plan.proximity.shape[1]
+    negatives: List[int] = []
+    for vertex in partition.vertex_ids:
+        if len(negatives) >= count:
+            break
+        row = plan.proximity[plan.vertex_row(vertex)]
+        k = int(rng.integers(1, max_top_k + 1))
+        ranked = np.argsort(-row)
+        for image_index in ranked[: k + len(excluded)]:
+            image_index = int(image_index)
+            if image_index not in excluded:
+                negatives.append(image_index)
+                excluded.add(image_index)
+                if len(negatives) >= count:
+                    break
+            if len(negatives) >= count:
+                break
+    return negatives[:count]
+
+
+def augment_plan(plan: MiniBatchPlan,
+                 config: Optional[NegativeSamplingConfig] = None) -> MiniBatchPlan:
+    """Algorithm 3 over a whole plan: pad every partition with hard
+    negatives to the nearest batch-size multiple and shuffle."""
+    config = config or NegativeSamplingConfig()
+    rng = rng_from(config.seed)
+    augmented: List[Partition] = []
+    for partition in plan.partitions:
+        pairs = partition.num_pairs
+        target = int(np.ceil(pairs / config.batch_size)) * config.batch_size
+        deficit_pairs = target - pairs
+        # Convert the pair deficit into extra image columns.
+        extra_images = (deficit_pairs + len(partition.vertex_ids) - 1) \
+            // max(1, len(partition.vertex_ids))
+        negatives = sample_negatives(plan, partition, extra_images, rng,
+                                     config.max_top_k) if extra_images else []
+        images = list(partition.image_indices) + negatives
+        rng.shuffle(images)
+        augmented.append(Partition(list(partition.vertex_ids), images))
+    rng.shuffle(augmented)
+    return MiniBatchPlan(augmented, plan.proximity, plan.vertex_ids)

@@ -1,0 +1,80 @@
+"""Persistence of tuned matchers.
+
+A fitted :class:`~repro.core.matcher.CrossEM` owns three kinds of tuned
+state: its private CLIP copy, the soft-prompt module (prompt table +
+fusion weights) when the soft prompt is in use, and the discrete prompt
+strings otherwise.  ``save_matcher`` serializes all of it into one
+``.npz`` archive; ``load_matcher`` restores it into a freshly
+constructed matcher over the same bundle and dataset, reproducing the
+saved matcher's scores exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..clip.zoo import PretrainedBundle
+from ..datalake.graph import Graph
+from .crossem_plus import CrossEMPlus
+from .matcher import CrossEM
+
+__all__ = ["save_matcher", "load_matcher"]
+
+
+def save_matcher(matcher: CrossEM, path: Union[str, Path]) -> None:
+    """Serialize a fitted matcher's tuned state to ``path`` (.npz)."""
+    if matcher.graph is None:
+        raise RuntimeError("only fitted matchers can be saved")
+    config = matcher.config
+    meta = {
+        "kind": "plus" if isinstance(matcher, CrossEMPlus) else "base",
+        "prompt": config.prompt,
+        "vertex_ids": list(matcher.vertex_ids),
+    }
+    state = {f"clip.{k}": v for k, v in matcher.clip.state_dict().items()}
+    if matcher.soft_prompts is not None:
+        for key, value in matcher.soft_prompts.state_dict().items():
+            if key.startswith("clip."):
+                continue  # the clip reference is saved above
+            state[f"soft.{key}"] = value
+    state["meta"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+    np.savez_compressed(Path(path), **state)
+
+
+def load_matcher(path: Union[str, Path], bundle: PretrainedBundle,
+                 graph: Graph, images, matcher: CrossEM) -> CrossEM:
+    """Restore tuned state into ``matcher`` (a fresh, configured matcher
+    over the same bundle/graph/images).
+
+    ``matcher`` is fitted with ``epochs=0`` semantics first (prompt
+    structures are rebuilt deterministically), then its weights are
+    overwritten from the archive.  Returns the same matcher, ready for
+    :meth:`~repro.core.matcher.CrossEM.score`.
+    """
+    archive = np.load(Path(path))
+    meta = json.loads(bytes(archive["meta"].tobytes()).decode())
+    saved_epochs = matcher.config.epochs
+    matcher.config.epochs = 0
+    try:
+        matcher.fit(graph, images, meta["vertex_ids"])
+    finally:
+        matcher.config.epochs = saved_epochs
+    if meta["prompt"] != matcher.config.prompt:
+        raise ValueError(
+            f"archive was saved with prompt={meta['prompt']!r}, matcher is "
+            f"configured with {matcher.config.prompt!r}")
+    matcher.clip.load_state_dict(
+        {k[len("clip."):]: archive[k]
+         for k in archive.files if k.startswith("clip.")})
+    if matcher.soft_prompts is not None:
+        soft_state = matcher.soft_prompts.state_dict()
+        for key in list(soft_state):
+            archived = f"soft.{key}"
+            if archived in archive.files:
+                soft_state[key] = archive[archived]
+        matcher.soft_prompts.load_state_dict(soft_state)
+    return matcher

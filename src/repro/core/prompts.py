@@ -1,0 +1,213 @@
+"""Prompt generation (§III): baseline, hard-encoding and soft prompts.
+
+Three generators, matching the paper exactly:
+
+* :func:`baseline_prompt` — the naive template "a photo of [MASK]" with
+  the vertex label substituted (§II-B).
+* :class:`HardPromptGenerator` — ``f_pro^h`` (§III-B): BFS over the
+  d-hop subgraph produces one *neighboring sub-prompt* per neighbor
+  ("has wing color in grey"), concatenated with glue tokens into the
+  Example-2 template.  Subject to the encoder's token limit, so deep
+  neighborhoods get truncated — the drawback the paper calls out.
+* :class:`SoftPromptModule` — ``f_pro^s`` (§III-C): a *continuous*
+  per-vertex prompt vector initialized from Eq. 6 neighbor aggregation
+  of MiniLM label features, fused with the label embedding through the
+  Eq. 7 layer ``ReLU(W (h(l_v) ⊕ f_s))`` and injected as the first
+  input embedding of the feature-based text encoder.  The prompt table
+  and fusion weights are learnable — this is what prompt *tuning* tunes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..clip.model import MiniCLIP
+from ..datalake.aggregate import GNNAggregator, aggregate_soft_features
+from ..datalake.graph import Graph
+from ..nn.init import SeedLike, rng_from
+from ..text.minilm import MiniLM
+from ..text.tokenizer import WordTokenizer
+
+__all__ = ["baseline_prompt", "HardPromptGenerator", "SoftPromptModule"]
+
+
+def baseline_prompt(label: str, template: str = "a photo of a [MASK]") -> str:
+    """The naive prompt of §II-B: the template with the label filled in."""
+    if "[MASK]" not in template:
+        raise ValueError("template must contain the [MASK] placeholder")
+    return template.replace("[MASK]", label)
+
+
+class HardPromptGenerator:
+    """Discrete structural prompts ``f_pro^h(v)`` (Eq. 5).
+
+    Parameters
+    ----------
+    graph:
+        The unified data-lake graph.
+    d:
+        Neighborhood radius (hops).
+    glue / pair_sep:
+        The pre-defined token set T of Eq. 5: ``glue`` joins an edge
+        label to a value ("in"), ``pair_sep`` joins sub-prompts (", "
+        with a final "and").
+    """
+
+    def __init__(self, graph: Graph, d: int = 1, glue: str = "in",
+                 pair_sep: str = ", ",
+                 prefix: str = "a photo of a") -> None:
+        if d < 1:
+            raise ValueError("d must be at least 1")
+        self.graph = graph
+        self.d = d
+        self.glue = glue
+        self.pair_sep = pair_sep
+        self.prefix = prefix
+
+    def _sub_prompt(self, source: int, target: int, edge_label: str) -> str:
+        """One neighboring sub-prompt s_i, e.g. "has wing color in grey".
+
+        For entity-entity edges the edge label reads naturally without
+        the glue token ("ref related to velkan tern" → "related to ...").
+        """
+        target_label = self.graph.label(target)
+        edge_label = edge_label.strip()
+        if edge_label.startswith("ref "):
+            return f"{edge_label[4:]} {target_label}"
+        if edge_label:
+            return f"{edge_label} {self.glue} {target_label}"
+        return f"{self.glue} {target_label}"
+
+    def generate(self, vertex_id: int) -> str:
+        """Serialize the d-hop neighborhood of ``vertex_id``.
+
+        BFS order (Example 2): direct-neighbor sub-prompts first, then
+        deeper hops prefixed with their parent's label ("long-wings has
+        wing color in grey").
+        """
+        root_label = f"{self.prefix} {self.graph.label(vertex_id)}".strip()
+        sub_prompts: List[str] = []
+        visited = {vertex_id}
+        frontier = [(vertex_id, "")]  # (vertex, its label prefix for hop>1)
+        for hop in range(self.d):
+            next_frontier: List[tuple] = []
+            for node, prefix in frontier:
+                for edge in self.graph.out_edges(node):
+                    if edge.target in visited:
+                        continue
+                    visited.add(edge.target)
+                    phrase = self._sub_prompt(node, edge.target, edge.label)
+                    sub_prompts.append(f"{prefix}{phrase}".strip())
+                    next_frontier.append(
+                        (edge.target, f"{self.graph.label(edge.target)} "))
+                for edge in self.graph.in_edges(node):
+                    if edge.source in visited:
+                        continue
+                    visited.add(edge.source)
+                    phrase = self._sub_prompt(node, edge.source, edge.label)
+                    sub_prompts.append(f"{prefix}{phrase}".strip())
+                    next_frontier.append(
+                        (edge.source, f"{self.graph.label(edge.source)} "))
+            frontier = next_frontier
+        if not sub_prompts:
+            return root_label
+        if len(sub_prompts) == 1:
+            joined = sub_prompts[0]
+        else:
+            joined = self.pair_sep.join(sub_prompts[:-1]) + f" and {sub_prompts[-1]}"
+        return f"{root_label} {joined}"
+
+    def generate_batch(self, vertex_ids: Sequence[int]) -> List[str]:
+        return [self.generate(v) for v in vertex_ids]
+
+
+class SoftPromptModule(nn.Module):
+    """Continuous structural prompts ``f_pro^s`` with the Eq. 7 fusion.
+
+    One learnable prompt vector per entity vertex, initialized by Eq. 6:
+
+        f_pro^s(v) = alpha * h(v) + (1 - alpha) * mean_{v_j in N(v)} h(v_j)
+
+    over MiniLM label embeddings aggregated by a GNN/GraphSAGE pass.
+    ``forward`` fuses each vertex's prompt with its pooled label
+    embedding and returns the input-embedding sequence for
+    :meth:`repro.clip.model.TextEncoder.forward_embeddings`:
+    ``[fused soft token, label token embeddings...]``.
+    """
+
+    def __init__(self, graph: Graph, vertex_ids: Sequence[int], clip: MiniCLIP,
+                 tokenizer: WordTokenizer, minilm: MiniLM, alpha: float = 0.5,
+                 d: int = 1, aggregator=None, rng: SeedLike = None,
+                 template: str = "a photo of a [MASK]") -> None:
+        super().__init__()
+        rng = rng_from(rng)
+        self.vertex_ids = list(vertex_ids)
+        self._row_of = {v: i for i, v in enumerate(self.vertex_ids)}
+        self.clip = clip
+        self.tokenizer = tokenizer
+        self.alpha = alpha
+        width = clip.text.width
+        prompt_dim = minilm.dim
+
+        # Eq. 6 initialization over the d-hop-reachable label features.
+        features: Dict[int, np.ndarray] = {}
+        reachable = set(self.vertex_ids)
+        for vid in self.vertex_ids:
+            reachable.update(graph.d_hop_vertices(vid, d))
+        for vid in reachable:
+            features[vid] = minilm.embed_text(graph.label(vid))
+        aggregator = aggregator or GNNAggregator()
+        blended = aggregate_soft_features(graph, features, alpha, aggregator)
+        init = np.stack([blended[v] for v in self.vertex_ids]).astype(np.float32)
+        self.prompt_table = nn.Parameter(init)
+
+        # Eq. 7 fusion: ReLU(W (h(l_v) ⊕ f_s)) -> one soft input token.
+        # W starts as a pass-through on the label half (identity) with
+        # small weights on the prompt half, so the untuned module behaves
+        # like the baseline prompt and tuning *learns* how much structure
+        # to inject.
+        self.fusion = nn.Linear(width + prompt_dim, width, rng=rng)
+        init_weight = np.zeros((width + prompt_dim, width), dtype=np.float32)
+        init_weight[:width] = np.eye(width, dtype=np.float32)
+        init_weight[width:] = nn.xavier_uniform((prompt_dim, width), rng) * 0.1
+        self.fusion.weight.data = init_weight
+
+        # Pre-tokenized templated labels: the soft token is *prepended*
+        # to an in-distribution photo prompt so the untuned module stays
+        # close to the pre-training text distribution.
+        labels = [baseline_prompt(graph.label(v), template)
+                  for v in self.vertex_ids]
+        self._label_ids = tokenizer.encode_batch(labels)
+        self._label_mask = tokenizer.attention_mask(self._label_ids)
+
+    def prompt_matrix(self, vertex_ids: Sequence[int]) -> nn.Tensor:
+        """Rows of the (learnable) prompt table for ``vertex_ids`` —
+        the f_i^s matrix the orthogonal constraint (Eq. 9) regularizes."""
+        rows = np.asarray([self._row_of[v] for v in vertex_ids])
+        return self.prompt_table[rows]
+
+    def forward(self, vertex_ids: Sequence[int]) -> nn.Tensor:
+        """Encode ``vertex_ids`` through the feature-based text encoder;
+        returns L2-normalized text embeddings ``(B, embed_dim)``."""
+        rows = np.asarray([self._row_of[v] for v in vertex_ids])
+        label_ids = self._label_ids[rows]
+        label_mask = self._label_mask[rows]
+        label_embeddings = self.clip.text.token_embed(label_ids)
+        # Pooled label embedding h(l_v): mean over non-pad positions.
+        weights = (label_mask / label_mask.sum(axis=1, keepdims=True)).astype(
+            np.float32)
+        pooled = (label_embeddings * nn.Tensor(weights[:, :, None])).sum(axis=1)
+        prompts = self.prompt_table[rows]
+        fused = self.fusion(nn.concat([pooled, prompts], axis=1)).relu()
+        # Append the soft token at the end of the sequence: inserting it
+        # earlier would shift every later token's positional embedding
+        # and wreck the pre-trained encoder's expectations, while late
+        # positions saw variable-length captions during pre-training.
+        sequence = nn.concat([label_embeddings,
+                              fused.reshape(len(rows), 1, -1)], axis=1)
+        mask = np.concatenate([label_mask,
+                               np.ones((len(rows), 1), dtype=bool)], axis=1)
+        return self.clip.encode_text_embeddings(sequence, mask)

@@ -1,0 +1,15 @@
+"""Heterogeneous data-lake substrate: graphs, tables, JSON and mapping."""
+
+from .aggregate import (GNNAggregator, GraphSageAggregator,
+                        aggregate_soft_features)
+from .graph import Edge, Graph, Vertex
+from .json_doc import JsonDocument, JsonObject
+from .mapping import DataLake, json_to_graph, merge_graphs, table_to_graph
+from .table import ForeignKey, RelationalTable, TableSchema
+from .text_source import SentenceParser, Triple, text_to_graph
+
+__all__ = ["Graph", "Vertex", "Edge", "RelationalTable", "TableSchema",
+           "ForeignKey", "JsonDocument", "JsonObject", "DataLake",
+           "table_to_graph", "json_to_graph", "merge_graphs",
+           "GNNAggregator", "GraphSageAggregator", "aggregate_soft_features",
+           "SentenceParser", "Triple", "text_to_graph"]

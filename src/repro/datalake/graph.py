@@ -1,0 +1,184 @@
+"""Directed labeled graphs — the unified representation of the data lake.
+
+Implements the paper's graph definition (§II-A): ``G = (V, E, L)`` with
+labels on both vertices and edges, plus the traversal primitives the
+prompt generators need — BFS, *d*-hop induced subgraphs (Definition 3's
+neighborhood) and neighbor iteration.
+
+Vertices are integer ids; :class:`Vertex` carries the label and an
+optional ``kind`` tag (``"entity"`` vs ``"attribute"``) that the data
+mapping assigns so downstream code can distinguish entity vertices from
+attribute-value vertices without parsing labels.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+__all__ = ["Vertex", "Edge", "Graph"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Vertex:
+    """A labeled graph vertex."""
+
+    vertex_id: int
+    label: str
+    kind: str = "entity"
+
+
+@dataclasses.dataclass(frozen=True)
+class Edge:
+    """A labeled directed edge ``source -> target``."""
+
+    source: int
+    target: int
+    label: str = ""
+
+
+class Graph:
+    """Directed labeled multigraph with O(1) neighbor access."""
+
+    def __init__(self) -> None:
+        self._vertices: Dict[int, Vertex] = {}
+        self._out: Dict[int, List[Edge]] = {}
+        self._in: Dict[int, List[Edge]] = {}
+        self._edges: List[Edge] = []
+
+    # -- construction --------------------------------------------------------
+    def add_vertex(self, label: str, kind: str = "entity",
+                   vertex_id: Optional[int] = None) -> int:
+        """Add a vertex; returns its id.  Explicit ids must be fresh."""
+        if vertex_id is None:
+            vertex_id = len(self._vertices)
+            while vertex_id in self._vertices:
+                vertex_id += 1
+        elif vertex_id in self._vertices:
+            raise ValueError(f"vertex id {vertex_id} already exists")
+        self._vertices[vertex_id] = Vertex(vertex_id, label, kind)
+        self._out[vertex_id] = []
+        self._in[vertex_id] = []
+        return vertex_id
+
+    def add_edge(self, source: int, target: int, label: str = "") -> Edge:
+        """Add a directed labeled edge between existing vertices."""
+        if source not in self._vertices or target not in self._vertices:
+            raise KeyError("both endpoints must exist before adding an edge")
+        edge = Edge(source, target, label)
+        self._edges.append(edge)
+        self._out[source].append(edge)
+        self._in[target].append(edge)
+        return edge
+
+    # -- accessors ---------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self._vertices)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def vertices(self) -> Iterator[Vertex]:
+        return iter(self._vertices.values())
+
+    def vertex_ids(self) -> List[int]:
+        return list(self._vertices)
+
+    def edges(self) -> Iterator[Edge]:
+        return iter(self._edges)
+
+    def vertex(self, vertex_id: int) -> Vertex:
+        return self._vertices[vertex_id]
+
+    def label(self, vertex_id: int) -> str:
+        """L(v) — the label of a vertex."""
+        return self._vertices[vertex_id].label
+
+    def __contains__(self, vertex_id: int) -> bool:
+        return vertex_id in self._vertices
+
+    def out_edges(self, vertex_id: int) -> List[Edge]:
+        return list(self._out[vertex_id])
+
+    def in_edges(self, vertex_id: int) -> List[Edge]:
+        return list(self._in[vertex_id])
+
+    def neighbors(self, vertex_id: int) -> List[int]:
+        """Successors then predecessors, deduplicated, insertion order."""
+        seen: Set[int] = set()
+        result: List[int] = []
+        for edge in self._out[vertex_id]:
+            if edge.target not in seen:
+                seen.add(edge.target)
+                result.append(edge.target)
+        for edge in self._in[vertex_id]:
+            if edge.source not in seen:
+                seen.add(edge.source)
+                result.append(edge.source)
+        return result
+
+    def entity_ids(self) -> List[int]:
+        """Ids of vertices tagged as entities (the matchable side)."""
+        return [v.vertex_id for v in self._vertices.values() if v.kind == "entity"]
+
+    # -- traversal -------------------------------------------------------------
+    def bfs_order(self, start: int, max_hops: Optional[int] = None) -> List[Tuple[int, int]]:
+        """Breadth-first (vertex, hop) pairs from ``start`` (undirected
+        reachability), bounded at ``max_hops`` when given."""
+        if start not in self._vertices:
+            raise KeyError(f"unknown vertex {start}")
+        visited: Set[int] = {start}
+        order: List[Tuple[int, int]] = [(start, 0)]
+        queue: deque[Tuple[int, int]] = deque([(start, 0)])
+        while queue:
+            node, hop = queue.popleft()
+            if max_hops is not None and hop >= max_hops:
+                continue
+            for neighbor in self.neighbors(node):
+                if neighbor not in visited:
+                    visited.add(neighbor)
+                    order.append((neighbor, hop + 1))
+                    queue.append((neighbor, hop + 1))
+        return order
+
+    def d_hop_vertices(self, vertex_id: int, d: int) -> List[int]:
+        """Vertices within ``d`` hops of ``vertex_id`` (excluding itself)."""
+        return [v for v, hop in self.bfs_order(vertex_id, d) if hop > 0]
+
+    def d_hop_subgraph(self, vertex_id: int, d: int) -> "Graph":
+        """The induced *d*-hop subgraph d(v) = (V_d, E_d) of the paper:
+        vertices within ``d`` hops of ``v`` (including ``v``), edges with
+        both endpoints inside."""
+        keep = {v for v, _ in self.bfs_order(vertex_id, d)}
+        sub = Graph()
+        for vid in sorted(keep):
+            vertex = self._vertices[vid]
+            sub.add_vertex(vertex.label, vertex.kind, vertex_id=vid)
+        for edge in self._edges:
+            if edge.source in keep and edge.target in keep:
+                sub.add_edge(edge.source, edge.target, edge.label)
+        return sub
+
+    # -- interop ---------------------------------------------------------------
+    def to_networkx(self):
+        """Export as a :class:`networkx.MultiDiGraph` (labels as attrs)."""
+        import networkx as nx
+
+        g = nx.MultiDiGraph()
+        for vertex in self._vertices.values():
+            g.add_node(vertex.vertex_id, label=vertex.label, kind=vertex.kind)
+        for edge in self._edges:
+            g.add_edge(edge.source, edge.target, label=edge.label)
+        return g
+
+    def merge(self, other: "Graph") -> Dict[int, int]:
+        """Copy ``other`` into self; returns old-id → new-id mapping."""
+        mapping: Dict[int, int] = {}
+        for vertex in other.vertices():
+            mapping[vertex.vertex_id] = self.add_vertex(vertex.label, vertex.kind)
+        for edge in other.edges():
+            self.add_edge(mapping[edge.source], mapping[edge.target], edge.label)
+        return mapping

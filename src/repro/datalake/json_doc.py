@@ -1,0 +1,70 @@
+"""JSON documents — semi-structured sources in the data lake (§II-A).
+
+A :class:`JsonDocument` is a collection of JSON objects (key → value
+mappings, possibly nested, possibly holding references to other
+objects).  The data mapping treats object keys as entities and
+references as relationships, per the paper's preprocessing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["JsonObject", "JsonDocument"]
+
+
+@dataclasses.dataclass
+class JsonObject:
+    """One JSON object with an identifying key and scalar/nested fields.
+
+    ``references`` holds fields whose values are keys of *other* objects
+    in the same document (the JSON analogue of foreign keys).
+    """
+
+    key: str
+    fields: Dict[str, Any]
+    references: Dict[str, str] = dataclasses.field(default_factory=dict)
+
+    def scalar_items(self) -> Iterator[Tuple[str, str]]:
+        """Yield (path, value) for every scalar, flattening nesting with
+        dotted paths — ``{"a": {"b": 1}}`` yields ``("a.b", "1")``."""
+        yield from _flatten("", self.fields)
+
+
+def _flatten(prefix: str, value: Any) -> Iterator[Tuple[str, str]]:
+    if isinstance(value, dict):
+        for key, inner in value.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            yield from _flatten(path, inner)
+    elif isinstance(value, (list, tuple)):
+        for i, inner in enumerate(value):
+            yield from _flatten(f"{prefix}[{i}]", inner)
+    else:
+        yield prefix, str(value)
+
+
+class JsonDocument:
+    """A collection of :class:`JsonObject` keyed by object key."""
+
+    def __init__(self, objects: Optional[List[JsonObject]] = None) -> None:
+        self._objects: Dict[str, JsonObject] = {}
+        for obj in objects or []:
+            self.add(obj)
+
+    def add(self, obj: JsonObject) -> None:
+        if obj.key in self._objects:
+            raise ValueError(f"duplicate object key {obj.key!r}")
+        self._objects[obj.key] = obj
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._objects
+
+    def objects(self) -> List[JsonObject]:
+        return list(self._objects.values())
+
+    def get(self, key: str) -> JsonObject:
+        return self._objects[key]

@@ -1,0 +1,156 @@
+"""Data mapping: structured and semi-structured sources → unified graph.
+
+Implements the paper's preprocessing (§II-A): "tuples of tables and the
+keys of Jsons [become] entities, the foreign keys of tables and the
+references of Jsons [become] relationships".  Attribute values become
+attribute vertices connected by edges labeled with the column / field
+name, so Example 1's tuple t1 turns into exactly the star graph Fig. 3
+serializes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .graph import Graph
+from .json_doc import JsonDocument
+from .table import RelationalTable
+
+__all__ = ["table_to_graph", "json_to_graph", "merge_graphs", "DataLake"]
+
+
+def table_to_graph(table: RelationalTable, graph: Optional[Graph] = None,
+                   entity_column: Optional[str] = None) -> Tuple[Graph, Dict[int, int]]:
+    """Encode a relational table into ``graph`` (new graph when omitted).
+
+    Each tuple becomes an entity vertex labeled by ``entity_column``
+    (default: the key).  Every other non-empty value becomes an
+    attribute vertex linked by an edge labeled ``has <column>``;
+    foreign-key values instead link entity to entity with ``ref <column>``
+    once both tables are mapped (see :class:`DataLake`).
+
+    Returns the graph and a row-index → vertex-id mapping.
+    """
+    graph = graph if graph is not None else Graph()
+    schema = table.schema
+    fk_columns = {fk.column for fk in schema.foreign_keys}
+    label_column = entity_column or schema.key
+    attribute_cache: Dict[str, int] = {}
+    row_vertices: Dict[int, int] = {}
+    for index in range(len(table)):
+        label = (table.value(index, label_column)
+                 if label_column else table.key_of(index))
+        entity = graph.add_vertex(label, kind="entity")
+        row_vertices[index] = entity
+        for column in schema.columns:
+            if column == label_column or column in fk_columns:
+                continue
+            value = table.value(index, column)
+            if not value:
+                continue
+            cache_key = f"{column}={value}"
+            if cache_key not in attribute_cache:
+                attribute_cache[cache_key] = graph.add_vertex(value, kind="attribute")
+            graph.add_edge(entity, attribute_cache[cache_key], f"has {column}")
+    return graph, row_vertices
+
+
+def json_to_graph(document: JsonDocument,
+                  graph: Optional[Graph] = None) -> Tuple[Graph, Dict[str, int]]:
+    """Encode a JSON document into ``graph``.
+
+    Object keys become entity vertices; scalar fields become attribute
+    vertices with ``has <path>`` edges; references become entity-entity
+    edges labeled ``ref <field>``.
+    """
+    graph = graph if graph is not None else Graph()
+    key_vertices: Dict[str, int] = {}
+    for obj in document.objects():
+        key_vertices[obj.key] = graph.add_vertex(obj.key, kind="entity")
+    attribute_cache: Dict[str, int] = {}
+    for obj in document.objects():
+        entity = key_vertices[obj.key]
+        for path, value in obj.scalar_items():
+            cache_key = f"{path}={value}"
+            if cache_key not in attribute_cache:
+                attribute_cache[cache_key] = graph.add_vertex(value, kind="attribute")
+            graph.add_edge(entity, attribute_cache[cache_key], f"has {path}")
+        for field, target_key in obj.references.items():
+            if target_key not in key_vertices:
+                raise KeyError(f"reference {field!r} -> unknown object {target_key!r}")
+            graph.add_edge(entity, key_vertices[target_key], f"ref {field}")
+    return graph, key_vertices
+
+
+def merge_graphs(graphs: Sequence[Graph]) -> Graph:
+    """Union several graphs into a fresh one (ids reassigned)."""
+    merged = Graph()
+    for graph in graphs:
+        merged.merge(graph)
+    return merged
+
+
+class DataLake:
+    """A heterogeneous collection of sources with a unified graph view.
+
+    Register tables, JSON documents and native graphs, then call
+    :meth:`unified_graph` to run the data mapping.  Foreign keys between
+    registered tables become entity-entity ``ref`` edges.
+    """
+
+    def __init__(self) -> None:
+        self._tables: List[RelationalTable] = []
+        self._documents: List[JsonDocument] = []
+        self._graphs: List[Graph] = []
+        self._texts: List[Tuple[List[str], List[str]]] = []
+
+    def add_table(self, table: RelationalTable) -> None:
+        self._tables.append(table)
+
+    def add_json(self, document: JsonDocument) -> None:
+        self._documents.append(document)
+
+    def add_graph(self, graph: Graph) -> None:
+        self._graphs.append(graph)
+
+    def add_text(self, sentences: Sequence[str],
+                 gazetteer: Sequence[str]) -> None:
+        """Register an unstructured text source (parsed into entities
+        and syntactic relationships during mapping, §II-A)."""
+        self._texts.append((list(sentences), list(gazetteer)))
+
+    @property
+    def num_sources(self) -> int:
+        return (len(self._tables) + len(self._documents) + len(self._graphs)
+                + len(self._texts))
+
+    def unified_graph(self) -> Graph:
+        """Run the data mapping over every registered source."""
+        unified = Graph()
+        # Tables first, remembering key -> vertex for FK resolution.
+        key_index: Dict[Tuple[str, str], int] = {}
+        row_maps: List[Tuple[RelationalTable, Dict[int, int]]] = []
+        for table in self._tables:
+            _, rows = table_to_graph(table, unified)
+            row_maps.append((table, rows))
+            for index, vertex in rows.items():
+                key_index[(table.schema.name, table.key_of(index))] = vertex
+        # Resolve foreign keys into entity-entity edges.
+        for table, rows in row_maps:
+            for fk in table.schema.foreign_keys:
+                for index, vertex in rows.items():
+                    value = table.value(index, fk.column)
+                    if not value:
+                        continue
+                    target = key_index.get((fk.table, value))
+                    if target is not None:
+                        unified.add_edge(vertex, target, f"ref {fk.column}")
+        for document in self._documents:
+            json_to_graph(document, unified)
+        for graph in self._graphs:
+            unified.merge(graph)
+        for sentences, gazetteer in self._texts:
+            from .text_source import text_to_graph
+
+            text_to_graph(sentences, gazetteer, unified)
+        return unified

@@ -1,0 +1,83 @@
+"""Relational tables — structured sources in the data lake (§II-A).
+
+A :class:`RelationalTable` is a schema (attribute names, optional key
+and foreign keys) plus tuples.  The data mapping (:mod:`.mapping`)
+encodes tuples as entity vertices and attribute values / foreign keys as
+edges, exactly the preprocessing the paper describes for data lakes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["ForeignKey", "TableSchema", "RelationalTable"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ForeignKey:
+    """Column ``column`` references ``table``'s key column."""
+
+    column: str
+    table: str
+
+
+@dataclasses.dataclass(frozen=True)
+class TableSchema:
+    """Schema of a relational table."""
+
+    name: str
+    columns: Tuple[str, ...]
+    key: Optional[str] = None
+    foreign_keys: Tuple[ForeignKey, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(set(self.columns)) != len(self.columns):
+            raise ValueError("duplicate column names")
+        if self.key is not None and self.key not in self.columns:
+            raise ValueError(f"key {self.key!r} not among columns")
+        for fk in self.foreign_keys:
+            if fk.column not in self.columns:
+                raise ValueError(f"foreign key column {fk.column!r} not among columns")
+
+    def column_index(self, column: str) -> int:
+        return self.columns.index(column)
+
+
+class RelationalTable:
+    """A relational table with append-only tuples."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._rows: List[Tuple[str, ...]] = []
+
+    def insert(self, row: Sequence[str]) -> int:
+        """Append one tuple; returns its row index."""
+        if len(row) != len(self.schema.columns):
+            raise ValueError(
+                f"expected {len(self.schema.columns)} values, got {len(row)}")
+        self._rows.append(tuple(str(v) for v in row))
+        return len(self._rows) - 1
+
+    def insert_dict(self, values: Dict[str, str]) -> int:
+        """Append a tuple given as a column → value mapping (missing
+        columns become empty strings)."""
+        return self.insert([values.get(c, "") for c in self.schema.columns])
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def rows(self) -> List[Tuple[str, ...]]:
+        return list(self._rows)
+
+    def row(self, index: int) -> Tuple[str, ...]:
+        return self._rows[index]
+
+    def value(self, index: int, column: str) -> str:
+        return self._rows[index][self.schema.column_index(column)]
+
+    def key_of(self, index: int) -> str:
+        """The key value of a row (row index when the table is keyless)."""
+        if self.schema.key is None:
+            return f"{self.schema.name}#{index}"
+        return self.value(index, self.schema.key)

@@ -1,0 +1,130 @@
+"""Unstructured text → graph (§II-A's final data-mapping case).
+
+The paper: "For unstructured texts, some sentence parsing models based
+on language structures can be used to construct a graph for named
+entities and their syntactic relationships."  This module provides that
+parser for the corpus dialects the synthetic world emits (and, more
+generally, any text following simple copular/attributive patterns):
+
+* ``"<entity> has <attr> in <value>"``      → attribute edge
+* ``"<entity> has <attr> <value>"``         → attribute edge
+* ``"<entity> eats/lives in/is from <x>"``  → symbolic attribute edge
+* ``"<entity> is <value>"``                 → attribute edge
+* ``"a photo of a <entity> with <c> <p> [and ...]"`` → attribute edges
+
+Entities are resolved against a gazetteer (known entity names) so noisy
+sentences about unknown subjects are skipped rather than polluting the
+graph — the behaviour of an NER front end.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .graph import Graph
+
+__all__ = ["Triple", "SentenceParser", "text_to_graph"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Triple:
+    """One extracted (subject, relation, value) fact."""
+
+    subject: str
+    relation: str
+    value: str
+
+
+class SentenceParser:
+    """Pattern-based triple extraction with gazetteer entity resolution.
+
+    Parameters
+    ----------
+    gazetteer:
+        Known entity names; the longest matching name anchors a
+        sentence.  Sentences with no known subject yield no triples.
+    """
+
+    _PATTERNS: Sequence[Tuple[re.Pattern, str]] = (
+        (re.compile(r"has ([a-z ]+?) in ([a-z-]+)"), "has {0}"),
+        (re.compile(r"eats ([a-z-]+)"), "has food"),
+        (re.compile(r"lives in ([a-z-]+)"), "has habitat"),
+        (re.compile(r"is from ([a-z-]+)"), "has origin"),
+        (re.compile(r"is ([a-z-]+)$"), "has size"),
+    )
+    _WITH = re.compile(r"with ((?:[a-z-]+ [a-z-]+)(?: and [a-z-]+ [a-z-]+)*)")
+
+    def __init__(self, gazetteer: Iterable[str]) -> None:
+        self._names = sorted({name.lower().strip() for name in gazetteer},
+                             key=len, reverse=True)
+        if not self._names:
+            raise ValueError("gazetteer must contain at least one entity")
+
+    def _find_subject(self, sentence: str) -> Optional[str]:
+        for name in self._names:
+            if name in sentence:
+                return name
+        return None
+
+    def parse(self, sentence: str) -> List[Triple]:
+        """Extract all triples from one sentence (possibly none)."""
+        sentence = sentence.lower().strip()
+        subject = self._find_subject(sentence)
+        if subject is None:
+            return []
+        triples: List[Triple] = []
+        for pattern, relation_template in self._PATTERNS:
+            for match in pattern.finditer(sentence):
+                groups = match.groups()
+                if len(groups) == 2:
+                    relation = relation_template.format(groups[0].strip())
+                    value = groups[1]
+                else:
+                    relation = relation_template
+                    value = groups[0]
+                if value != subject:
+                    triples.append(Triple(subject, relation, value))
+        with_match = self._WITH.search(sentence)
+        if with_match:
+            for phrase in with_match.group(1).split(" and "):
+                words = phrase.split()
+                if len(words) == 2:
+                    color, part = words
+                    triples.append(Triple(subject, f"has {part} color", color))
+        return triples
+
+    def parse_corpus(self, sentences: Iterable[str]) -> List[Triple]:
+        """Extract and deduplicate triples from many sentences."""
+        seen: set[Triple] = set()
+        ordered: List[Triple] = []
+        for sentence in sentences:
+            for triple in self.parse(sentence):
+                if triple not in seen:
+                    seen.add(triple)
+                    ordered.append(triple)
+        return ordered
+
+
+def text_to_graph(sentences: Iterable[str], gazetteer: Iterable[str],
+                  graph: Optional[Graph] = None) -> Tuple[Graph, Dict[str, int]]:
+    """Run the §II-A text mapping: parse ``sentences`` and encode the
+    extracted entities/attributes into ``graph`` (new graph when
+    omitted).  Returns the graph and an entity-name → vertex-id map."""
+    graph = graph if graph is not None else Graph()
+    parser = SentenceParser(gazetteer)
+    triples = parser.parse_corpus(sentences)
+    entity_vertices: Dict[str, int] = {}
+    attribute_cache: Dict[Tuple[str, str], int] = {}
+    for triple in triples:
+        if triple.subject not in entity_vertices:
+            entity_vertices[triple.subject] = graph.add_vertex(
+                triple.subject, kind="entity")
+        key = (triple.relation, triple.value)
+        if key not in attribute_cache:
+            attribute_cache[key] = graph.add_vertex(triple.value,
+                                                    kind="attribute")
+        graph.add_edge(entity_vertices[triple.subject], attribute_cache[key],
+                       triple.relation)
+    return graph, entity_vertices

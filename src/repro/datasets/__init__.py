@@ -1,0 +1,36 @@
+"""Benchmark substrate: the latent attribute world and dataset builders.
+
+Everything here is re-exported lazily: the world definitions sit at the
+bottom of the dependency graph (vision and clip build on them), so this
+``__init__`` must not eagerly import the builders, which depend on
+vision/clip in turn.
+"""
+
+import importlib
+
+__all__ = ["ConceptUniverse", "Concept", "AttributeSchema", "caption_for",
+           "CrossModalDataset", "build_attribute_dataset",
+           "build_relational_dataset", "VertexSplit", "train_test_split",
+           "load_cub", "cub_bundle", "load_sun", "sun_bundle",
+           "load_fbimg", "fb_bundle", "FB_SIZES"]
+
+_HOME_OF = {
+    "ConceptUniverse": "world", "Concept": "world",
+    "AttributeSchema": "world", "caption_for": "world",
+    "CrossModalDataset": "generator", "build_attribute_dataset": "generator",
+    "build_relational_dataset": "generator",
+    "VertexSplit": "splits", "train_test_split": "splits",
+    "load_cub": "cub", "cub_bundle": "cub",
+    "load_sun": "sun", "sun_bundle": "sun",
+    "load_fbimg": "fbimg", "fb_bundle": "fbimg", "FB_SIZES": "fbimg",
+}
+
+
+def __getattr__(name):
+    """Resolve exports on first access to avoid import cycles."""
+    if name in _HOME_OF:
+        module = importlib.import_module(f".{_HOME_OF[name]}", __name__)
+        value = getattr(module, name)
+        globals()[name] = value  # cache for subsequent lookups
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

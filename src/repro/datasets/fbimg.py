@@ -1,0 +1,46 @@
+"""FB-IMG-mini — the FB15K-237-IMG stand-in family.
+
+The paper derives FB2K-IMG, FB6K-IMG and FB10K-IMG (54M, 284M and 755M
+candidate pairs) from FB15K-237 with ~10 images per entity, using them
+for the efficiency (Table III), scalability (Fig. 8) and case-study
+(Table V) experiments.  The miniatures keep the geometric growth in
+candidate pairs across three sizes drawn from one shared entity
+universe, with a homophilous relation graph standing in for Freebase
+structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..clip.zoo import PretrainedBundle, get_pretrained_bundle
+from .generator import CrossModalDataset, build_relational_dataset
+
+__all__ = ["FB_UNIVERSE_SIZE", "FB_SIZES", "load_fbimg", "fb_bundle"]
+
+FB_UNIVERSE_SIZE = 240
+#: benchmark size name -> (num concepts, images per concept)
+FB_SIZES: Dict[str, tuple] = {
+    "fb2k": (80, 5),
+    "fb6k": (160, 5),
+    "fb10k": (240, 5),
+}
+
+
+def fb_bundle(seed: int = 0) -> PretrainedBundle:
+    """The pre-trained bundle shared by all FB-IMG sizes."""
+    return get_pretrained_bundle(kind="entity", num_concepts=FB_UNIVERSE_SIZE,
+                                 seed=seed)
+
+
+def load_fbimg(size: str = "fb2k", seed: int = 0) -> CrossModalDataset:
+    """Build one FB-IMG-mini benchmark (``"fb2k"``, ``"fb6k"`` or
+    ``"fb10k"``)."""
+    if size not in FB_SIZES:
+        raise ValueError(f"unknown FB-IMG size {size!r}; pick from {list(FB_SIZES)}")
+    num_concepts, images_per_concept = FB_SIZES[size]
+    bundle = fb_bundle(seed)
+    return build_relational_dataset(
+        bundle.universe, name=f"{size}-img-mini",
+        concept_indices=range(num_concepts),
+        images_per_concept=images_per_concept, seed=seed)

@@ -1,0 +1,48 @@
+"""Train/test vertex splits.
+
+The paper evaluates with the standard zero-shot splits of [42] on CUB
+and SUN: a subset of *classes* (here: entity vertices) is held out for
+testing while training remains unsupervised over all candidate pairs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+from ..nn.init import SeedLike, rng_from
+from .generator import CrossModalDataset
+
+__all__ = ["VertexSplit", "train_test_split"]
+
+
+@dataclasses.dataclass(frozen=True)
+class VertexSplit:
+    """Disjoint train/test entity-vertex id lists."""
+
+    train: Tuple[int, ...]
+    test: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        overlap = set(self.train) & set(self.test)
+        if overlap:
+            raise ValueError(f"train/test overlap: {sorted(overlap)}")
+
+
+def train_test_split(dataset: CrossModalDataset, test_fraction: float = 0.5,
+                     seed: SeedLike = 0) -> VertexSplit:
+    """Randomly split the dataset's entity vertices.
+
+    ``test_fraction`` of vertices is held out; at least one vertex ends
+    up on each side whenever there are two or more.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    vertices = list(dataset.entity_vertices)
+    rng = rng_from(seed)
+    order = rng.permutation(len(vertices))
+    n_test = min(max(1, int(round(len(vertices) * test_fraction))),
+                 max(1, len(vertices) - 1))
+    test = tuple(sorted(vertices[i] for i in order[:n_test]))
+    train = tuple(sorted(vertices[i] for i in order[n_test:]))
+    return VertexSplit(train=train, test=test)

@@ -1,0 +1,26 @@
+"""Deep-learning substrate: numpy autodiff, layers, optimizers, memory.
+
+This package replaces the PyTorch dependency of the original CrossEM
+implementation with a self-contained CPU engine.  See ``DESIGN.md`` for
+the substitution rationale.
+"""
+
+from . import functional
+from .attention import (CrossAttention, MultiHeadSelfAttention, TransformerBlock,
+                        TransformerEncoder, sinusoidal_positions)
+from .init import (kaiming_normal, normal, ones, rng_from, xavier_uniform, zeros)
+from .layers import (MLP, Dropout, Embedding, LayerNorm, Linear, Module,
+                     Parameter, Sequential)
+from .memory import MemoryTracker
+from .optim import SGD, Adam, AdamW, clip_grad_norm
+from .tensor import Tensor, as_tensor, concat, is_grad_enabled, no_grad, stack
+
+__all__ = [
+    "functional", "Tensor", "as_tensor", "concat", "stack", "no_grad",
+    "is_grad_enabled", "Parameter", "Module", "Linear", "Embedding",
+    "LayerNorm", "Dropout", "Sequential", "MLP", "MultiHeadSelfAttention",
+    "CrossAttention", "TransformerBlock", "TransformerEncoder",
+    "sinusoidal_positions", "SGD", "Adam", "AdamW", "clip_grad_norm",
+    "MemoryTracker", "rng_from", "xavier_uniform", "kaiming_normal",
+    "normal", "zeros", "ones",
+]

@@ -1,0 +1,140 @@
+"""Transformer components: multi-head attention, blocks and encoders.
+
+These are the building blocks for the CLIP text tower (12-layer
+transformer in the paper, miniaturized here), the ViT-style image tower,
+and the fusion-encoder baselines (VisualBERT/ViLBERT-style).  Shapes
+follow the convention ``(batch, sequence, dim)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import functional as F
+from .init import SeedLike, rng_from
+from .layers import Dropout, LayerNorm, Linear, Module
+from .tensor import Tensor
+
+__all__ = ["MultiHeadSelfAttention", "CrossAttention", "TransformerBlock",
+           "TransformerEncoder", "sinusoidal_positions"]
+
+
+def sinusoidal_positions(length: int, dim: int) -> np.ndarray:
+    """Classic fixed sinusoidal positional encodings, shape (length, dim)."""
+    positions = np.arange(length)[:, None]
+    dims = np.arange(dim)[None, :]
+    angles = positions / np.power(10000.0, (2 * (dims // 2)) / dim)
+    encoding = np.zeros((length, dim), dtype=np.float32)
+    encoding[:, 0::2] = np.sin(angles[:, 0::2])
+    encoding[:, 1::2] = np.cos(angles[:, 1::2])
+    return encoding
+
+
+def _attend(q: Tensor, k: Tensor, v: Tensor, num_heads: int,
+            mask: Optional[np.ndarray]) -> Tensor:
+    """Scaled dot-product attention with head splitting.
+
+    ``q`` has shape (B, Lq, D); ``k``/``v`` have shape (B, Lk, D).
+    ``mask`` is a boolean array of shape (B, Lk) marking *valid* keys.
+    """
+    batch, len_q, dim = q.shape
+    len_k = k.shape[1]
+    head_dim = dim // num_heads
+
+    def split(x: Tensor, length: int) -> Tensor:
+        return x.reshape(batch, length, num_heads, head_dim).transpose(0, 2, 1, 3)
+
+    qh, kh, vh = split(q, len_q), split(k, len_k), split(v, len_k)
+    scores = (qh @ kh.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(head_dim))
+    if mask is not None:
+        bias = np.where(mask[:, None, None, :], 0.0, -1e9).astype(np.float32)
+        scores = scores + Tensor(bias)
+    weights = F.softmax(scores, axis=-1)
+    mixed = weights @ vh
+    return mixed.transpose(0, 2, 1, 3).reshape(batch, len_q, dim)
+
+
+class MultiHeadSelfAttention(Module):
+    """Standard multi-head self-attention with a key-padding mask."""
+
+    def __init__(self, dim: int, num_heads: int, rng: SeedLike = None) -> None:
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by num_heads {num_heads}")
+        rng = rng_from(rng)
+        self.num_heads = num_heads
+        self.query = Linear(dim, dim, rng=rng)
+        self.key = Linear(dim, dim, rng=rng)
+        self.value = Linear(dim, dim, rng=rng)
+        self.out = Linear(dim, dim, rng=rng)
+
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        mixed = _attend(self.query(x), self.key(x), self.value(x),
+                        self.num_heads, mask)
+        return self.out(mixed)
+
+
+class CrossAttention(Module):
+    """Attention from a query sequence onto a separate context sequence.
+
+    Used by the ViLBERT-style two-stream baseline (co-attention) and the
+    IMRAM-style recurrent matching baseline.
+    """
+
+    def __init__(self, dim: int, num_heads: int, rng: SeedLike = None) -> None:
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by num_heads {num_heads}")
+        rng = rng_from(rng)
+        self.num_heads = num_heads
+        self.query = Linear(dim, dim, rng=rng)
+        self.key = Linear(dim, dim, rng=rng)
+        self.value = Linear(dim, dim, rng=rng)
+        self.out = Linear(dim, dim, rng=rng)
+
+    def forward(self, x: Tensor, context: Tensor,
+                context_mask: Optional[np.ndarray] = None) -> Tensor:
+        mixed = _attend(self.query(x), self.key(context), self.value(context),
+                        self.num_heads, context_mask)
+        return self.out(mixed)
+
+
+class TransformerBlock(Module):
+    """Pre-norm transformer block: attention + GELU MLP, both residual."""
+
+    def __init__(self, dim: int, num_heads: int, mlp_ratio: float = 2.0,
+                 dropout: float = 0.0, rng: SeedLike = None) -> None:
+        super().__init__()
+        rng = rng_from(rng)
+        hidden = int(dim * mlp_ratio)
+        self.norm1 = LayerNorm(dim)
+        self.attn = MultiHeadSelfAttention(dim, num_heads, rng=rng)
+        self.norm2 = LayerNorm(dim)
+        self.fc1 = Linear(dim, hidden, rng=rng)
+        self.fc2 = Linear(hidden, dim, rng=rng)
+        self.drop = Dropout(dropout, rng=rng)
+
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        x = x + self.attn(self.norm1(x), mask)
+        x = x + self.drop(self.fc2(F.gelu(self.fc1(self.norm2(x)))))
+        return x
+
+
+class TransformerEncoder(Module):
+    """A stack of :class:`TransformerBlock` with a final layer norm."""
+
+    def __init__(self, dim: int, depth: int, num_heads: int,
+                 mlp_ratio: float = 2.0, dropout: float = 0.0,
+                 rng: SeedLike = None) -> None:
+        super().__init__()
+        rng = rng_from(rng)
+        self.blocks = [TransformerBlock(dim, num_heads, mlp_ratio, dropout, rng)
+                       for _ in range(depth)]
+        self.final_norm = LayerNorm(dim)
+
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        for block in self.blocks:
+            x = block(x, mask)
+        return self.final_norm(x)

@@ -1,0 +1,89 @@
+"""Differentiable functional building blocks used across the library.
+
+These compose :class:`~repro.nn.tensor.Tensor` primitives into the
+operations the paper's models need: numerically stable softmax and
+log-softmax, cross-entropy, cosine similarity (the ``sim`` function of
+Definition 1), L2 normalization, layer normalization, dropout and GELU.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .init import SeedLike, rng_from
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "softmax", "log_softmax", "cross_entropy", "l2_normalize",
+    "cosine_similarity_matrix", "layer_norm", "dropout", "gelu", "relu",
+]
+
+_EPS = 1e-8
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy between row logits and integer class targets."""
+    logp = log_softmax(logits, axis=-1)
+    rows = np.arange(len(targets))
+    picked = logp[rows, np.asarray(targets)]
+    return -picked.mean()
+
+
+def l2_normalize(x: Tensor, axis: int = -1) -> Tensor:
+    """Project rows of ``x`` onto the unit sphere (safe at zero)."""
+    x = as_tensor(x)
+    norm = ((x * x).sum(axis=axis, keepdims=True) + _EPS).sqrt()
+    return x / norm
+
+
+def cosine_similarity_matrix(a: Tensor, b: Tensor) -> Tensor:
+    """All-pairs cosine similarity: rows of ``a`` against rows of ``b``.
+
+    This is the similarity function ``sim`` of Definition 1 in the paper,
+    vectorized over candidate pairs.  Returns shape ``(len(a), len(b))``.
+    """
+    return l2_normalize(a) @ l2_normalize(b).transpose()
+
+
+def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalization over the last axis with affine parameters."""
+    mean = x.mean(axis=-1, keepdims=True)
+    centered = x - mean
+    var = (centered * centered).mean(axis=-1, keepdims=True)
+    normed = centered / (var + eps).sqrt()
+    return normed * weight + bias
+
+
+def dropout(x: Tensor, rate: float, rng: SeedLike = None, training: bool = True) -> Tensor:
+    """Inverted dropout; identity when not training or ``rate == 0``."""
+    if not training or rate <= 0.0:
+        return x
+    rng = rng_from(rng)
+    keep = 1.0 - rate
+    mask = (rng.random(x.shape) < keep).astype(np.float32) / keep
+    return x * Tensor(mask)
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Tanh approximation of the Gaussian error linear unit."""
+    inner = 0.7978845608028654 * (x + 0.044715 * (x * x * x))
+    return 0.5 * x * (1.0 + inner.tanh())
+
+
+def relu(x: Tensor) -> Tensor:
+    return as_tensor(x).relu()

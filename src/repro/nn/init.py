@@ -1,0 +1,58 @@
+"""Parameter initialization and seeded random-number helpers.
+
+All stochastic code in this repository takes either an explicit
+``numpy.random.Generator`` or an integer seed, so runs are reproducible
+end to end.  :func:`rng_from` is the single coercion point.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+__all__ = ["rng_from", "xavier_uniform", "kaiming_normal", "normal", "zeros", "ones"]
+
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def rng_from(seed: SeedLike) -> np.random.Generator:
+    """Coerce ``seed`` to a :class:`numpy.random.Generator`.
+
+    ``None`` yields a fresh nondeterministic generator, an ``int`` a
+    seeded one, and an existing generator is passed through unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def xavier_uniform(shape: tuple, rng: SeedLike = None, gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier uniform initialization for weight matrices."""
+    rng = rng_from(rng)
+    fan_in = shape[0] if len(shape) >= 1 else 1
+    fan_out = shape[1] if len(shape) >= 2 else shape[0]
+    limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float32)
+
+
+def kaiming_normal(shape: tuple, rng: SeedLike = None) -> np.ndarray:
+    """He initialization, appropriate before ReLU nonlinearities."""
+    rng = rng_from(rng)
+    fan_in = shape[0] if len(shape) >= 1 else 1
+    std = np.sqrt(2.0 / fan_in)
+    return (rng.standard_normal(shape) * std).astype(np.float32)
+
+
+def normal(shape: tuple, rng: SeedLike = None, std: float = 0.02) -> np.ndarray:
+    """Small-std normal initialization (transformer embedding default)."""
+    rng = rng_from(rng)
+    return (rng.standard_normal(shape) * std).astype(np.float32)
+
+
+def zeros(shape: tuple) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(shape: tuple) -> np.ndarray:
+    return np.ones(shape, dtype=np.float32)

@@ -1,0 +1,83 @@
+"""Accounting of tensor memory, standing in for GPU memory monitoring.
+
+The paper reports the maximum GPU memory occupied while training each
+method (measured with NVIDIA Nsight).  This substrate has no GPU, so we
+meter the same quantity at the level our engine controls: the total bytes
+of live ``Tensor`` buffers (parameters, activations and gradients).  The
+tracker observes every allocation made while a :class:`MemoryTracker`
+context is active and records the high-water mark, which preserves the
+paper's *relative* comparisons — a method that materializes more candidate
+pairs or larger activation graphs reports a higher peak.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+__all__ = ["MemoryTracker", "current_tracker"]
+
+_ACTIVE_TRACKERS: list["MemoryTracker"] = []
+
+
+class MemoryTracker:
+    """Record the peak number of live tensor bytes inside a ``with`` block.
+
+    Usage::
+
+        tracker = MemoryTracker()
+        with tracker:
+            model.train_epoch(...)
+        print(tracker.peak_bytes, tracker.peak_gb)
+
+    Trackers nest; every active tracker observes every allocation.  Buffers
+    are released from the ledger when the owning array is garbage
+    collected, so the peak reflects simultaneous residency rather than
+    cumulative traffic.
+    """
+
+    def __init__(self) -> None:
+        self.current_bytes = 0
+        self.peak_bytes = 0
+        self._finalizers: list[weakref.finalize] = []
+
+    # -- context manager ------------------------------------------------
+    def __enter__(self) -> "MemoryTracker":
+        _ACTIVE_TRACKERS.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        _ACTIVE_TRACKERS.remove(self)
+
+    # -- ledger ----------------------------------------------------------
+    def _on_alloc(self, owner: object, nbytes: int) -> None:
+        self.current_bytes += nbytes
+        if self.current_bytes > self.peak_bytes:
+            self.peak_bytes = self.current_bytes
+        self._finalizers.append(weakref.finalize(owner, self._on_free, nbytes))
+
+    def _on_free(self, nbytes: int) -> None:
+        self.current_bytes -= nbytes
+
+    # -- reporting --------------------------------------------------------
+    @property
+    def peak_mb(self) -> float:
+        """Peak live bytes expressed in mebibytes."""
+        return self.peak_bytes / (1024.0**2)
+
+    @property
+    def peak_gb(self) -> float:
+        """Peak live bytes expressed in gibibytes."""
+        return self.peak_bytes / (1024.0**3)
+
+
+def current_tracker() -> list["MemoryTracker"]:
+    """Return the stack of active trackers (innermost last)."""
+    return _ACTIVE_TRACKERS
+
+
+def observe_allocation(owner: object, nbytes: int) -> None:
+    """Report a fresh buffer of ``nbytes`` owned by ``owner`` to every
+    active tracker.  Called by the :class:`~repro.nn.tensor.Tensor`
+    constructor; cheap no-op when no tracker is active."""
+    for tracker in _ACTIVE_TRACKERS:
+        tracker._on_alloc(owner, nbytes)

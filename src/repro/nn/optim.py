@@ -1,0 +1,113 @@
+"""First-order optimizers: SGD, Adam and AdamW, plus gradient clipping.
+
+The paper trains with AdamW (§V-A); SGD and Adam are provided for the
+ablation benches and tests.  Optimizers operate in place on the
+parameters yielded by :meth:`repro.nn.layers.Module.parameters`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from .layers import Parameter
+
+__all__ = ["SGD", "Adam", "AdamW", "clip_grad_norm"]
+
+
+def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is at most
+    ``max_norm``; returns the pre-clip norm."""
+    params = [p for p in params if p.grad is not None]
+    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in params)))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for p in params:
+            p.grad = p.grad * scale
+    return total
+
+
+class _Optimizer:
+    def __init__(self, params: Iterable[Parameter], lr: float) -> None:
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(_Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 0.01,
+                 momentum: float = 0.0) -> None:
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            if self.momentum:
+                v *= self.momentum
+                v += p.grad
+                p.data = p.data - self.lr * v
+            else:
+                p.data = p.data - self.lr * p.grad
+
+
+class Adam(_Optimizer):
+    """Adam with bias correction (Kingma & Ba)."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 1e-3,
+                 betas: tuple = (0.9, 0.999), eps: float = 1e-8) -> None:
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self._step = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def _update(self, p: Parameter, m: np.ndarray, v: np.ndarray) -> np.ndarray:
+        m *= self.beta1
+        m += (1 - self.beta1) * p.grad
+        v *= self.beta2
+        v += (1 - self.beta2) * (p.grad**2)
+        m_hat = m / (1 - self.beta1**self._step)
+        v_hat = v / (1 - self.beta2**self._step)
+        return self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def step(self) -> None:
+        self._step += 1
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            p.data = p.data - self._update(p, m, v)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter).
+
+    This is the optimizer the paper uses for all experiments.
+    """
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 5e-4,
+                 betas: tuple = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.01) -> None:
+        super().__init__(params, lr=lr, betas=betas, eps=eps)
+        self.weight_decay = weight_decay
+
+    def step(self) -> None:
+        self._step += 1
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            p.data = p.data - self._update(p, m, v) - self.lr * self.weight_decay * p.data

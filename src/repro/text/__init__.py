@@ -1,0 +1,10 @@
+"""Language substrate: tokenizer, synthetic corpora and MiniLM."""
+
+from .corpus import build_caption_corpus, build_text_corpus
+from .minilm import MiniLM
+from .tokenizer import (CLIP_MAX_TOKENS, CLS, MASK, PAD, SEP, UNK, Vocabulary,
+                        WordTokenizer)
+
+__all__ = ["Vocabulary", "WordTokenizer", "MiniLM", "build_caption_corpus",
+           "build_text_corpus", "CLIP_MAX_TOKENS", "PAD", "CLS", "SEP",
+           "MASK", "UNK"]

@@ -1,0 +1,53 @@
+"""Synthetic pre-training corpora.
+
+Real CLIP / BERT are pre-trained on web-scale text; the reproduction
+pre-trains its miniature models on corpora sampled from the same latent
+attribute world the benchmarks use (see :mod:`repro.datasets.world`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..datasets.world import ConceptUniverse, caption_for
+from ..nn.init import SeedLike, rng_from
+
+__all__ = ["build_caption_corpus", "build_text_corpus"]
+
+
+def build_caption_corpus(universe: ConceptUniverse, captions_per_concept: int = 4,
+                         seed: SeedLike = 0) -> List[Tuple[int, str]]:
+    """Return ``(concept_index, caption)`` pairs for contrastive
+    image-text pre-training.  Each concept receives several noisy
+    captions so the model sees both name-anchored and attribute-anchored
+    descriptions."""
+    rng = rng_from(seed)
+    corpus: List[Tuple[int, str]] = []
+    for concept in universe:
+        for _ in range(captions_per_concept):
+            corpus.append((concept.index, caption_for(concept, universe.schema, rng)))
+    return corpus
+
+
+def build_text_corpus(universe: ConceptUniverse, sentences_per_concept: int = 6,
+                      seed: SeedLike = 0) -> List[str]:
+    """Plain sentences for MiniLM co-occurrence pre-training.
+
+    Emits caption-style sentences plus symbolic-fact sentences
+    ("<name> eats <food>", "<name> lives in <habitat>") so the language
+    model learns attribute-level semantics, which the soft prompt and
+    PCP property features rely on.
+    """
+    rng = rng_from(seed)
+    sentences: List[str] = []
+    for concept in universe:
+        for _ in range(sentences_per_concept):
+            sentences.append(caption_for(concept, universe.schema, rng))
+        sentences.append(f"{concept.name} eats {concept.symbolic['food']}")
+        sentences.append(f"{concept.name} lives in {concept.symbolic['habitat']}")
+        sentences.append(f"{concept.name} is {concept.symbolic['size']}")
+        sentences.append(f"{concept.name} is from {concept.symbolic['origin']}")
+        for part, color in concept.visual_items():
+            sentences.append(
+                f"{concept.name} {universe.schema.visual_phrase(part, color)}")
+    return sentences

@@ -1,0 +1,165 @@
+"""Word-level tokenizer with the special tokens CLIP/BERT-style encoders
+expect: ``[PAD]``, ``[CLS]``, ``[SEP]``, ``[MASK]`` and ``[UNK]``.
+
+The paper serializes hard prompts as ``{[CLS], f_pro^h(v), [SEP]}``
+(§III-B) and notes the pre-trained text encoder's 77-token input limit,
+which truncates long structural prompts.  :meth:`WordTokenizer.encode`
+reproduces both behaviours.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["Vocabulary", "WordTokenizer", "PAD", "CLS", "SEP", "MASK", "UNK",
+           "CLIP_MAX_TOKENS"]
+
+PAD = "[PAD]"
+CLS = "[CLS]"
+SEP = "[SEP]"
+MASK = "[MASK]"
+UNK = "[UNK]"
+SPECIAL_TOKENS = (PAD, CLS, SEP, MASK, UNK)
+
+#: The original CLIP text encoder accepts at most 77 tokens (§III-B);
+#: prompt learning in the paper later extends this to 512 (§V-A).
+CLIP_MAX_TOKENS = 77
+
+_WORD_RE = re.compile(r"[a-z0-9]+(?:-[a-z0-9]+)*")
+
+
+def _normalize(text: str) -> List[str]:
+    """Lowercase and split ``text`` into word tokens (hyphens kept)."""
+    return _WORD_RE.findall(text.lower())
+
+
+class Vocabulary:
+    """Bidirectional token ↔ id mapping with reserved special tokens."""
+
+    def __init__(self, words: Iterable[str] = ()) -> None:
+        self._token_to_id: dict[str, int] = {}
+        self._id_to_token: list[str] = []
+        for token in SPECIAL_TOKENS:
+            self._add(token)
+        for word in words:
+            self.add(word)
+
+    def _add(self, token: str) -> int:
+        if token not in self._token_to_id:
+            self._token_to_id[token] = len(self._id_to_token)
+            self._id_to_token.append(token)
+        return self._token_to_id[token]
+
+    def add(self, word: str) -> int:
+        """Add a (normalized) word; returns its id."""
+        pieces = _normalize(word)
+        if len(pieces) != 1:
+            raise ValueError(f"expected a single word, got {word!r}")
+        return self._add(pieces[0])
+
+    def add_text(self, text: str) -> None:
+        """Add every word of a free-text string."""
+        for piece in _normalize(text):
+            self._add(piece)
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def id_of(self, token: str) -> int:
+        """Return the id of ``token``, falling back to ``[UNK]``."""
+        return self._token_to_id.get(token, self._token_to_id[UNK])
+
+    def token_of(self, token_id: int) -> str:
+        return self._id_to_token[token_id]
+
+    @property
+    def pad_id(self) -> int:
+        return self._token_to_id[PAD]
+
+    @property
+    def cls_id(self) -> int:
+        return self._token_to_id[CLS]
+
+    @property
+    def sep_id(self) -> int:
+        return self._token_to_id[SEP]
+
+    @property
+    def mask_id(self) -> int:
+        return self._token_to_id[MASK]
+
+    @property
+    def unk_id(self) -> int:
+        return self._token_to_id[UNK]
+
+    def tokens(self) -> List[str]:
+        """All tokens in id order (copy)."""
+        return list(self._id_to_token)
+
+
+class WordTokenizer:
+    """Tokenize text into padded id sequences for the text encoders.
+
+    Parameters
+    ----------
+    vocab:
+        The vocabulary; unknown words map to ``[UNK]``.
+    max_len:
+        Hard cap on the encoded sequence length *including* ``[CLS]`` and
+        ``[SEP]``.  Defaults to :data:`CLIP_MAX_TOKENS`, the limit the
+        paper identifies as a drawback of hard prompts.
+    """
+
+    def __init__(self, vocab: Vocabulary, max_len: int = CLIP_MAX_TOKENS) -> None:
+        if max_len < 3:
+            raise ValueError("max_len must allow at least [CLS] x [SEP]")
+        self.vocab = vocab
+        self.max_len = max_len
+
+    def tokenize(self, text: str) -> List[str]:
+        """Split ``text`` into normalized word tokens (no specials)."""
+        return _normalize(text)
+
+    def encode(self, text: str, pad: bool = True) -> np.ndarray:
+        """Encode ``text`` as ``[CLS] tokens... [SEP]`` ids, truncated to
+        ``max_len`` and (optionally) right-padded with ``[PAD]``."""
+        words = self.tokenize(text)[: self.max_len - 2]
+        ids = [self.vocab.cls_id]
+        ids.extend(self.vocab.id_of(w) for w in words)
+        ids.append(self.vocab.sep_id)
+        if pad and len(ids) < self.max_len:
+            ids.extend([self.vocab.pad_id] * (self.max_len - len(ids)))
+        return np.asarray(ids, dtype=np.int64)
+
+    def encode_batch(self, texts: Sequence[str],
+                     length: Optional[int] = None) -> np.ndarray:
+        """Encode several texts into one ``(batch, L)`` id matrix.
+
+        ``length`` defaults to the longest encoded text in the batch
+        (still capped at ``max_len``), which keeps activations small.
+        """
+        encoded = [self.encode(t, pad=False) for t in texts]
+        if length is None:
+            length = max((len(e) for e in encoded), default=2)
+        length = min(max(length, 2), self.max_len)
+        out = np.full((len(encoded), length), self.vocab.pad_id, dtype=np.int64)
+        for row, ids in enumerate(encoded):
+            ids = ids[:length]
+            out[row, : len(ids)] = ids
+        return out
+
+    def decode(self, ids: Iterable[int]) -> str:
+        """Inverse of :meth:`encode`, dropping special tokens."""
+        specials = {self.vocab.pad_id, self.vocab.cls_id, self.vocab.sep_id}
+        words = [self.vocab.token_of(int(i)) for i in ids if int(i) not in specials]
+        return " ".join(words)
+
+    def attention_mask(self, ids: np.ndarray) -> np.ndarray:
+        """Boolean mask of non-padding positions for ``ids``."""
+        return ids != self.vocab.pad_id

@@ -1,0 +1,35 @@
+"""Patch extraction — images as sets of local properties.
+
+PCP (Alg. 2, line 1) crops every image into patches and extracts a
+feature per patch; the patch grid here matches the renderer's geometry
+so each patch corresponds to one potential part slot.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .image import ImageSpec, SyntheticImage
+
+__all__ = ["extract_patches", "patch_grid"]
+
+
+def patch_grid(pixels: np.ndarray, spec: ImageSpec = ImageSpec()) -> np.ndarray:
+    """Split ``pixels`` (H, W, C) into ``(num_patches, patch, patch, C)``
+    in row-major patch order (patch *i* is part slot *i*)."""
+    side, patch = spec.side, spec.patch
+    if pixels.shape != (side, side, spec.channels):
+        raise ValueError(f"expected image of shape ({side},{side},{spec.channels}), "
+                         f"got {pixels.shape}")
+    blocks = pixels.reshape(spec.grid, patch, spec.grid, patch, spec.channels)
+    return blocks.transpose(0, 2, 1, 3, 4).reshape(
+        spec.num_patches, patch, patch, spec.channels)
+
+
+def extract_patches(images: Sequence[SyntheticImage],
+                    spec: ImageSpec = ImageSpec()) -> np.ndarray:
+    """Patch pixel blocks for a whole repository:
+    ``(num_images, num_patches, patch, patch, C)``."""
+    return np.stack([patch_grid(img.pixels, spec) for img in images])

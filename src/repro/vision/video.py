@@ -1,0 +1,71 @@
+"""Video substrate — multimedia sources divided into frame images.
+
+§II-A: "Multimedia data such as videos, can be divided into a set of
+images based on frames."  A :class:`SyntheticVideo` is a short clip of
+one concept with smooth per-frame jitter (panning exposure, flicker);
+:func:`frames_to_images` samples frames into the standard image
+repository format so videos flow through the exact same matching path
+as still images.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence
+
+import numpy as np
+
+from ..datasets.world import Concept
+from ..nn.init import SeedLike, rng_from
+from .image import SyntheticImage, render_concept
+
+__all__ = ["SyntheticVideo", "record_video", "frames_to_images"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SyntheticVideo:
+    """A clip: (num_frames, side, side, 3) pixels plus provenance."""
+
+    frames: np.ndarray
+    concept_index: int
+    video_id: int
+
+    @property
+    def num_frames(self) -> int:
+        return int(self.frames.shape[0])
+
+
+def record_video(concept: Concept, num_frames: int = 8,
+                 rng: SeedLike = None, flicker: float = 0.05,
+                 video_id: int = 0) -> SyntheticVideo:
+    """Record a clip of ``concept``: one base render plus smooth
+    brightness flicker and fresh sensor noise per frame."""
+    if num_frames < 1:
+        raise ValueError("a video needs at least one frame")
+    rng = rng_from(rng)
+    base = render_concept(concept, rng, noise=0.0)
+    frames = np.empty((num_frames,) + base.shape, dtype=np.float32)
+    brightness = 0.0
+    for index in range(num_frames):
+        brightness = 0.7 * brightness + float(rng.normal(0.0, flicker))
+        frame = base + brightness
+        frame = frame + rng.normal(0.0, 0.04, size=base.shape).astype(np.float32)
+        frames[index] = np.clip(frame, 0.0, 1.0)
+    return SyntheticVideo(frames, concept.index, video_id)
+
+
+def frames_to_images(videos: Sequence[SyntheticVideo],
+                     stride: int = 2,
+                     start_image_id: int = 0) -> List[SyntheticImage]:
+    """Sample every ``stride``-th frame of each video into the standard
+    image repository format, preserving provenance."""
+    if stride < 1:
+        raise ValueError("stride must be positive")
+    images: List[SyntheticImage] = []
+    image_id = start_image_id
+    for video in videos:
+        for index in range(0, video.num_frames, stride):
+            images.append(SyntheticImage(video.frames[index],
+                                         video.concept_index, image_id))
+            image_id += 1
+    return images

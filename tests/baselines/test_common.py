@@ -1,0 +1,47 @@
+"""Baseline protocol and shared helper tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.common import BaselineMatcher, caption_pairs_for_training
+
+
+class TestBaselineProtocol:
+    def test_score_is_abstract(self, tiny_bundle, tiny_dataset):
+        matcher = BaselineMatcher(tiny_bundle).fit(tiny_dataset)
+        with pytest.raises(NotImplementedError):
+            matcher.score([0])
+
+    def test_require_fitted(self, tiny_bundle):
+        matcher = BaselineMatcher(tiny_bundle)
+        with pytest.raises(RuntimeError):
+            matcher._require_fitted()
+
+    def test_image_pixels_stack(self, tiny_bundle, tiny_dataset):
+        matcher = BaselineMatcher(tiny_bundle).fit(tiny_dataset)
+        pixels = matcher._image_pixels()
+        assert pixels.shape == (len(tiny_dataset.images), 24, 24, 3)
+
+    def test_clip_image_embeddings_normalized(self, tiny_bundle,
+                                              tiny_dataset):
+        matcher = BaselineMatcher(tiny_bundle).fit(tiny_dataset)
+        embeds = matcher._encode_images_clip()
+        np.testing.assert_allclose(np.linalg.norm(embeds, axis=1),
+                                   np.ones(len(tiny_dataset.images)),
+                                   atol=1e-4)
+
+
+class TestCaptionPairs:
+    def test_counts_and_types(self, tiny_bundle):
+        pairs = caption_pairs_for_training(tiny_bundle, seed=0,
+                                           captions_per_concept=2)
+        assert len(pairs) == 2 * len(tiny_bundle.universe)
+        caption, pixels = pairs[0]
+        assert isinstance(caption, str)
+        assert pixels.shape == (24, 24, 3)
+
+    def test_deterministic(self, tiny_bundle):
+        a = caption_pairs_for_training(tiny_bundle, seed=4)
+        b = caption_pairs_for_training(tiny_bundle, seed=4)
+        assert [c for c, _ in a] == [c for c, _ in b]
+        np.testing.assert_array_equal(a[0][1], b[0][1])

@@ -1,0 +1,35 @@
+"""Dual-encoder baseline tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dual import CLIPZeroShot
+
+
+class TestCLIPZeroShot:
+    @pytest.fixture(scope="class")
+    def fitted(self, tiny_bundle, tiny_dataset):
+        return CLIPZeroShot(tiny_bundle).fit(tiny_dataset)
+
+    def test_score_shape(self, fitted, tiny_dataset):
+        scores = fitted.score(tiny_dataset.entity_vertices)
+        assert scores.shape == (len(tiny_dataset.entity_vertices),
+                                len(tiny_dataset.images))
+
+    def test_scores_are_cosines(self, fitted, tiny_dataset):
+        scores = fitted.score(tiny_dataset.entity_vertices[:2])
+        assert np.abs(scores).max() <= 1.0 + 1e-4
+
+    def test_score_before_fit_raises(self, tiny_bundle):
+        with pytest.raises(RuntimeError):
+            CLIPZeroShot(tiny_bundle).score([0])
+
+    def test_evaluate_returns_metrics(self, fitted, tiny_dataset):
+        result = fitted.evaluate(tiny_dataset)
+        assert 0.0 <= result.hits1 <= 100.0
+        assert 0.0 < result.mrr <= 1.0
+
+    def test_beats_chance(self, fitted, tiny_dataset):
+        result = fitted.evaluate(tiny_dataset)
+        chance_mrr = (1.0 / np.arange(1, 21)).mean()  # random ranking MRR
+        assert result.mrr > chance_mrr

@@ -1,0 +1,40 @@
+"""Fusion-encoder baseline tests (miniature VisualBERT/ViLBERT/IMRAM/TransAE)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.fusion import (IMRAMMatcher, TransAEMatcher,
+                                    ViLBERTMatcher, VisualBERTMatcher)
+
+FUSION_CLASSES = [VisualBERTMatcher, ViLBERTMatcher, IMRAMMatcher,
+                  TransAEMatcher]
+
+
+@pytest.fixture(scope="module", params=FUSION_CLASSES,
+                ids=[c.name for c in FUSION_CLASSES])
+def fitted(request, tiny_bundle, tiny_dataset):
+    matcher = request.param(tiny_bundle, seed=0)
+    matcher.epochs = 1  # keep the suite fast; pre-training still runs
+    return matcher.fit(tiny_dataset)
+
+
+class TestFusionBaselines:
+    def test_score_shape(self, fitted, tiny_dataset):
+        vertices = tiny_dataset.entity_vertices[:4]
+        scores = fitted.score(vertices)
+        assert scores.shape == (4, len(tiny_dataset.images))
+        assert np.isfinite(scores).all()
+
+    def test_evaluate_in_range(self, fitted, tiny_dataset):
+        result = fitted.evaluate(tiny_dataset,
+                                 tiny_dataset.entity_vertices[:5])
+        assert 0.0 <= result.hits1 <= 100.0
+        assert 0.0 < result.mrr <= 1.0
+
+    def test_fit_is_idempotent_on_training(self, fitted, tiny_dataset):
+        """A second fit must not re-pretrain (the checkpoint is reused)."""
+        assert fitted._trained
+        before = fitted.score(tiny_dataset.entity_vertices[:2])
+        fitted.fit(tiny_dataset)
+        after = fitted.score(tiny_dataset.entity_vertices[:2])
+        np.testing.assert_allclose(before, after, atol=1e-6)

@@ -1,0 +1,56 @@
+"""KG-completion baseline tests (case study, Table V)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.kg import DistMultKG, MKGformerLite, RSMEKG, RotatEKG
+from repro.datasets.splits import train_test_split
+
+KG_CLASSES = [DistMultKG, RotatEKG, RSMEKG]
+
+
+@pytest.fixture(scope="module")
+def split(tiny_relational_dataset):
+    return train_test_split(tiny_relational_dataset, 0.5, seed=0)
+
+
+@pytest.fixture(scope="module", params=KG_CLASSES,
+                ids=[c.name for c in KG_CLASSES])
+def fitted(request, tiny_bundle, tiny_relational_dataset, split):
+    matcher = request.param(tiny_bundle, seed=0)
+    matcher.epochs = 8
+    return matcher.fit(tiny_relational_dataset, split)
+
+
+class TestKGEmbeddings:
+    def test_score_shape(self, fitted, tiny_relational_dataset, split):
+        scores = fitted.score(list(split.test))
+        assert scores.shape == (len(split.test),
+                                len(tiny_relational_dataset.images))
+        assert np.isfinite(scores).all()
+
+    def test_train_vertices_learn_links(self, fitted,
+                                        tiny_relational_dataset, split):
+        result = fitted.evaluate(tiny_relational_dataset, list(split.train))
+        n = len(tiny_relational_dataset.images)
+        chance_mrr = (1.0 / np.arange(1, n + 1)).mean()
+        assert result.mrr > chance_mrr
+
+
+class TestMKGformerLite:
+    def test_fit_and_score(self, tiny_bundle, tiny_relational_dataset, split):
+        matcher = MKGformerLite(tiny_bundle, seed=0)
+        matcher.epochs = 4
+        matcher.fit(tiny_relational_dataset, split)
+        scores = matcher.score(list(split.test))
+        assert scores.shape == (len(split.test),
+                                len(tiny_relational_dataset.images))
+        assert np.isfinite(scores).all()
+
+    def test_handles_unseen_vertices(self, tiny_bundle,
+                                     tiny_relational_dataset, split):
+        matcher = MKGformerLite(tiny_bundle, seed=0)
+        matcher.epochs = 2
+        matcher.fit(tiny_relational_dataset, split)
+        result = matcher.evaluate(tiny_relational_dataset, list(split.test))
+        assert 0.0 <= result.hits1 <= 100.0

@@ -1,0 +1,53 @@
+"""Property aligner tests (the ResNet→BERT-space bridge for PCP)."""
+
+import numpy as np
+import pytest
+
+from repro.clip.alignment import PropertyAligner
+from repro.datasets.world import ConceptUniverse
+from repro.text.corpus import build_text_corpus
+from repro.text.minilm import MiniLM
+from repro.text.tokenizer import Vocabulary
+from repro.vision.encoder import PatchFeatureExtractor
+from repro.vision.image import render_concept
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    universe = ConceptUniverse(10, kind="bird", seed=13)
+    vocab = Vocabulary(universe.vocabulary_words())
+    minilm = MiniLM(vocab, dim=24).pretrain(
+        build_text_corpus(universe, seed=13), seed=13)
+    extractor = PatchFeatureExtractor(seed=13)
+    aligner = PropertyAligner(extractor, minilm).fit(universe, seed=13)
+    return universe, minilm, aligner
+
+
+class TestPropertyAligner:
+    def test_requires_fit(self):
+        universe = ConceptUniverse(3, seed=1)
+        vocab = Vocabulary(universe.vocabulary_words())
+        minilm = MiniLM(vocab, dim=8).pretrain(
+            build_text_corpus(universe, seed=1), seed=1)
+        aligner = PropertyAligner(PatchFeatureExtractor(seed=1), minilm)
+        with pytest.raises(RuntimeError):
+            aligner.project_patches(np.zeros((1, 32), dtype=np.float32))
+
+    def test_projected_shape(self, fitted):
+        universe, minilm, aligner = fitted
+        image = render_concept(universe[0], rng=0)
+        out = aligner.patch_text_space(image)
+        assert out.shape == (9, minilm.dim)
+
+    def test_own_patch_closest_to_own_phrase(self, fitted):
+        universe, minilm, aligner = fitted
+        schema = universe.schema
+        concept = universe[0]
+        image = render_concept(concept, rng=5, occlusion_prob=0.0)
+        patches = aligner.patch_text_space(image)
+        part, color = concept.visual_items()[0]
+        phrase = minilm.embed_text(
+            f"{schema.color_names[color]} {schema.part_names[part]}")
+        sims = patches @ phrase
+        sims /= (np.linalg.norm(patches, axis=1) * np.linalg.norm(phrase) + 1e-9)
+        assert sims.argmax() == part

@@ -1,0 +1,92 @@
+"""MiniCLIP model tests."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.clip.model import MiniCLIP, TextEncoder
+
+
+@pytest.fixture(scope="module")
+def clip():
+    return MiniCLIP(vocab_size=50, embed_dim=32, text_width=24, text_depth=1,
+                    vision_width=24, vision_depth=1, max_len=20, rng=0)
+
+
+class TestTextEncoder:
+    def test_shapes_and_normalization(self, clip, rng):
+        ids = rng.integers(0, 50, size=(3, 8))
+        out = clip.encode_text(ids).numpy()
+        assert out.shape == (3, 32)
+        np.testing.assert_allclose(np.linalg.norm(out, axis=1),
+                                   np.ones(3), atol=1e-4)
+
+    def test_single_sequence_promoted(self, clip, rng):
+        ids = rng.integers(0, 50, size=8)
+        assert clip.encode_text(ids).shape == (1, 32)
+
+    def test_too_long_raises(self, clip, rng):
+        ids = rng.integers(0, 50, size=(1, 25))
+        with pytest.raises(ValueError):
+            clip.encode_text(ids)
+
+    def test_forward_embeddings_matches_ids(self, clip, rng):
+        ids = rng.integers(0, 50, size=(2, 6))
+        with nn.no_grad():
+            direct = clip.encode_text(ids).numpy()
+            embeddings = clip.text.token_embed(ids)
+            via = clip.encode_text_embeddings(embeddings).numpy()
+        np.testing.assert_allclose(direct, via, atol=1e-6)
+
+
+class TestImageEncoder:
+    def test_normalized(self, clip, rng):
+        pixels = rng.random((2, 24, 24, 3)).astype(np.float32)
+        out = clip.encode_image(pixels).numpy()
+        np.testing.assert_allclose(np.linalg.norm(out, axis=1),
+                                   np.ones(2), atol=1e-4)
+
+
+class TestScoring:
+    def test_logit_scale_applied(self, clip, rng):
+        ids = rng.integers(0, 50, size=(2, 6))
+        pixels = rng.random((2, 24, 24, 3)).astype(np.float32)
+        with nn.no_grad():
+            t = clip.encode_text(ids)
+            i = clip.encode_image(pixels)
+            logits = clip.similarity_logits(t, i).numpy()
+        scale = float(np.exp(clip.logit_scale.data[0]))
+        cosines = t.numpy() @ i.numpy().T
+        np.testing.assert_allclose(logits, cosines * scale, atol=1e-4)
+
+
+class TestCloneAndFreeze:
+    def test_clone_independent(self, clip, rng):
+        copy = clip.clone()
+        ids = rng.integers(0, 50, size=(1, 5))
+        with nn.no_grad():
+            before = clip.encode_text(ids).numpy().copy()
+        copy.text.token_embed.weight.data += 1.0
+        with nn.no_grad():
+            after = clip.encode_text(ids).numpy()
+        np.testing.assert_array_equal(before, after)
+
+    def test_clone_same_outputs(self, clip, rng):
+        copy = clip.clone()
+        ids = rng.integers(0, 50, size=(2, 5))
+        with nn.no_grad():
+            np.testing.assert_allclose(clip.encode_text(ids).numpy(),
+                                       copy.encode_text(ids).numpy(),
+                                       atol=1e-6)
+
+    def test_freeze_image_tower(self):
+        model = MiniCLIP(vocab_size=10, embed_dim=16, text_width=16,
+                         text_depth=1, vision_width=16, vision_depth=1,
+                         max_len=8, rng=0)
+        total = len(list(model.parameters()))
+        model.freeze_image_tower()
+        remaining = list(model.parameters())
+        assert len(remaining) < total
+        assert not model.logit_scale.requires_grad
+        assert all(p is not q for p in model.vision.parameters()
+                   for q in remaining)

@@ -1,0 +1,60 @@
+"""Contrastive pre-training tests (tiny but real runs)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.clip.model import MiniCLIP
+from repro.clip.pretrain import PretrainConfig, clip_contrastive_loss, pretrain_clip
+from repro.datasets.world import ConceptUniverse
+from repro.text.tokenizer import Vocabulary, WordTokenizer
+
+
+@pytest.fixture(scope="module")
+def setup():
+    universe = ConceptUniverse(8, kind="bird", seed=11)
+    vocab = Vocabulary(universe.vocabulary_words())
+    tokenizer = WordTokenizer(vocab, max_len=77)
+    clip = MiniCLIP(len(vocab), embed_dim=32, text_width=24, text_depth=1,
+                    vision_width=24, vision_depth=1, rng=11)
+    return universe, vocab, tokenizer, clip
+
+
+class TestContrastiveLoss:
+    def test_positive_diagonal_lowers_loss(self, setup):
+        _, _, _, clip = setup
+        aligned = nn.Tensor(np.eye(4, 32, dtype=np.float32))
+        loss_aligned = clip_contrastive_loss(clip, aligned, aligned).item()
+        rng = np.random.default_rng(0)
+        random_t = nn.functional.l2_normalize(
+            nn.Tensor(rng.standard_normal((4, 32)).astype(np.float32)))
+        random_i = nn.functional.l2_normalize(
+            nn.Tensor(rng.standard_normal((4, 32)).astype(np.float32)))
+        loss_random = clip_contrastive_loss(clip, random_t, random_i).item()
+        assert loss_aligned < loss_random
+
+
+class TestPretrain:
+    def test_loss_decreases(self, setup):
+        universe, _, tokenizer, clip = setup
+        config = PretrainConfig(epochs=5, batch_size=16,
+                                captions_per_concept=3, seed=11)
+        losses = pretrain_clip(clip.clone(), universe, tokenizer, config)
+        assert len(losses) == 5
+        assert losses[-1] < losses[0]
+
+    def test_deterministic(self, setup):
+        universe, _, tokenizer, clip = setup
+        config = PretrainConfig(epochs=2, batch_size=16,
+                                captions_per_concept=2, seed=4)
+        a = pretrain_clip(clip.clone(), universe, tokenizer, config)
+        b = pretrain_clip(clip.clone(), universe, tokenizer, config)
+        np.testing.assert_allclose(a, b, atol=1e-6)
+
+    def test_logit_scale_stays_bounded(self, setup):
+        universe, _, tokenizer, clip = setup
+        model = clip.clone()
+        config = PretrainConfig(epochs=3, batch_size=16,
+                                captions_per_concept=2, seed=4)
+        pretrain_clip(model, universe, tokenizer, config)
+        assert 0.0 <= float(model.logit_scale.data[0]) <= np.log(100.0) + 1e-6

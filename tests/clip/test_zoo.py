@@ -1,0 +1,56 @@
+"""Pre-trained bundle zoo tests (memory + disk caching)."""
+
+import numpy as np
+import pytest
+
+from repro.clip.pretrain import PretrainConfig
+from repro.clip import zoo
+
+
+@pytest.fixture()
+def small_config():
+    return PretrainConfig(epochs=1, batch_size=8, captions_per_concept=1,
+                          seed=21)
+
+
+class TestZoo:
+    def test_memory_cache_returns_same_object(self, small_config, tmp_path,
+                                              monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        zoo.clear_memory_cache()
+        a = zoo.get_pretrained_bundle(kind="bird", num_concepts=6, seed=21,
+                                      config=small_config)
+        b = zoo.get_pretrained_bundle(kind="bird", num_concepts=6, seed=21,
+                                      config=small_config)
+        assert a is b
+        zoo.clear_memory_cache()
+
+    def test_disk_roundtrip_preserves_weights(self, small_config, tmp_path,
+                                              monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        zoo.clear_memory_cache()
+        first = zoo.get_pretrained_bundle(kind="bird", num_concepts=6,
+                                          seed=21, config=small_config)
+        state = first.clip.state_dict()
+        zoo.clear_memory_cache()
+        second = zoo.get_pretrained_bundle(kind="bird", num_concepts=6,
+                                           seed=21, config=small_config)
+        assert second is not first
+        for key, value in second.clip.state_dict().items():
+            np.testing.assert_allclose(value, state[key], atol=1e-6)
+        np.testing.assert_allclose(second.minilm.embeddings,
+                                   first.minilm.embeddings, atol=1e-6)
+        zoo.clear_memory_cache()
+
+    def test_distinct_configs_distinct_bundles(self, small_config, tmp_path,
+                                               monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        zoo.clear_memory_cache()
+        a = zoo.get_pretrained_bundle(kind="bird", num_concepts=6, seed=21,
+                                      config=small_config)
+        other = PretrainConfig(epochs=2, batch_size=8, captions_per_concept=1,
+                               seed=21)
+        b = zoo.get_pretrained_bundle(kind="bird", num_concepts=6, seed=21,
+                                      config=other)
+        assert a is not b
+        zoo.clear_memory_cache()

@@ -1,0 +1,58 @@
+"""Failure-injection tests for the model zoo's disk cache."""
+
+import numpy as np
+import pytest
+
+from repro.clip import zoo
+from repro.clip.pretrain import PretrainConfig
+
+
+@pytest.fixture()
+def config():
+    return PretrainConfig(epochs=1, batch_size=8, captions_per_concept=1,
+                          seed=33)
+
+
+class TestDiskCacheFailures:
+    def test_corrupted_archive_triggers_rebuild(self, config, tmp_path,
+                                                monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        zoo.clear_memory_cache()
+        first = zoo.get_pretrained_bundle(kind="bird", num_concepts=5,
+                                          seed=33, config=config)
+        # corrupt the only cache file on disk
+        [cache_file] = list(tmp_path.glob("bundle-*.npz"))
+        cache_file.write_bytes(b"not a numpy archive")
+        zoo.clear_memory_cache()
+        rebuilt = zoo.get_pretrained_bundle(kind="bird", num_concepts=5,
+                                            seed=33, config=config)
+        for key, value in rebuilt.clip.state_dict().items():
+            np.testing.assert_allclose(value, first.clip.state_dict()[key],
+                                       atol=1e-6)
+        zoo.clear_memory_cache()
+
+    def test_missing_keys_trigger_rebuild(self, config, tmp_path,
+                                          monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        zoo.clear_memory_cache()
+        zoo.get_pretrained_bundle(kind="bird", num_concepts=5, seed=33,
+                                  config=config)
+        [cache_file] = list(tmp_path.glob("bundle-*.npz"))
+        # replace with an archive that lacks the clip weights
+        np.savez_compressed(cache_file,
+                            **{"minilm.embeddings": np.zeros((3, 3)),
+                               "aligner.weights": np.zeros((2, 2)),
+                               "losses": np.zeros(1)})
+        zoo.clear_memory_cache()
+        bundle = zoo.get_pretrained_bundle(kind="bird", num_concepts=5,
+                                           seed=33, config=config)
+        assert bundle.pretrain_losses  # rebuilt, not loaded garbage
+        zoo.clear_memory_cache()
+
+    def test_cache_disabled_skips_disk(self, config, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        zoo.clear_memory_cache()
+        zoo.get_pretrained_bundle(kind="bird", num_concepts=5, seed=33,
+                                  config=config, use_disk_cache=False)
+        assert not list(tmp_path.glob("bundle-*.npz"))
+        zoo.clear_memory_cache()

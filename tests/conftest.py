@@ -1,0 +1,47 @@
+"""Shared fixtures: a tiny pre-trained bundle and benchmark datasets.
+
+The bundle uses a deliberately small universe and short pre-training so
+the whole suite runs in seconds; it is cached on disk by the zoo, so
+repeated test runs skip pre-training entirely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clip.pretrain import PretrainConfig
+from repro.clip.zoo import get_pretrained_bundle
+from repro.datasets.generator import (build_attribute_dataset,
+                                      build_relational_dataset)
+
+TINY_CONFIG = PretrainConfig(epochs=20, batch_size=16, captions_per_concept=6,
+                             seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_bundle():
+    """A small but genuinely pre-trained model bundle (16 bird concepts)."""
+    return get_pretrained_bundle(kind="bird", num_concepts=16, seed=7,
+                                 config=TINY_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset(tiny_bundle):
+    """Attribute-style benchmark over 10 of the bundle's concepts."""
+    return build_attribute_dataset(tiny_bundle.universe, name="tiny-cub",
+                                   concept_indices=range(10),
+                                   images_per_concept=2, seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_relational_dataset(tiny_bundle):
+    """Relational (FB-style) benchmark over the same universe."""
+    return build_relational_dataset(tiny_bundle.universe, name="tiny-fb",
+                                    concept_indices=range(12),
+                                    images_per_concept=2, seed=7)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)

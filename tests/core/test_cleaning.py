@@ -1,0 +1,91 @@
+"""Data-cleaning extension tests (future-work module)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cleaning import (affinity_outliers, clean_repository,
+                                 provenance_conflicts)
+from repro.core.matcher import CrossEM, CrossEMConfig
+from repro.vision.image import SyntheticImage
+
+
+@pytest.fixture(scope="module")
+def fitted_with_noise(tiny_bundle, tiny_dataset):
+    """A matcher fitted on the tiny dataset plus injected corrupted
+    (near-black) images that match nothing."""
+    rng = np.random.default_rng(0)
+    images = list(tiny_dataset.images)
+    noise_positions = []
+    for k in range(3):
+        pixels = (rng.random((24, 24, 3)) * 0.05).astype(np.float32)
+        images.append(SyntheticImage(pixels, concept_index=-1,
+                                     image_id=1000 + k))
+        noise_positions.append(len(images) - 1)
+    matcher = CrossEM(tiny_bundle, CrossEMConfig(prompt="hard", epochs=0))
+    matcher.fit(tiny_dataset.graph, images, tiny_dataset.entity_vertices)
+    return matcher, noise_positions
+
+
+class TestAffinityOutliers:
+    def test_injected_noise_flagged(self, fitted_with_noise):
+        matcher, noise_positions = fitted_with_noise
+        flags = affinity_outliers(matcher, z_threshold=1.5)
+        flagged = {f.image_position for f in flags}
+        assert set(noise_positions) & flagged
+
+    def test_flags_sorted_worst_first(self, fitted_with_noise):
+        matcher, _ = fitted_with_noise
+        flags = affinity_outliers(matcher, z_threshold=1.0)
+        scores = [f.score for f in flags]
+        assert scores == sorted(scores)
+
+    def test_threshold_must_be_positive(self, fitted_with_noise):
+        matcher, _ = fitted_with_noise
+        with pytest.raises(ValueError):
+            affinity_outliers(matcher, z_threshold=0)
+
+
+class TestProvenanceConflicts:
+    def test_swapped_claim_detected(self, tiny_bundle, tiny_dataset):
+        matcher = CrossEM(tiny_bundle, CrossEMConfig(prompt="hard", epochs=0))
+        matcher.fit(tiny_dataset.graph, tiny_dataset.images,
+                    tiny_dataset.entity_vertices)
+        scores = matcher.score()
+        # find an image the matcher gets right with some margin, then
+        # claim it belongs to a different vertex
+        best_rows = scores.argmax(axis=0)
+        for position in range(len(tiny_dataset.images)):
+            true_vertex = matcher.vertex_ids[int(best_rows[position])]
+            wrong = next(v for v in matcher.vertex_ids if v != true_vertex)
+            flags = provenance_conflicts(matcher, {position: wrong},
+                                         margin=0.0)
+            if flags:
+                assert flags[0].best_vertex == true_vertex
+                return
+        pytest.fail("no conflict detected for any image")
+
+    def test_correct_claim_not_flagged(self, tiny_bundle, tiny_dataset):
+        matcher = CrossEM(tiny_bundle, CrossEMConfig(prompt="hard", epochs=0))
+        matcher.fit(tiny_dataset.graph, tiny_dataset.images,
+                    tiny_dataset.entity_vertices)
+        scores = matcher.score()
+        position = 0
+        best_vertex = matcher.vertex_ids[int(scores[:, position].argmax())]
+        flags = provenance_conflicts(matcher, {position: best_vertex})
+        assert flags == []
+
+    def test_unknown_vertex_raises(self, tiny_bundle, tiny_dataset):
+        matcher = CrossEM(tiny_bundle, CrossEMConfig(prompt="hard", epochs=0))
+        matcher.fit(tiny_dataset.graph, tiny_dataset.images,
+                    tiny_dataset.entity_vertices)
+        with pytest.raises(KeyError):
+            provenance_conflicts(matcher, {0: 999_999})
+
+
+class TestCleanRepository:
+    def test_combines_and_deduplicates(self, fitted_with_noise):
+        matcher, _ = fitted_with_noise
+        claims = {0: matcher.vertex_ids[0]}
+        flags = clean_repository(matcher, claims, z_threshold=1.0)
+        positions = [f.image_position for f in flags]
+        assert len(positions) == len(set(positions))

@@ -1,0 +1,105 @@
+"""CrossEM matcher tests (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.matcher import CrossEM, CrossEMConfig
+
+
+class TestConfig:
+    def test_unknown_prompt_rejected(self):
+        with pytest.raises(ValueError):
+            CrossEMConfig(prompt="fancy")
+
+    def test_unknown_aggregator_rejected(self):
+        with pytest.raises(ValueError):
+            CrossEMConfig(aggregator="mean")
+
+
+class TestFit:
+    def test_requires_minimum_data(self, tiny_bundle, tiny_dataset):
+        matcher = CrossEM(tiny_bundle, CrossEMConfig(epochs=0))
+        with pytest.raises(ValueError):
+            matcher.fit(tiny_dataset.graph, tiny_dataset.images[:1],
+                        tiny_dataset.entity_vertices[:1])
+
+    def test_inference_before_fit_raises(self, tiny_bundle):
+        matcher = CrossEM(tiny_bundle, CrossEMConfig(epochs=0))
+        with pytest.raises(RuntimeError):
+            matcher.score()
+
+    def test_hard_prompt_does_not_train(self, tiny_bundle, tiny_dataset):
+        """Hard prompts are discrete: no parameters, no epochs — the
+        paper's '-' training-time entries."""
+        matcher = CrossEM(tiny_bundle, CrossEMConfig(prompt="hard", epochs=5))
+        matcher.fit(tiny_dataset.graph, tiny_dataset.images,
+                    tiny_dataset.entity_vertices)
+        assert matcher.epoch_losses == []
+        assert matcher.efficiency.seconds_per_epoch == 0.0
+
+    def test_soft_prompt_trains(self, tiny_bundle, tiny_dataset):
+        matcher = CrossEM(tiny_bundle, CrossEMConfig(prompt="soft", epochs=2,
+                                                     seed=0))
+        matcher.fit(tiny_dataset.graph, tiny_dataset.images,
+                    tiny_dataset.entity_vertices)
+        assert len(matcher.epoch_losses) == 2
+        assert matcher.efficiency.seconds_per_epoch > 0
+        assert matcher.efficiency.peak_memory_bytes > 0
+
+    def test_uses_entity_ids_by_default(self, tiny_bundle, tiny_dataset):
+        matcher = CrossEM(tiny_bundle, CrossEMConfig(prompt="baseline",
+                                                     epochs=0))
+        matcher.fit(tiny_dataset.graph, tiny_dataset.images)
+        assert set(matcher.vertex_ids) == set(
+            tiny_dataset.graph.entity_ids())
+
+    def test_does_not_mutate_bundle_clip(self, tiny_bundle, tiny_dataset):
+        before = {k: v.copy()
+                  for k, v in tiny_bundle.clip.state_dict().items()}
+        matcher = CrossEM(tiny_bundle, CrossEMConfig(prompt="soft", epochs=1,
+                                                     seed=0))
+        matcher.fit(tiny_dataset.graph, tiny_dataset.images,
+                    tiny_dataset.entity_vertices)
+        after = tiny_bundle.clip.state_dict()
+        for key in before:
+            np.testing.assert_array_equal(before[key], after[key])
+
+
+class TestInference:
+    @pytest.fixture(scope="class")
+    def fitted(self, tiny_bundle, tiny_dataset):
+        matcher = CrossEM(tiny_bundle, CrossEMConfig(prompt="hard", epochs=0))
+        return matcher.fit(tiny_dataset.graph, tiny_dataset.images,
+                           tiny_dataset.entity_vertices)
+
+    def test_score_shape(self, fitted, tiny_dataset):
+        scores = fitted.score()
+        assert scores.shape == (len(tiny_dataset.entity_vertices),
+                                len(tiny_dataset.images))
+
+    def test_score_subset(self, fitted, tiny_dataset):
+        scores = fitted.score(tiny_dataset.entity_vertices[:3])
+        assert scores.shape[0] == 3
+
+    def test_evaluate_beats_random(self, fitted, tiny_dataset):
+        """The pre-trained model must rank far above chance."""
+        result = fitted.evaluate(tiny_dataset)
+        images_per_concept = 2
+        chance_h1 = 100.0 * images_per_concept / len(tiny_dataset.images)
+        assert result.hits1 > 2 * chance_h1
+
+    def test_match_pairs_top_k(self, fitted, tiny_dataset):
+        pairs = fitted.match_pairs(top_k=2)
+        assert len(pairs) == 2 * len(tiny_dataset.entity_vertices)
+        vertex_ids = {v for v, _ in pairs}
+        assert vertex_ids == set(tiny_dataset.entity_vertices)
+
+    def test_reproducible_scores(self, tiny_bundle, tiny_dataset):
+        results = []
+        for _ in range(2):
+            matcher = CrossEM(tiny_bundle,
+                              CrossEMConfig(prompt="soft", epochs=1, seed=9))
+            matcher.fit(tiny_dataset.graph, tiny_dataset.images,
+                        tiny_dataset.entity_vertices)
+            results.append(matcher.score())
+        np.testing.assert_allclose(results[0], results[1], atol=1e-5)

@@ -1,0 +1,100 @@
+"""Matcher invariants: properties any correct implementation must hold."""
+
+import numpy as np
+import pytest
+
+from repro.core.crossem_plus import CrossEMPlus, CrossEMPlusConfig
+from repro.core.matcher import CrossEM, CrossEMConfig
+from repro.datalake.graph import Graph
+
+
+class TestScoreInvariants:
+    @pytest.fixture(scope="class")
+    def fitted(self, tiny_bundle, tiny_dataset):
+        matcher = CrossEM(tiny_bundle, CrossEMConfig(prompt="hard", epochs=0))
+        return matcher.fit(tiny_dataset.graph, tiny_dataset.images,
+                           tiny_dataset.entity_vertices)
+
+    def test_row_order_follows_vertex_order(self, fitted, tiny_dataset):
+        vertices = list(tiny_dataset.entity_vertices[:4])
+        forward = fitted.score(vertices)
+        backward = fitted.score(vertices[::-1])
+        np.testing.assert_allclose(forward, backward[::-1], atol=1e-6)
+
+    def test_subset_rows_match_full(self, fitted, tiny_dataset):
+        full = fitted.score()
+        subset = fitted.score(tiny_dataset.entity_vertices[2:5])
+        np.testing.assert_allclose(subset, full[2:5], atol=1e-6)
+
+    def test_evaluate_consistent_with_score(self, fitted, tiny_dataset):
+        from repro.core.metrics import evaluate_ranking
+
+        vertices = tiny_dataset.entity_vertices[:6]
+        direct = fitted.evaluate(tiny_dataset, vertices)
+        manual = evaluate_ranking(
+            fitted.score(vertices),
+            [tiny_dataset.images_of_vertex(v) for v in vertices])
+        assert direct == manual
+
+
+class TestPseudoLabelInvariants:
+    def test_labels_point_at_existing_images(self, tiny_bundle,
+                                             tiny_dataset):
+        matcher = CrossEM(tiny_bundle, CrossEMConfig(prompt="soft", epochs=1,
+                                                     lr=1e-3, seed=0))
+        matcher.fit(tiny_dataset.graph, tiny_dataset.images,
+                    tiny_dataset.entity_vertices)
+        for vertex, image in matcher._pseudo_labels.items():
+            assert vertex in matcher.vertex_ids
+            assert 0 <= image < len(tiny_dataset.images)
+
+    def test_plus_labels_respect_partitions(self, tiny_bundle, tiny_dataset):
+        """CrossEM+ only mines labels among partition-local candidates."""
+        matcher = CrossEMPlus(tiny_bundle, CrossEMPlusConfig(epochs=1,
+                                                             lr=1e-3, seed=0))
+        matcher.fit(tiny_dataset.graph, tiny_dataset.images,
+                    tiny_dataset.entity_vertices)
+        candidates = {}
+        for partition in matcher.plan.partitions:
+            for vertex in partition.vertex_ids:
+                candidates.setdefault(vertex, set()).update(
+                    partition.image_indices)
+        for vertex, image in matcher._pseudo_labels.items():
+            assert image in candidates[vertex], (vertex, image)
+
+
+class TestAggregatorChoice:
+    def test_sage_and_gnn_give_different_soft_prompts(self, tiny_bundle,
+                                                      tiny_dataset):
+        prompts = {}
+        for aggregator in ("gnn", "sage"):
+            matcher = CrossEM(tiny_bundle,
+                              CrossEMConfig(prompt="soft", epochs=0,
+                                            aggregator=aggregator, seed=0))
+            matcher.fit(tiny_dataset.graph, tiny_dataset.images,
+                        tiny_dataset.entity_vertices)
+            prompts[aggregator] = matcher.soft_prompts.prompt_table.data.copy()
+        assert not np.allclose(prompts["gnn"], prompts["sage"])
+
+
+class TestDegenerateGraphs:
+    def test_isolated_entities_still_match(self, tiny_bundle, tiny_dataset):
+        """Vertices with no neighbors fall back to label-only prompting."""
+        graph = Graph()
+        vertices = [graph.add_vertex(tiny_dataset.graph.label(v))
+                    for v in tiny_dataset.entity_vertices[:4]]
+        matcher = CrossEM(tiny_bundle, CrossEMConfig(prompt="hard", epochs=0))
+        matcher.fit(graph, tiny_dataset.images, vertices)
+        scores = matcher.score()
+        assert scores.shape == (4, len(tiny_dataset.images))
+        assert np.isfinite(scores).all()
+
+    def test_soft_prompt_on_isolated_vertices(self, tiny_bundle,
+                                              tiny_dataset):
+        graph = Graph()
+        vertices = [graph.add_vertex(tiny_dataset.graph.label(v))
+                    for v in tiny_dataset.entity_vertices[:4]]
+        matcher = CrossEM(tiny_bundle, CrossEMConfig(prompt="soft", epochs=1,
+                                                     lr=1e-3, seed=0))
+        matcher.fit(graph, tiny_dataset.images, vertices)
+        assert np.isfinite(matcher.score()).all()

@@ -1,0 +1,79 @@
+"""Matching-set metrics and threshold matching tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.matcher import CrossEM, CrossEMConfig
+from repro.core.metrics import MatchingSetResult, matching_set_metrics
+
+
+class TestMatchingSetMetrics:
+    def test_perfect(self):
+        gold = {(1, 10), (2, 20)}
+        result = matching_set_metrics(gold, gold)
+        assert result.precision == 1.0
+        assert result.recall == 1.0
+        assert result.f1 == 1.0
+
+    def test_hand_computed(self):
+        predicted = {(1, 10), (2, 99)}
+        gold = {(1, 10), (2, 20), (3, 30)}
+        result = matching_set_metrics(predicted, gold)
+        assert result.precision == pytest.approx(0.5)
+        assert result.recall == pytest.approx(1 / 3)
+        assert result.f1 == pytest.approx(2 * 0.5 * (1 / 3) / (0.5 + 1 / 3))
+
+    def test_empty_prediction_convention(self):
+        result = matching_set_metrics(set(), {(1, 1)})
+        assert result.precision == 1.0
+        assert result.recall == 0.0
+        assert result.f1 == 0.0
+
+    def test_empty_gold_rejected(self):
+        with pytest.raises(ValueError):
+            matching_set_metrics({(1, 1)}, set())
+
+    def test_str(self):
+        assert "F1=" in str(MatchingSetResult(0.5, 0.5))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.sets(st.tuples(st.integers(0, 5), st.integers(0, 5)),
+                   min_size=1, max_size=10),
+           st.sets(st.tuples(st.integers(0, 5), st.integers(0, 5)),
+                   min_size=1, max_size=10))
+    def test_property_bounds_and_symmetry(self, predicted, gold):
+        result = matching_set_metrics(predicted, gold)
+        assert 0.0 <= result.precision <= 1.0
+        assert 0.0 <= result.recall <= 1.0
+        assert 0.0 <= result.f1 <= 1.0
+        # swapping roles swaps precision and recall
+        swapped = matching_set_metrics(gold, predicted)
+        assert result.precision == pytest.approx(swapped.recall)
+        assert result.recall == pytest.approx(swapped.precision)
+
+
+class TestThresholdMatching:
+    @pytest.fixture(scope="class")
+    def fitted(self, tiny_bundle, tiny_dataset):
+        matcher = CrossEM(tiny_bundle, CrossEMConfig(prompt="hard", epochs=0))
+        return matcher.fit(tiny_dataset.graph, tiny_dataset.images,
+                           tiny_dataset.entity_vertices)
+
+    def test_low_threshold_recall_one(self, fitted, tiny_dataset):
+        pairs = fitted.match_pairs(threshold=-1.0)
+        result = matching_set_metrics(pairs, tiny_dataset.true_pairs())
+        assert result.recall == 1.0
+
+    def test_threshold_trades_precision_for_recall(self, fitted,
+                                                   tiny_dataset):
+        gold = tiny_dataset.true_pairs()
+        loose = matching_set_metrics(fitted.match_pairs(threshold=0.3), gold)
+        tight = matching_set_metrics(fitted.match_pairs(threshold=0.7), gold)
+        assert tight.precision >= loose.precision
+        assert tight.recall <= loose.recall
+
+    def test_top_k_still_default(self, fitted, tiny_dataset):
+        pairs = fitted.match_pairs(top_k=1)
+        assert len(pairs) == len(tiny_dataset.entity_vertices)

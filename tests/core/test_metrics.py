@@ -1,0 +1,77 @@
+"""Metric tests: Hits@k, MRR, efficiency report."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import (EfficiencyReport, RankingResult,
+                                evaluate_ranking, hits_at_k,
+                                mean_reciprocal_rank)
+
+
+@pytest.fixture()
+def scores():
+    # row 0: gold col 0 ranked 1st; row 1: gold col 2 ranked 2nd
+    return np.asarray([[0.9, 0.1, 0.0],
+                       [0.1, 0.9, 0.5]], dtype=np.float32)
+
+
+class TestHitsAtK:
+    def test_hand_computed(self, scores):
+        gold = [[0], [2]]
+        assert hits_at_k(scores, gold, 1) == pytest.approx(50.0)
+        assert hits_at_k(scores, gold, 2) == pytest.approx(100.0)
+
+    def test_multiple_gold_uses_best(self, scores):
+        gold = [[0, 2], [0, 1]]
+        assert hits_at_k(scores, gold, 1) == pytest.approx(100.0)
+
+    def test_empty_gold_raises(self, scores):
+        with pytest.raises(ValueError):
+            hits_at_k(scores, [[0], []], 1)
+
+    def test_misaligned_raises(self, scores):
+        with pytest.raises(ValueError):
+            hits_at_k(scores, [[0]], 1)
+
+
+class TestMRR:
+    def test_hand_computed(self, scores):
+        gold = [[0], [2]]
+        assert mean_reciprocal_rank(scores, gold) == pytest.approx(
+            (1.0 + 0.5) / 2)
+
+    def test_bounds(self, scores):
+        value = mean_reciprocal_rank(scores, [[2], [0]])
+        assert 0.0 < value <= 1.0
+
+
+class TestEvaluateRanking:
+    def test_bundle_consistency(self, scores):
+        gold = [[0], [2]]
+        result = evaluate_ranking(scores, gold)
+        assert result.hits1 == hits_at_k(scores, gold, 1)
+        assert result.hits3 == hits_at_k(scores, gold, 3)
+        assert result.mrr == pytest.approx(mean_reciprocal_rank(scores, gold))
+        assert "H@1" in result.as_dict()
+        assert "H@1" in str(result)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(2, 8), st.integers(2, 10), st.integers(0, 10_000))
+def test_property_hits_monotone_in_k(rows, cols, seed):
+    rng = np.random.default_rng(seed)
+    scores = rng.random((rows, cols))
+    gold = [[int(rng.integers(cols))] for _ in range(rows)]
+    values = [hits_at_k(scores, gold, k) for k in range(1, cols + 1)]
+    assert all(a <= b for a, b in zip(values, values[1:]))
+    assert values[-1] == pytest.approx(100.0)
+
+
+class TestEfficiencyReport:
+    def test_conversions_and_str(self):
+        report = EfficiencyReport(seconds_per_epoch=1.5,
+                                  peak_memory_bytes=2 * 1024**3)
+        assert report.peak_memory_gb == pytest.approx(2.0)
+        assert "T=1.50s" in str(report)

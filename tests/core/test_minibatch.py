@@ -1,0 +1,132 @@
+"""PCP mini-batch generation tests (Algorithm 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.minibatch import (PCPConfig, generate_minibatches, kmeans,
+                                  pairwise_proximity, property_closeness)
+
+
+class TestKMeans:
+    def test_labels_shape_and_range(self, rng):
+        points = rng.random((20, 3))
+        labels = kmeans(points, 4, rng=0)
+        assert labels.shape == (20,)
+        assert set(labels) <= set(range(4))
+
+    def test_single_cluster(self, rng):
+        labels = kmeans(rng.random((5, 2)), 1, rng=0)
+        assert (labels == 0).all()
+
+    def test_k_capped_at_n(self, rng):
+        labels = kmeans(rng.random((3, 2)), 10, rng=0)
+        assert len(set(labels)) <= 3
+
+    def test_separable_clusters_found(self):
+        a = np.zeros((10, 2)) + [0, 0]
+        b = np.zeros((10, 2)) + [10, 10]
+        labels = kmeans(np.vstack([a, b]), 2, rng=0)
+        assert len(set(labels[:10])) == 1
+        assert len(set(labels[10:])) == 1
+        assert labels[0] != labels[10]
+
+    def test_deterministic(self, rng):
+        points = rng.random((15, 4))
+        np.testing.assert_array_equal(kmeans(points, 3, rng=7),
+                                      kmeans(points, 3, rng=7))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 30), st.integers(1, 5), st.integers(0, 1000))
+    def test_property_every_point_labeled(self, n, k, seed):
+        rng = np.random.default_rng(seed)
+        labels = kmeans(rng.random((n, 2)), k, rng=seed)
+        assert len(labels) == n
+        assert labels.min() >= 0
+
+
+class TestProximity:
+    def test_shapes(self, tiny_bundle, tiny_dataset):
+        properties, patches = property_closeness(
+            tiny_dataset.graph, tiny_dataset.entity_vertices,
+            tiny_dataset.images, tiny_bundle.minilm, tiny_bundle.aligner)
+        assert set(properties) == set(tiny_dataset.entity_vertices)
+        assert patches.shape[0] == len(tiny_dataset.images)
+        proximity = pairwise_proximity(tiny_dataset.graph,
+                                       tiny_dataset.entity_vertices,
+                                       properties, patches)
+        assert proximity.shape == (len(tiny_dataset.entity_vertices),
+                                   len(tiny_dataset.images))
+
+    def test_proximity_favors_gold_images(self, tiny_bundle, tiny_dataset):
+        """On average, a vertex's gold images should score above the
+        column mean — the signal PCP batching exploits."""
+        properties, patches = property_closeness(
+            tiny_dataset.graph, tiny_dataset.entity_vertices,
+            tiny_dataset.images, tiny_bundle.minilm, tiny_bundle.aligner)
+        proximity = pairwise_proximity(tiny_dataset.graph,
+                                       tiny_dataset.entity_vertices,
+                                       properties, patches)
+        margins = []
+        for row, vertex in enumerate(tiny_dataset.entity_vertices):
+            gold = tiny_dataset.images_of_vertex(vertex)
+            margins.append(proximity[row, gold].mean()
+                           - proximity[row].mean())
+        assert np.mean(margins) > 0
+
+
+class TestGenerateMinibatches:
+    @pytest.fixture(scope="class")
+    def plan(self, tiny_bundle, tiny_dataset):
+        return generate_minibatches(
+            tiny_dataset.graph, tiny_dataset.entity_vertices,
+            tiny_dataset.images, tiny_bundle.minilm, tiny_bundle.aligner,
+            PCPConfig(num_vertex_subsets=2, num_image_clusters=3, seed=0))
+
+    def test_partitions_nonempty(self, plan):
+        assert plan.partitions
+        for partition in plan.partitions:
+            assert len(partition.vertex_ids) >= 1
+            assert len(partition.image_indices) >= 2
+
+    def test_every_vertex_appears(self, plan, tiny_dataset):
+        covered = {v for p in plan.partitions for v in p.vertex_ids}
+        assert covered == set(tiny_dataset.entity_vertices)
+
+    def test_image_indices_valid(self, plan, tiny_dataset):
+        for partition in plan.partitions:
+            assert max(partition.image_indices) < len(tiny_dataset.images)
+            assert min(partition.image_indices) >= 0
+
+    def test_images_disjoint_within_vertex_subset(self, plan):
+        """Clusters of the same vertex subset must not share images."""
+        by_subset = {}
+        for partition in plan.partitions:
+            key = tuple(sorted(partition.vertex_ids))
+            by_subset.setdefault(key, []).append(partition.image_indices)
+        for clusters in by_subset.values():
+            seen = set()
+            for images in clusters:
+                assert not (seen & set(images))
+                seen.update(images)
+
+    def test_total_pairs_below_cross_product(self, plan, tiny_dataset):
+        assert plan.total_pairs < tiny_dataset.num_candidate_pairs
+
+    def test_deterministic(self, tiny_bundle, tiny_dataset):
+        config = PCPConfig(seed=5)
+        a = generate_minibatches(tiny_dataset.graph,
+                                 tiny_dataset.entity_vertices,
+                                 tiny_dataset.images, tiny_bundle.minilm,
+                                 tiny_bundle.aligner, config)
+        b = generate_minibatches(tiny_dataset.graph,
+                                 tiny_dataset.entity_vertices,
+                                 tiny_dataset.images, tiny_bundle.minilm,
+                                 tiny_bundle.aligner, config)
+        assert [(p.vertex_ids, p.image_indices) for p in a.partitions] == \
+            [(p.vertex_ids, p.image_indices) for p in b.partitions]
+
+    def test_vertex_row_lookup(self, plan, tiny_dataset):
+        vertex = tiny_dataset.entity_vertices[3]
+        assert plan.vertex_ids[plan.vertex_row(vertex)] == vertex

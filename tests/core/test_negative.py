@@ -1,0 +1,72 @@
+"""Property-based negative sampling tests (Algorithm 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.minibatch import MiniBatchPlan, Partition
+from repro.core.negative import (NegativeSamplingConfig, augment_plan,
+                                 sample_negatives)
+
+
+@pytest.fixture()
+def plan(rng):
+    """A hand-built plan: 4 vertices, 10 images, seeded proximity."""
+    proximity = rng.random((4, 10)).astype(np.float32)
+    partitions = [Partition([100, 101], [0, 1, 2]),
+                  Partition([102, 103], [3, 4])]
+    return MiniBatchPlan(partitions, proximity, [100, 101, 102, 103])
+
+
+class TestSampleNegatives:
+    def test_excludes_partition_images(self, plan, rng):
+        partition = plan.partitions[0]
+        negatives = sample_negatives(plan, partition, 4, rng)
+        assert not set(negatives) & set(partition.image_indices)
+
+    def test_count_respected(self, plan, rng):
+        negatives = sample_negatives(plan, plan.partitions[0], 3, rng)
+        assert len(negatives) <= 3
+
+    def test_no_duplicates(self, plan, rng):
+        negatives = sample_negatives(plan, plan.partitions[0], 6, rng)
+        assert len(negatives) == len(set(negatives))
+
+    def test_prefers_high_proximity(self, plan):
+        """With k=1 per vertex, the sampled negative should be the top
+        out-of-partition image by proximity."""
+        rng = np.random.default_rng(0)
+        partition = plan.partitions[1]
+        negatives = sample_negatives(plan, partition, 1, rng, max_top_k=1)
+        row = plan.proximity[plan.vertex_row(partition.vertex_ids[0])]
+        allowed = [i for i in np.argsort(-row)
+                   if i not in partition.image_indices]
+        assert negatives[0] == allowed[0]
+
+
+class TestAugmentPlan:
+    def test_pads_to_batch_multiple(self, plan):
+        config = NegativeSamplingConfig(batch_size=4, seed=0)
+        augmented = augment_plan(plan, config)
+        for partition in augmented.partitions:
+            assert partition.num_pairs % 4 == 0 or \
+                partition.num_pairs >= Partition(
+                    partition.vertex_ids, partition.image_indices).num_pairs
+
+    def test_keeps_original_images(self, plan):
+        augmented = augment_plan(plan, NegativeSamplingConfig(batch_size=4,
+                                                              seed=0))
+        originals = [set(p.image_indices) for p in plan.partitions]
+        for partition in augmented.partitions:
+            assert any(set(partition.image_indices) >= images
+                       for images in originals)
+
+    def test_deterministic(self, plan):
+        config = NegativeSamplingConfig(batch_size=4, seed=3)
+        a = augment_plan(plan, config)
+        b = augment_plan(plan, config)
+        assert [(p.vertex_ids, p.image_indices) for p in a.partitions] == \
+            [(p.vertex_ids, p.image_indices) for p in b.partitions]
+
+    def test_proximity_carried_over(self, plan):
+        augmented = augment_plan(plan, NegativeSamplingConfig(seed=0))
+        np.testing.assert_array_equal(augmented.proximity, plan.proximity)

@@ -1,0 +1,67 @@
+"""Matcher persistence tests: save/load round trips."""
+
+import numpy as np
+import pytest
+
+from repro.core.crossem_plus import CrossEMPlus, CrossEMPlusConfig
+from repro.core.matcher import CrossEM, CrossEMConfig
+from repro.core.persistence import load_matcher, save_matcher
+
+
+class TestSaveLoad:
+    def test_unfitted_matcher_cannot_save(self, tiny_bundle, tmp_path):
+        matcher = CrossEM(tiny_bundle, CrossEMConfig(epochs=0))
+        with pytest.raises(RuntimeError):
+            save_matcher(matcher, tmp_path / "m.npz")
+
+    def test_soft_roundtrip_scores_identical(self, tiny_bundle, tiny_dataset,
+                                             tmp_path):
+        trained = CrossEM(tiny_bundle, CrossEMConfig(prompt="soft", epochs=2,
+                                                     lr=1e-3, seed=3))
+        trained.fit(tiny_dataset.graph, tiny_dataset.images,
+                    tiny_dataset.entity_vertices)
+        expected = trained.score()
+        path = tmp_path / "matcher.npz"
+        save_matcher(trained, path)
+
+        fresh = CrossEM(tiny_bundle, CrossEMConfig(prompt="soft", epochs=2,
+                                                   lr=1e-3, seed=3))
+        load_matcher(path, tiny_bundle, tiny_dataset.graph,
+                     tiny_dataset.images, fresh)
+        np.testing.assert_allclose(fresh.score(), expected, atol=1e-5)
+
+    def test_plus_roundtrip(self, tiny_bundle, tiny_dataset, tmp_path):
+        trained = CrossEMPlus(tiny_bundle, CrossEMPlusConfig(epochs=1,
+                                                             lr=1e-3, seed=2))
+        trained.fit(tiny_dataset.graph, tiny_dataset.images,
+                    tiny_dataset.entity_vertices)
+        path = tmp_path / "plus.npz"
+        save_matcher(trained, path)
+        fresh = CrossEMPlus(tiny_bundle, CrossEMPlusConfig(epochs=1,
+                                                           lr=1e-3, seed=2))
+        load_matcher(path, tiny_bundle, tiny_dataset.graph,
+                     tiny_dataset.images, fresh)
+        np.testing.assert_allclose(fresh.score(), trained.score(), atol=1e-5)
+
+    def test_prompt_kind_mismatch_rejected(self, tiny_bundle, tiny_dataset,
+                                           tmp_path):
+        trained = CrossEM(tiny_bundle, CrossEMConfig(prompt="hard", epochs=0))
+        trained.fit(tiny_dataset.graph, tiny_dataset.images,
+                    tiny_dataset.entity_vertices)
+        path = tmp_path / "hard.npz"
+        save_matcher(trained, path)
+        fresh = CrossEM(tiny_bundle, CrossEMConfig(prompt="soft", epochs=0))
+        with pytest.raises(ValueError):
+            load_matcher(path, tiny_bundle, tiny_dataset.graph,
+                         tiny_dataset.images, fresh)
+
+    def test_hard_roundtrip(self, tiny_bundle, tiny_dataset, tmp_path):
+        trained = CrossEM(tiny_bundle, CrossEMConfig(prompt="hard", epochs=0))
+        trained.fit(tiny_dataset.graph, tiny_dataset.images,
+                    tiny_dataset.entity_vertices)
+        path = tmp_path / "hard.npz"
+        save_matcher(trained, path)
+        fresh = CrossEM(tiny_bundle, CrossEMConfig(prompt="hard", epochs=0))
+        load_matcher(path, tiny_bundle, tiny_dataset.graph,
+                     tiny_dataset.images, fresh)
+        np.testing.assert_allclose(fresh.score(), trained.score(), atol=1e-5)

@@ -1,0 +1,86 @@
+"""Hard-prompt truncation behaviour — the §III-B drawback.
+
+"M_T is initially trained on input tokens with a maximum length of 77,
+which means that some token-level features in f_pro^h will be
+truncated, thereby potentially losing important structural
+information."  These tests pin that behaviour down: a dense
+neighborhood serializes past the limit, the encoder truncates, and
+information provably drops out — while the soft prompt module never
+grows with the neighborhood.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.prompts import HardPromptGenerator, SoftPromptModule
+from repro.datalake.graph import Graph
+from repro.text.tokenizer import CLIP_MAX_TOKENS
+
+
+from repro.datasets.world import COLOR_NAMES, PART_NAMES
+
+
+@pytest.fixture()
+def dense_graph():
+    """An entity with 60 attribute neighbors — far past 77 tokens.
+
+    Labels are real vocabulary words so encodings are sensitive to them.
+    """
+    graph = Graph()
+    root = graph.add_vertex("megabird")
+    for i in range(60):
+        attr = graph.add_vertex(COLOR_NAMES[i % len(COLOR_NAMES)],
+                                kind="attribute")
+        graph.add_edge(root, attr,
+                       f"has {PART_NAMES[i % len(PART_NAMES)]} color")
+    return graph, root
+
+
+class TestTruncation:
+    def test_prompt_exceeds_token_limit(self, dense_graph, tiny_bundle):
+        graph, root = dense_graph
+        prompt = HardPromptGenerator(graph, d=1).generate(root)
+        tokens = tiny_bundle.tokenizer.tokenize(prompt)
+        assert len(tokens) > CLIP_MAX_TOKENS
+
+    def test_encoder_truncates_to_limit(self, dense_graph, tiny_bundle):
+        graph, root = dense_graph
+        prompt = HardPromptGenerator(graph, d=1).generate(root)
+        ids = tiny_bundle.tokenizer.encode(prompt)
+        assert len(ids) == CLIP_MAX_TOKENS
+
+    def test_truncation_loses_tail_information(self, dense_graph,
+                                               tiny_bundle):
+        """Changing a neighbor past the truncation horizon must not
+        change the encoding — the 'lost structural information'."""
+        graph, root = dense_graph
+        tokenizer = tiny_bundle.tokenizer
+        prompt = HardPromptGenerator(graph, d=1).generate(root)
+        # mutate the textual tail far beyond 77 tokens
+        mutated = prompt + " and has extra color in ultraviolet"
+        a = tokenizer.encode(prompt)
+        b = tokenizer.encode(mutated)
+        np.testing.assert_array_equal(a, b)
+
+    def test_early_neighbors_do_change_encoding(self, dense_graph,
+                                                tiny_bundle):
+        graph, root = dense_graph
+        tokenizer = tiny_bundle.tokenizer
+        prompt = HardPromptGenerator(graph, d=1).generate(root)
+        first_color = COLOR_NAMES[0]
+        replacement = COLOR_NAMES[1] if first_color in prompt else COLOR_NAMES[0]
+        mutated = prompt.replace(first_color, replacement, 1)
+        assert not np.array_equal(tokenizer.encode(prompt),
+                                  tokenizer.encode(mutated))
+
+
+class TestSoftPromptScalesConstant:
+    def test_prompt_vector_size_independent_of_degree(self, dense_graph,
+                                                      tiny_bundle):
+        graph, root = dense_graph
+        module = SoftPromptModule(graph, [root], tiny_bundle.clip.clone(),
+                                  tiny_bundle.tokenizer, tiny_bundle.minilm,
+                                  rng=0)
+        assert module.prompt_table.shape == (1, tiny_bundle.minilm.dim)
+        out = module([root])
+        assert out.shape == (1, tiny_bundle.clip.embed_dim)

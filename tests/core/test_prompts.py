@@ -1,0 +1,126 @@
+"""Prompt generation tests (§III)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.prompts import (HardPromptGenerator, SoftPromptModule,
+                                baseline_prompt)
+from repro.datalake.graph import Graph
+
+
+@pytest.fixture()
+def example_graph():
+    """The Fig. 3 style neighborhood: albatross with attributes and a
+    2-hop attribute of an attribute."""
+    graph = Graph()
+    bird = graph.add_vertex("laysan albatross")
+    white = graph.add_vertex("white", kind="attribute")
+    wings = graph.add_vertex("long-wings", kind="attribute")
+    grey = graph.add_vertex("grey", kind="attribute")
+    graph.add_edge(bird, white, "has crown color")
+    graph.add_edge(bird, wings, "has wing shape")
+    graph.add_edge(wings, grey, "has wing color")
+    return graph, bird
+
+
+class TestBaselinePrompt:
+    def test_substitution(self):
+        assert baseline_prompt("albatross") == "a photo of a albatross"
+
+    def test_custom_template(self):
+        assert baseline_prompt("x", "see [MASK] here") == "see x here"
+
+    def test_template_requires_mask(self):
+        with pytest.raises(ValueError):
+            baseline_prompt("x", "no placeholder")
+
+
+class TestHardPrompt:
+    def test_one_hop_subprompts(self, example_graph):
+        graph, bird = example_graph
+        prompt = HardPromptGenerator(graph, d=1, prefix="").generate(bird)
+        assert prompt.startswith("laysan albatross")
+        assert "has crown color in white" in prompt
+        assert "has wing shape in long-wings" in prompt
+        assert "grey" not in prompt  # 2 hops away
+
+    def test_two_hop_includes_parent_prefix(self, example_graph):
+        graph, bird = example_graph
+        prompt = HardPromptGenerator(graph, d=2, prefix="").generate(bird)
+        assert "long-wings has wing color in grey" in prompt
+
+    def test_and_joins_last_subprompt(self, example_graph):
+        graph, bird = example_graph
+        prompt = HardPromptGenerator(graph, d=1, prefix="").generate(bird)
+        assert " and " in prompt
+
+    def test_isolated_vertex_is_label_only(self):
+        graph = Graph()
+        v = graph.add_vertex("lonely")
+        assert HardPromptGenerator(graph, prefix="").generate(v) == "lonely"
+
+    def test_prefix_applied(self, example_graph):
+        graph, bird = example_graph
+        prompt = HardPromptGenerator(graph, d=1).generate(bird)
+        assert prompt.startswith("a photo of a laysan albatross")
+
+    def test_ref_edges_drop_ref_token(self):
+        graph = Graph()
+        a = graph.add_vertex("a")
+        b = graph.add_vertex("b")
+        graph.add_edge(a, b, "ref related to")
+        prompt = HardPromptGenerator(graph, prefix="").generate(a)
+        assert "related to b" in prompt
+        assert "ref" not in prompt
+
+    def test_incoming_edges_serialized(self):
+        graph = Graph()
+        a = graph.add_vertex("a")
+        b = graph.add_vertex("b")
+        graph.add_edge(b, a, "has part")
+        prompt = HardPromptGenerator(graph, prefix="").generate(a)
+        assert "b" in prompt
+
+    def test_d_must_be_positive(self, example_graph):
+        graph, _ = example_graph
+        with pytest.raises(ValueError):
+            HardPromptGenerator(graph, d=0)
+
+    def test_generate_batch(self, example_graph):
+        graph, bird = example_graph
+        prompts = HardPromptGenerator(graph).generate_batch([bird, bird])
+        assert len(prompts) == 2
+        assert prompts[0] == prompts[1]
+
+
+class TestSoftPromptModule:
+    def test_shapes_and_normalization(self, tiny_bundle, tiny_dataset):
+        module = SoftPromptModule(
+            tiny_dataset.graph, tiny_dataset.entity_vertices,
+            tiny_bundle.clip.clone(), tiny_bundle.tokenizer,
+            tiny_bundle.minilm, rng=0)
+        vertices = tiny_dataset.entity_vertices[:4]
+        out = module(vertices)
+        assert out.shape == (4, tiny_bundle.clip.embed_dim)
+        norms = np.linalg.norm(out.numpy(), axis=1)
+        np.testing.assert_allclose(norms, np.ones(4), atol=1e-4)
+
+    def test_prompt_matrix_rows(self, tiny_bundle, tiny_dataset):
+        module = SoftPromptModule(
+            tiny_dataset.graph, tiny_dataset.entity_vertices,
+            tiny_bundle.clip.clone(), tiny_bundle.tokenizer,
+            tiny_bundle.minilm, rng=0)
+        vertices = tiny_dataset.entity_vertices[:3]
+        matrix = module.prompt_matrix(vertices)
+        assert matrix.shape == (3, tiny_bundle.minilm.dim)
+
+    def test_prompts_are_trainable(self, tiny_bundle, tiny_dataset):
+        clip = tiny_bundle.clip.clone()
+        module = SoftPromptModule(
+            tiny_dataset.graph, tiny_dataset.entity_vertices, clip,
+            tiny_bundle.tokenizer, tiny_bundle.minilm, rng=0)
+        out = module(tiny_dataset.entity_vertices[:2])
+        out.sum().backward()
+        assert module.prompt_table.grad is not None
+        assert module.fusion.weight.grad is not None

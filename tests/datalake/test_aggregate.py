@@ -1,0 +1,81 @@
+"""Neighbor aggregation tests (Eq. 6 support)."""
+
+import numpy as np
+import pytest
+
+from repro.datalake.aggregate import (GNNAggregator, GraphSageAggregator,
+                                      aggregate_soft_features)
+from repro.datalake.graph import Graph
+
+
+@pytest.fixture()
+def star():
+    """Center 0 with leaves 1..3 plus isolated vertex 4."""
+    graph = Graph()
+    for i in range(5):
+        graph.add_vertex(f"v{i}")
+    for leaf in (1, 2, 3):
+        graph.add_edge(0, leaf)
+    return graph
+
+
+@pytest.fixture()
+def features():
+    return {i: np.eye(5, dtype=np.float32)[i] for i in range(5)}
+
+
+class TestGNNAggregator:
+    def test_blends_neighbors(self, star, features):
+        out = GNNAggregator(rounds=1, self_weight=0.5)(star, features)
+        expected = 0.5 * features[0] + 0.5 * np.mean(
+            [features[1], features[2], features[3]], axis=0)
+        np.testing.assert_allclose(out[0], expected, atol=1e-6)
+
+    def test_isolated_vertex_unchanged(self, star, features):
+        out = GNNAggregator()(star, features)
+        np.testing.assert_allclose(out[4], features[4])
+
+    def test_self_weight_one_is_identity(self, star, features):
+        out = GNNAggregator(self_weight=1.0)(star, features)
+        for key in features:
+            np.testing.assert_allclose(out[key], features[key], atol=1e-6)
+
+    def test_invalid_self_weight(self):
+        with pytest.raises(ValueError):
+            GNNAggregator(self_weight=2.0)
+
+
+class TestGraphSage:
+    def test_fanout_bounds_sampling(self, star, features):
+        out = GraphSageAggregator(fanout=1, seed=0)(star, features)
+        # with fanout 1 the center mixes with exactly one leaf
+        mixed = out[0]
+        assert mixed[0] == pytest.approx(0.5, abs=1e-6)
+        assert np.isclose(mixed[1:4], 0.5).sum() == 1
+
+    def test_invalid_fanout(self):
+        with pytest.raises(ValueError):
+            GraphSageAggregator(fanout=0)
+
+    def test_deterministic_with_seed(self, star, features):
+        a = GraphSageAggregator(fanout=2, seed=5)(star, features)
+        b = GraphSageAggregator(fanout=2, seed=5)(star, features)
+        for key in a:
+            np.testing.assert_allclose(a[key], b[key])
+
+
+class TestEq6:
+    def test_alpha_one_keeps_structural_feature(self, star, features):
+        out = aggregate_soft_features(star, features, alpha=1.0,
+                                      aggregator=GNNAggregator(self_weight=1.0))
+        for key in features:
+            np.testing.assert_allclose(out[key], features[key], atol=1e-6)
+
+    def test_alpha_bounds_checked(self, star, features):
+        with pytest.raises(ValueError):
+            aggregate_soft_features(star, features, alpha=1.5)
+
+    def test_blend_shape_and_dtype(self, star, features):
+        out = aggregate_soft_features(star, features, alpha=0.3)
+        assert out[0].dtype == np.float32
+        assert out[0].shape == (5,)

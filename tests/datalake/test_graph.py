@@ -1,0 +1,130 @@
+"""Graph substrate tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalake.graph import Graph
+
+
+@pytest.fixture()
+def chain():
+    """0 -> 1 -> 2 -> 3 with labeled edges."""
+    graph = Graph()
+    for i in range(4):
+        graph.add_vertex(f"v{i}")
+    for i in range(3):
+        graph.add_edge(i, i + 1, f"e{i}")
+    return graph
+
+
+class TestConstruction:
+    def test_add_vertex_assigns_ids(self):
+        graph = Graph()
+        assert graph.add_vertex("a") == 0
+        assert graph.add_vertex("b") == 1
+        assert graph.num_vertices == 2
+
+    def test_explicit_id_conflict_raises(self):
+        graph = Graph()
+        graph.add_vertex("a", vertex_id=3)
+        with pytest.raises(ValueError):
+            graph.add_vertex("b", vertex_id=3)
+
+    def test_edge_requires_endpoints(self):
+        graph = Graph()
+        graph.add_vertex("a")
+        with pytest.raises(KeyError):
+            graph.add_edge(0, 99)
+
+    def test_labels_and_kinds(self):
+        graph = Graph()
+        graph.add_vertex("white", kind="attribute")
+        assert graph.label(0) == "white"
+        assert graph.vertex(0).kind == "attribute"
+        assert graph.entity_ids() == []
+
+
+class TestNeighbors:
+    def test_undirected_neighborhood(self, chain):
+        assert chain.neighbors(1) == [2, 0]
+
+    def test_no_duplicates_for_multi_edges(self):
+        graph = Graph()
+        graph.add_vertex("a")
+        graph.add_vertex("b")
+        graph.add_edge(0, 1, "x")
+        graph.add_edge(0, 1, "y")
+        assert graph.neighbors(0) == [1]
+
+    def test_in_out_edges(self, chain):
+        assert [e.target for e in chain.out_edges(1)] == [2]
+        assert [e.source for e in chain.in_edges(1)] == [0]
+
+
+class TestTraversal:
+    def test_bfs_hops(self, chain):
+        order = chain.bfs_order(0)
+        assert order == [(0, 0), (1, 1), (2, 2), (3, 3)]
+
+    def test_bfs_bounded(self, chain):
+        order = chain.bfs_order(0, max_hops=2)
+        assert (3, 3) not in order
+
+    def test_bfs_unknown_vertex(self, chain):
+        with pytest.raises(KeyError):
+            chain.bfs_order(99)
+
+    def test_d_hop_vertices_excludes_self(self, chain):
+        assert chain.d_hop_vertices(1, 1) == [2, 0]
+
+    def test_d_hop_subgraph_is_induced(self, chain):
+        sub = chain.d_hop_subgraph(1, 1)
+        assert sorted(sub.vertex_ids()) == [0, 1, 2]
+        labels = {(e.source, e.target) for e in sub.edges()}
+        assert labels == {(0, 1), (1, 2)}
+
+    def test_subgraph_preserves_labels(self, chain):
+        sub = chain.d_hop_subgraph(0, 1)
+        assert sub.label(1) == "v1"
+
+
+class TestInterop:
+    def test_to_networkx(self, chain):
+        g = chain.to_networkx()
+        assert g.number_of_nodes() == 4
+        assert g.number_of_edges() == 3
+        assert g.nodes[0]["label"] == "v0"
+
+    def test_merge_reassigns_ids(self, chain):
+        merged = Graph()
+        merged.add_vertex("existing")
+        mapping = merged.merge(chain)
+        assert merged.num_vertices == 5
+        assert merged.label(mapping[0]) == "v0"
+        assert merged.num_edges == 3
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 12), st.integers(0, 30), st.integers(1, 3),
+       st.integers(0, 10_000))
+def test_property_subgraph_invariants(num_vertices, num_edges, d, seed):
+    """Induced d-hop subgraphs: every vertex within d hops, every edge
+    has both endpoints inside, labels preserved."""
+    rng = np.random.default_rng(seed)
+    graph = Graph()
+    for i in range(num_vertices):
+        graph.add_vertex(f"v{i}")
+    for _ in range(num_edges):
+        a, b = rng.integers(num_vertices, size=2)
+        if a != b:
+            graph.add_edge(int(a), int(b), "e")
+    root = int(rng.integers(num_vertices))
+    sub = graph.d_hop_subgraph(root, d)
+    hop_of = dict(graph.bfs_order(root, d))
+    assert set(sub.vertex_ids()) == set(hop_of)
+    for edge in sub.edges():
+        assert edge.source in hop_of and edge.target in hop_of
+    for vid in sub.vertex_ids():
+        assert sub.label(vid) == graph.label(vid)

@@ -1,0 +1,33 @@
+"""JSON document substrate tests."""
+
+import pytest
+
+from repro.datalake.json_doc import JsonDocument, JsonObject
+
+
+class TestJsonObject:
+    def test_scalar_items_flatten_nesting(self):
+        obj = JsonObject("k", {"a": {"b": 1}, "c": [2, 3]})
+        items = dict(obj.scalar_items())
+        assert items == {"a.b": "1", "c[0]": "2", "c[1]": "3"}
+
+    def test_plain_scalars(self):
+        obj = JsonObject("k", {"color": "white"})
+        assert list(obj.scalar_items()) == [("color", "white")]
+
+
+class TestJsonDocument:
+    def test_add_and_get(self):
+        doc = JsonDocument([JsonObject("a", {"x": 1})])
+        assert len(doc) == 1
+        assert "a" in doc
+        assert doc.get("a").fields["x"] == 1
+
+    def test_duplicate_key_raises(self):
+        doc = JsonDocument([JsonObject("a", {})])
+        with pytest.raises(ValueError):
+            doc.add(JsonObject("a", {}))
+
+    def test_objects_order(self):
+        doc = JsonDocument([JsonObject("a", {}), JsonObject("b", {})])
+        assert [o.key for o in doc.objects()] == ["a", "b"]

@@ -1,0 +1,103 @@
+"""Data mapping tests: tables/JSON → unified graph (§II-A)."""
+
+import pytest
+
+from repro.datalake.graph import Graph
+from repro.datalake.json_doc import JsonDocument, JsonObject
+from repro.datalake.mapping import (DataLake, json_to_graph, merge_graphs,
+                                    table_to_graph)
+from repro.datalake.table import ForeignKey, RelationalTable, TableSchema
+
+
+@pytest.fixture()
+def bird_table():
+    schema = TableSchema("birds", ("name", "crown color", "habitat"),
+                         key="name")
+    table = RelationalTable(schema)
+    table.insert(["laysan albatross", "white", "coast"])
+    table.insert(["woodpecker", "white", "forest"])
+    return table
+
+
+class TestTableToGraph:
+    def test_entities_and_attributes(self, bird_table):
+        graph, rows = table_to_graph(bird_table)
+        assert len(rows) == 2
+        entities = graph.entity_ids()
+        assert len(entities) == 2
+        assert graph.label(rows[0]) == "laysan albatross"
+
+    def test_shared_attribute_vertices(self, bird_table):
+        graph, rows = table_to_graph(bird_table)
+        # "white" appears in both rows but becomes one vertex
+        white = [v for v in graph.vertices()
+                 if v.label == "white" and v.kind == "attribute"]
+        assert len(white) == 1
+        neighbors = graph.neighbors(white[0].vertex_id)
+        assert set(neighbors) == {rows[0], rows[1]}
+
+    def test_edge_labels_carry_columns(self, bird_table):
+        graph, rows = table_to_graph(bird_table)
+        labels = {e.label for e in graph.out_edges(rows[0])}
+        assert labels == {"has crown color", "has habitat"}
+
+    def test_empty_values_skipped(self):
+        table = RelationalTable(TableSchema("t", ("name", "x"), key="name"))
+        table.insert(["a", ""])
+        graph, _ = table_to_graph(table)
+        assert graph.num_edges == 0
+
+
+class TestJsonToGraph:
+    def test_references_become_entity_edges(self):
+        doc = JsonDocument([
+            JsonObject("a", {"size": "big"}, references={"rel": "b"}),
+            JsonObject("b", {}),
+        ])
+        graph, keys = json_to_graph(doc)
+        edge_labels = {e.label for e in graph.out_edges(keys["a"])}
+        assert "ref rel" in edge_labels
+        assert "has size" in edge_labels
+        targets = {e.target for e in graph.out_edges(keys["a"])}
+        assert keys["b"] in targets
+
+    def test_unknown_reference_raises(self):
+        doc = JsonDocument([JsonObject("a", {}, references={"rel": "nope"})])
+        with pytest.raises(KeyError):
+            json_to_graph(doc)
+
+
+class TestDataLake:
+    def test_unified_graph_resolves_foreign_keys(self):
+        birds = RelationalTable(TableSchema(
+            "birds", ("name", "region"), key="name",
+            foreign_keys=(ForeignKey("region", "regions"),)))
+        birds.insert(["albatross", "coast"])
+        regions = RelationalTable(TableSchema("regions", ("rid",), key="rid"))
+        regions.insert(["coast"])
+        lake = DataLake()
+        lake.add_table(birds)
+        lake.add_table(regions)
+        unified = lake.unified_graph()
+        ref_edges = [e for e in unified.edges() if e.label.startswith("ref")]
+        assert len(ref_edges) == 1
+        assert unified.vertex(ref_edges[0].target).kind == "entity"
+
+    def test_all_source_types_combine(self, bird_table):
+        lake = DataLake()
+        lake.add_table(bird_table)
+        lake.add_json(JsonDocument([JsonObject("doc-entity", {"a": 1})]))
+        native = Graph()
+        native.add_vertex("native-entity")
+        lake.add_graph(native)
+        unified = lake.unified_graph()
+        labels = {v.label for v in unified.vertices()}
+        assert {"laysan albatross", "doc-entity", "native-entity"} <= labels
+        assert lake.num_sources == 3
+
+    def test_merge_graphs_counts(self, bird_table):
+        g1, _ = table_to_graph(bird_table)
+        g2, _ = table_to_graph(bird_table)
+        merged = merge_graphs([g1, g2])
+        assert merged.num_vertices == g1.num_vertices * 2
+        assert merged.num_edges == g1.num_edges * 2

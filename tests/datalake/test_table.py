@@ -1,0 +1,55 @@
+"""Relational table substrate tests."""
+
+import pytest
+
+from repro.datalake.table import ForeignKey, RelationalTable, TableSchema
+
+
+class TestSchema:
+    def test_duplicate_columns_raise(self):
+        with pytest.raises(ValueError):
+            TableSchema("t", ("a", "a"))
+
+    def test_key_must_exist(self):
+        with pytest.raises(ValueError):
+            TableSchema("t", ("a",), key="b")
+
+    def test_foreign_key_column_must_exist(self):
+        with pytest.raises(ValueError):
+            TableSchema("t", ("a",), foreign_keys=(ForeignKey("b", "other"),))
+
+    def test_column_index(self):
+        schema = TableSchema("t", ("a", "b", "c"))
+        assert schema.column_index("b") == 1
+
+
+class TestTable:
+    def test_insert_and_access(self):
+        table = RelationalTable(TableSchema("birds", ("name", "color"),
+                                            key="name"))
+        table.insert(["albatross", "white"])
+        assert len(table) == 1
+        assert table.value(0, "color") == "white"
+        assert table.key_of(0) == "albatross"
+
+    def test_insert_wrong_arity_raises(self):
+        table = RelationalTable(TableSchema("t", ("a", "b")))
+        with pytest.raises(ValueError):
+            table.insert(["only-one"])
+
+    def test_insert_dict_fills_missing(self):
+        table = RelationalTable(TableSchema("t", ("a", "b")))
+        table.insert_dict({"a": "x"})
+        assert table.row(0) == ("x", "")
+
+    def test_keyless_key_of(self):
+        table = RelationalTable(TableSchema("t", ("a",)))
+        table.insert(["x"])
+        assert table.key_of(0) == "t#0"
+
+    def test_rows_returns_copy(self):
+        table = RelationalTable(TableSchema("t", ("a",)))
+        table.insert(["x"])
+        rows = table.rows()
+        rows.append(("y",))
+        assert len(table) == 1

@@ -1,0 +1,88 @@
+"""Unstructured text → graph mapping tests (§II-A)."""
+
+import pytest
+
+from repro.datalake.mapping import DataLake
+from repro.datalake.text_source import SentenceParser, Triple, text_to_graph
+from repro.datasets.world import ConceptUniverse
+from repro.text.corpus import build_text_corpus
+
+
+@pytest.fixture()
+def parser():
+    return SentenceParser(["laysan albatross", "woodpecker"])
+
+
+class TestSentenceParser:
+    def test_empty_gazetteer_rejected(self):
+        with pytest.raises(ValueError):
+            SentenceParser([])
+
+    def test_attribute_record_pattern(self, parser):
+        triples = parser.parse("laysan albatross has crown color in white")
+        assert Triple("laysan albatross", "has crown color", "white") in triples
+
+    def test_eats_lives_is_patterns(self, parser):
+        assert parser.parse("woodpecker eats insects") == [
+            Triple("woodpecker", "has food", "insects")]
+        assert parser.parse("woodpecker lives in forest") == [
+            Triple("woodpecker", "has habitat", "forest")]
+        assert parser.parse("woodpecker is from north") == [
+            Triple("woodpecker", "has origin", "north")]
+        assert parser.parse("woodpecker is tiny") == [
+            Triple("woodpecker", "has size", "tiny")]
+
+    def test_with_phrase_pattern(self, parser):
+        triples = parser.parse(
+            "a photo of a laysan albatross with white crown and black tail")
+        assert Triple("laysan albatross", "has crown color", "white") in triples
+        assert Triple("laysan albatross", "has tail color", "black") in triples
+
+    def test_unknown_subject_skipped(self, parser):
+        assert parser.parse("a penguin eats fish") == []
+
+    def test_longest_name_wins(self):
+        parser = SentenceParser(["albatross", "laysan albatross"])
+        triples = parser.parse("laysan albatross eats fish")
+        assert triples[0].subject == "laysan albatross"
+
+    def test_corpus_deduplicates(self, parser):
+        sentences = ["woodpecker eats insects"] * 3
+        assert len(parser.parse_corpus(sentences)) == 1
+
+
+class TestTextToGraph:
+    def test_entities_and_attributes(self):
+        sentences = ["woodpecker eats insects",
+                     "woodpecker lives in forest",
+                     "heron eats fish"]
+        graph, entities = text_to_graph(sentences, ["woodpecker", "heron"])
+        assert set(entities) == {"woodpecker", "heron"}
+        assert graph.num_edges == 3
+        labels = {e.label for e in graph.out_edges(entities["woodpecker"])}
+        assert labels == {"has food", "has habitat"}
+
+    def test_attribute_vertices_shared(self):
+        sentences = ["woodpecker eats insects", "heron eats insects"]
+        graph, _ = text_to_graph(sentences, ["woodpecker", "heron"])
+        insects = [v for v in graph.vertices() if v.label == "insects"]
+        assert len(insects) == 1
+
+    def test_datalake_text_source(self):
+        lake = DataLake()
+        lake.add_text(["woodpecker eats insects"], ["woodpecker"])
+        graph = lake.unified_graph()
+        assert lake.num_sources == 1
+        assert graph.num_vertices == 2
+
+    def test_parses_real_synthetic_corpus(self):
+        """The parser must recover a substantial share of the facts the
+        world's own corpus generator emits."""
+        universe = ConceptUniverse(6, seed=9)
+        sentences = build_text_corpus(universe, seed=9)
+        names = [c.name for c in universe]
+        graph, entities = text_to_graph(sentences, names)
+        assert set(entities) == set(names)
+        # every entity should have recovered several attribute edges
+        for name, vertex in entities.items():
+            assert len(graph.out_edges(vertex)) >= 3, name

@@ -1,0 +1,75 @@
+"""Latent attribute world tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.world import (PART_RANGES, AttributeSchema, ConceptUniverse,
+                                  caption_for)
+from repro.text.tokenizer import WordTokenizer, Vocabulary
+
+
+class TestUniverse:
+    def test_deterministic(self):
+        a = ConceptUniverse(10, seed=3)
+        b = ConceptUniverse(10, seed=3)
+        assert [c.name for c in a] == [c.name for c in b]
+        assert [c.visual for c in a] == [c.visual for c in b]
+
+    def test_unique_names(self):
+        universe = ConceptUniverse(50, seed=0)
+        names = [c.name for c in universe]
+        assert len(set(names)) == len(names)
+
+    def test_kind_part_ranges(self):
+        for kind, (low, high) in PART_RANGES.items():
+            universe = ConceptUniverse(20, kind=kind, seed=1)
+            counts = [len(c.visual) for c in universe]
+            assert min(counts) >= low
+            assert max(counts) <= high
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            ConceptUniverse(5, kind="vehicle")
+
+    def test_invalid_part_range_raises(self):
+        with pytest.raises(ValueError):
+            ConceptUniverse(5, min_parts=0)
+
+    def test_symbolic_attributes_complete(self):
+        universe = ConceptUniverse(5, seed=0)
+        for concept in universe:
+            assert set(concept.symbolic) == {"habitat", "food", "size",
+                                             "origin"}
+
+    def test_visual_items_sorted(self):
+        universe = ConceptUniverse(5, seed=0)
+        for concept in universe:
+            parts = [p for p, _ in concept.visual_items()]
+            assert parts == sorted(parts)
+
+    def test_too_many_concepts_raises(self):
+        with pytest.raises(ValueError):
+            ConceptUniverse(10_000_000, seed=0)
+
+
+class TestSchema:
+    def test_visual_phrase(self):
+        schema = AttributeSchema()
+        phrase = schema.visual_phrase(0, 0)
+        assert phrase == "has crown color in white"
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000))
+def test_property_vocabulary_covers_captions(seed):
+    """Every caption word must be tokenizable without [UNK]."""
+    universe = ConceptUniverse(8, seed=seed % 100)
+    vocab = Vocabulary(universe.vocabulary_words())
+    tokenizer = WordTokenizer(vocab, max_len=128)
+    rng = np.random.default_rng(seed)
+    for concept in universe:
+        caption = caption_for(concept, universe.schema, rng)
+        ids = tokenizer.encode(caption, pad=False)
+        assert vocab.unk_id not in ids, caption

@@ -1,0 +1,48 @@
+"""CLI tests (exercised in-process against the tiny bundles)."""
+
+import numpy as np
+import pytest
+
+import repro.cli as cli
+
+
+@pytest.fixture(autouse=True)
+def tiny_benchmarks(monkeypatch, tiny_bundle, tiny_dataset):
+    """Route every CLI benchmark name to the shared tiny fixtures so CLI
+    tests never trigger full-scale pre-training."""
+    monkeypatch.setattr(cli, "_load",
+                        lambda name, seed: (tiny_bundle, tiny_dataset))
+
+
+class TestCLI:
+    def test_stats(self, capsys):
+        assert cli.main(["stats", "cub"]) == 0
+        out = capsys.readouterr().out
+        assert "vertices" in out and "candidate_pairs" in out
+
+    def test_match_hard(self, capsys):
+        assert cli.main(["match", "cub", "--method", "hard",
+                         "--epochs", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "H@1=" in out
+
+    def test_match_plus_and_save(self, capsys, tmp_path):
+        path = str(tmp_path / "tuned.npz")
+        assert cli.main(["match", "cub", "--method", "plus",
+                         "--epochs", "1", "--save", path]) == 0
+        out = capsys.readouterr().out
+        assert "saved tuned matcher" in out
+
+    def test_clean(self, capsys):
+        assert cli.main(["clean", "cub", "--inject", "2",
+                         "--z-threshold", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "flagged" in out
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["stats", "imagenet"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            cli.main([])

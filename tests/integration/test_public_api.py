@@ -1,0 +1,71 @@
+"""Public API surface tests: everything the README promises exists."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(AttributeError):
+            repro.does_not_exist
+
+    def test_lazy_names_cached(self):
+        first = repro.CrossEM
+        assert repro.CrossEM is first
+
+
+SUBPACKAGE_EXPORTS = {
+    "repro.nn": ["Tensor", "Module", "Linear", "TransformerEncoder",
+                 "AdamW", "MemoryTracker", "no_grad"],
+    "repro.text": ["Vocabulary", "WordTokenizer", "MiniLM"],
+    "repro.vision": ["render_repository", "PatchFeatureExtractor",
+                     "VisionEncoder", "record_video", "frames_to_images"],
+    "repro.clip": ["MiniCLIP", "pretrain_clip", "get_pretrained_bundle",
+                   "PropertyAligner"],
+    "repro.datalake": ["Graph", "RelationalTable", "JsonDocument",
+                       "DataLake", "text_to_graph", "GNNAggregator"],
+    "repro.datasets": ["ConceptUniverse", "load_cub", "load_sun",
+                       "load_fbimg", "train_test_split"],
+    "repro.core": ["CrossEM", "CrossEMPlus", "HardPromptGenerator",
+                   "SoftPromptModule", "generate_minibatches",
+                   "sample_negatives", "orthogonal_constraint",
+                   "evaluate_ranking", "matching_set_metrics",
+                   "save_matcher", "load_matcher", "clean_repository"],
+    "repro.baselines": ["CLIPZeroShot", "ALIGNZeroShot", "VisualBERTMatcher",
+                        "ViLBERTMatcher", "IMRAMMatcher", "TransAEMatcher",
+                        "GPPTMatcher", "DistMultKG", "RotatEKG", "RSMEKG",
+                        "MKGformerLite"],
+}
+
+
+@pytest.mark.parametrize("module_name", sorted(SUBPACKAGE_EXPORTS))
+def test_subpackage_exports(module_name):
+    module = importlib.import_module(module_name)
+    for name in SUBPACKAGE_EXPORTS[module_name]:
+        assert hasattr(module, name), f"{module_name}.{name} missing"
+
+
+@pytest.mark.parametrize("module_name", sorted(SUBPACKAGE_EXPORTS))
+def test_all_lists_are_importable(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        assert getattr(module, name) is not None, f"{module_name}.{name}"
+
+
+def test_every_public_callable_has_docstring():
+    """Documentation deliverable: public items carry doc comments."""
+    for module_name, names in SUBPACKAGE_EXPORTS.items():
+        module = importlib.import_module(module_name)
+        for name in names:
+            obj = getattr(module, name)
+            assert getattr(obj, "__doc__", None), f"{module_name}.{name}"

@@ -1,0 +1,73 @@
+"""Tests for attention blocks and transformer encoders."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+@pytest.fixture()
+def sequence(rng):
+    return nn.Tensor(rng.standard_normal((2, 5, 16)).astype(np.float32))
+
+
+class TestSelfAttention:
+    def test_output_shape(self, sequence):
+        attn = nn.MultiHeadSelfAttention(16, num_heads=4, rng=0)
+        assert attn(sequence).shape == (2, 5, 16)
+
+    def test_dim_must_divide_heads(self):
+        with pytest.raises(ValueError):
+            nn.MultiHeadSelfAttention(10, num_heads=3, rng=0)
+
+    def test_mask_blocks_padding(self, rng):
+        attn = nn.MultiHeadSelfAttention(16, num_heads=4, rng=0)
+        x = rng.standard_normal((1, 4, 16)).astype(np.float32)
+        mask = np.asarray([[True, True, False, False]])
+        base = attn(nn.Tensor(x), mask).numpy()
+        # changing masked positions must not affect the output
+        x2 = x.copy()
+        x2[0, 2:] = 99.0
+        perturbed = attn(nn.Tensor(x2), mask).numpy()
+        np.testing.assert_allclose(base[:, :2], perturbed[:, :2], atol=1e-5)
+
+    def test_gradients_flow(self, sequence):
+        attn = nn.MultiHeadSelfAttention(16, num_heads=2, rng=0)
+        attn(sequence).sum().backward()
+        grads = [p.grad for p in attn.parameters()]
+        assert all(g is not None for g in grads)
+
+
+class TestCrossAttention:
+    def test_shapes_with_different_lengths(self, rng):
+        cross = nn.CrossAttention(16, num_heads=4, rng=0)
+        query = nn.Tensor(rng.standard_normal((2, 3, 16)).astype(np.float32))
+        context = nn.Tensor(rng.standard_normal((2, 7, 16)).astype(np.float32))
+        assert cross(query, context).shape == (2, 3, 16)
+
+
+class TestTransformer:
+    def test_block_residual_shape(self, sequence):
+        block = nn.TransformerBlock(16, num_heads=4, rng=0)
+        assert block(sequence).shape == (2, 5, 16)
+
+    def test_encoder_depth(self):
+        encoder = nn.TransformerEncoder(16, depth=3, num_heads=4, rng=0)
+        assert len(encoder.blocks) == 3
+
+    def test_encoder_trains(self, sequence):
+        encoder = nn.TransformerEncoder(16, depth=2, num_heads=4, rng=0)
+        encoder(sequence).sum().backward()
+        with_grad = [p for p in encoder.parameters() if p.grad is not None]
+        assert len(with_grad) == len(list(encoder.parameters()))
+
+
+class TestPositions:
+    def test_sinusoidal_shape_and_range(self):
+        enc = nn.sinusoidal_positions(10, 8)
+        assert enc.shape == (10, 8)
+        assert np.abs(enc).max() <= 1.0
+
+    def test_rows_distinct(self):
+        enc = nn.sinusoidal_positions(16, 8)
+        assert not np.allclose(enc[0], enc[5])

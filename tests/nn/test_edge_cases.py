@@ -1,0 +1,101 @@
+"""Edge cases and failure injection across the nn substrate."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+
+
+class TestNoGradNesting:
+    def test_nested_contexts_restore(self):
+        assert nn.is_grad_enabled()
+        with nn.no_grad():
+            assert not nn.is_grad_enabled()
+            with nn.no_grad():
+                assert not nn.is_grad_enabled()
+            assert not nn.is_grad_enabled()
+        assert nn.is_grad_enabled()
+
+    def test_exception_inside_no_grad_restores(self):
+        with pytest.raises(RuntimeError):
+            with nn.no_grad():
+                raise RuntimeError("boom")
+        assert nn.is_grad_enabled()
+
+    def test_ops_inside_no_grad_have_no_parents(self):
+        t = nn.Tensor([1.0, 2.0], requires_grad=True)
+        with nn.no_grad():
+            out = t * 2 + 1
+        assert not out.requires_grad
+        assert out._backward is None
+
+
+class TestNumericalEdges:
+    def test_pow_non_scalar_exponent_rejected(self):
+        t = nn.Tensor([1.0])
+        with pytest.raises(TypeError):
+            t ** nn.Tensor([2.0])
+
+    def test_division_by_tensor(self):
+        a = nn.Tensor([4.0], requires_grad=True)
+        (2.0 / a).backward(np.asarray([1.0], dtype=np.float32))
+        np.testing.assert_allclose(a.grad, [-2.0 / 16.0])
+
+    def test_rsub(self):
+        a = nn.Tensor([1.0], requires_grad=True)
+        (3.0 - a).backward(np.asarray([1.0], dtype=np.float32))
+        np.testing.assert_allclose(a.grad, [-1.0])
+
+    def test_sqrt_gradient(self):
+        a = nn.Tensor([4.0], requires_grad=True)
+        a.sqrt().backward(np.asarray([1.0], dtype=np.float32))
+        np.testing.assert_allclose(a.grad, [0.25])
+
+    def test_tiny_values_stay_finite(self):
+        t = nn.Tensor(np.full(4, 1e-30, dtype=np.float32), requires_grad=True)
+        out = F.l2_normalize(t.reshape(1, 4))
+        out.sum().backward()
+        assert np.isfinite(out.numpy()).all()
+        assert np.isfinite(t.grad).all()
+
+    def test_softmax_single_column(self):
+        out = F.softmax(nn.Tensor([[3.0]])).numpy()
+        np.testing.assert_allclose(out, [[1.0]])
+
+
+class TestModuleEdges:
+    def test_sequential_empty_is_identity(self):
+        model = nn.Sequential()
+        x = nn.Tensor(np.ones(3, dtype=np.float32))
+        assert model(x) is x
+
+    def test_module_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            nn.Module()(1)
+
+    def test_embedding_empty_ids(self):
+        table = nn.Embedding(4, 2, rng=0)
+        out = table(np.asarray([], dtype=np.int64))
+        assert out.shape == (0, 2)
+
+    def test_transformer_min_sequence(self, rng):
+        encoder = nn.TransformerEncoder(8, depth=1, num_heads=2, rng=0)
+        x = nn.Tensor(rng.standard_normal((1, 1, 8)).astype(np.float32))
+        assert encoder(x).shape == (1, 1, 8)
+
+
+class TestOptimizerEdges:
+    def test_step_with_all_grads_none_is_noop(self):
+        p = nn.Parameter(np.asarray([1.0], dtype=np.float32))
+        optimizer = nn.AdamW([p], lr=0.1)
+        optimizer.step()
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_clip_empty_params(self):
+        assert nn.clip_grad_norm([], max_norm=1.0) == 0.0
+
+    def test_clip_zero_gradients(self):
+        p = nn.Parameter(np.zeros(2, dtype=np.float32))
+        p.grad = np.zeros(2, dtype=np.float32)
+        assert nn.clip_grad_norm([p], max_norm=1.0) == 0.0

@@ -1,0 +1,134 @@
+"""Tests for differentiable functional building blocks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.nn import functional as F
+
+
+@pytest.fixture()
+def matrix(rng):
+    return rng.standard_normal((4, 6)).astype(np.float32)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, matrix):
+        out = F.softmax(nn.Tensor(matrix)).numpy()
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones(4), atol=1e-6)
+
+    def test_stability_with_large_logits(self):
+        out = F.softmax(nn.Tensor([[1000.0, 1000.0]])).numpy()
+        np.testing.assert_allclose(out, [[0.5, 0.5]], atol=1e-6)
+
+    def test_log_softmax_matches_log_of_softmax(self, matrix):
+        a = F.log_softmax(nn.Tensor(matrix)).numpy()
+        b = np.log(F.softmax(nn.Tensor(matrix)).numpy())
+        np.testing.assert_allclose(a, b, atol=1e-5)
+
+    def test_gradient_flows(self, matrix):
+        t = nn.Tensor(matrix, requires_grad=True)
+        F.softmax(t).sum().backward()
+        assert t.grad is not None
+        # softmax rows sum to one, so d(sum)/dx is ~0
+        np.testing.assert_allclose(t.grad, np.zeros_like(matrix), atol=1e-5)
+
+
+class TestCrossEntropy:
+    def test_matches_manual(self, matrix):
+        targets = np.asarray([0, 1, 2, 3])
+        loss = F.cross_entropy(nn.Tensor(matrix), targets).item()
+        logp = matrix - np.log(np.exp(matrix).sum(axis=1, keepdims=True))
+        manual = -logp[np.arange(4), targets].mean()
+        assert loss == pytest.approx(manual, abs=1e-5)
+
+    def test_perfect_prediction_near_zero(self):
+        logits = np.eye(3, dtype=np.float32) * 50.0
+        loss = F.cross_entropy(nn.Tensor(logits), np.arange(3)).item()
+        assert loss < 1e-5
+
+    def test_gradient_direction(self):
+        logits = nn.Tensor(np.zeros((1, 3), dtype=np.float32),
+                           requires_grad=True)
+        F.cross_entropy(logits, np.asarray([1])).backward()
+        assert logits.grad[0, 1] < 0  # push target logit up
+        assert logits.grad[0, 0] > 0
+
+
+class TestNormalize:
+    def test_unit_norm(self, matrix):
+        out = F.l2_normalize(nn.Tensor(matrix)).numpy()
+        np.testing.assert_allclose(np.linalg.norm(out, axis=-1),
+                                   np.ones(4), atol=1e-4)
+
+    def test_zero_vector_is_safe(self):
+        out = F.l2_normalize(nn.Tensor(np.zeros((1, 4), dtype=np.float32)))
+        assert np.isfinite(out.numpy()).all()
+
+    def test_cosine_similarity_bounds(self, matrix, rng):
+        other = rng.standard_normal((3, 6)).astype(np.float32)
+        sims = F.cosine_similarity_matrix(nn.Tensor(matrix),
+                                          nn.Tensor(other)).numpy()
+        assert sims.shape == (4, 3)
+        assert (sims <= 1.0 + 1e-5).all() and (sims >= -1.0 - 1e-5).all()
+
+    def test_cosine_self_similarity_is_one(self, matrix):
+        sims = F.cosine_similarity_matrix(nn.Tensor(matrix),
+                                          nn.Tensor(matrix)).numpy()
+        np.testing.assert_allclose(np.diag(sims), np.ones(4), atol=1e-4)
+
+
+class TestLayerNorm:
+    def test_zero_mean_unit_var(self, matrix):
+        weight = nn.Tensor(np.ones(6, dtype=np.float32))
+        bias = nn.Tensor(np.zeros(6, dtype=np.float32))
+        out = F.layer_norm(nn.Tensor(matrix), weight, bias).numpy()
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(4), atol=1e-4)
+        np.testing.assert_allclose(out.std(axis=-1), np.ones(4), atol=1e-2)
+
+    def test_affine_params_apply(self, matrix):
+        weight = nn.Tensor(np.full(6, 2.0, dtype=np.float32))
+        bias = nn.Tensor(np.full(6, 3.0, dtype=np.float32))
+        out = F.layer_norm(nn.Tensor(matrix), weight, bias).numpy()
+        np.testing.assert_allclose(out.mean(axis=-1), np.full(4, 3.0),
+                                   atol=1e-3)
+
+
+class TestDropout:
+    def test_identity_when_eval(self, matrix):
+        out = F.dropout(nn.Tensor(matrix), 0.5, rng=0, training=False)
+        np.testing.assert_array_equal(out.numpy(), matrix)
+
+    def test_identity_when_rate_zero(self, matrix):
+        out = F.dropout(nn.Tensor(matrix), 0.0, rng=0, training=True)
+        np.testing.assert_array_equal(out.numpy(), matrix)
+
+    def test_scales_kept_values(self):
+        ones = np.ones((100, 100), dtype=np.float32)
+        out = F.dropout(nn.Tensor(ones), 0.5, rng=0, training=True).numpy()
+        kept = out[out > 0]
+        np.testing.assert_allclose(kept, np.full_like(kept, 2.0))
+        assert 0.4 < (out > 0).mean() < 0.6
+
+
+class TestGelu:
+    def test_monotone_region_and_zero(self):
+        out = F.gelu(nn.Tensor([-1.0, 0.0, 1.0])).numpy()
+        assert out[1] == pytest.approx(0.0, abs=1e-6)
+        assert out[2] > out[1] > out[0]
+
+    def test_approaches_identity_for_large_x(self):
+        out = F.gelu(nn.Tensor([10.0])).numpy()
+        assert out[0] == pytest.approx(10.0, abs=1e-3)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(1, 6), st.integers(2, 6))
+def test_property_softmax_invariant_to_shift(rows, cols):
+    rng = np.random.default_rng(rows * 7 + cols)
+    logits = rng.standard_normal((rows, cols)).astype(np.float32)
+    a = F.softmax(nn.Tensor(logits)).numpy()
+    b = F.softmax(nn.Tensor(logits + 5.0)).numpy()
+    np.testing.assert_allclose(a, b, atol=1e-5)

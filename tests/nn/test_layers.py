@@ -1,0 +1,130 @@
+"""Tests for the module system and basic layers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+class TestModule:
+    def test_parameter_discovery_deduplicates(self):
+        linear = nn.Linear(3, 3, rng=0)
+
+        class Shared(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.a = linear
+                self.b = linear
+
+        params = list(Shared().parameters())
+        assert len(params) == 2  # weight + bias once
+
+    def test_parameters_in_lists(self):
+        model = nn.Sequential(nn.Linear(2, 3, rng=0), nn.Linear(3, 1, rng=0))
+        assert len(list(model.parameters())) == 4
+
+    def test_freeze_excludes_from_parameters(self):
+        model = nn.Linear(2, 2, rng=0)
+        model.freeze()
+        assert list(model.parameters()) == []
+
+    def test_train_eval_propagates(self):
+        model = nn.Sequential(nn.Dropout(0.5, rng=0))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad(self):
+        model = nn.Linear(2, 2, rng=0)
+        out = model(nn.Tensor(np.ones((1, 2), dtype=np.float32)))
+        out.sum().backward()
+        assert model.weight.grad is not None
+        model.zero_grad()
+        assert model.weight.grad is None
+
+    def test_state_dict_roundtrip(self):
+        a = nn.MLP([4, 8, 2], rng=1)
+        b = nn.MLP([4, 8, 2], rng=2)
+        b.load_state_dict(a.state_dict())
+        x = nn.Tensor(np.ones((1, 4), dtype=np.float32))
+        np.testing.assert_allclose(a(x).numpy(), b(x).numpy(), atol=1e-6)
+
+    def test_load_state_dict_missing_key_raises(self):
+        model = nn.Linear(2, 2, rng=0)
+        with pytest.raises(KeyError):
+            model.load_state_dict({})
+
+    def test_load_state_dict_shape_mismatch_raises(self):
+        model = nn.Linear(2, 2, rng=0)
+        state = model.state_dict()
+        state["weight"] = np.zeros((3, 3), dtype=np.float32)
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_num_parameters(self):
+        model = nn.Linear(3, 4, rng=0)
+        assert model.num_parameters() == 3 * 4 + 4
+
+
+class TestLinear:
+    def test_shapes(self, rng):
+        layer = nn.Linear(5, 3, rng=0)
+        out = layer(nn.Tensor(rng.standard_normal((7, 5)).astype(np.float32)))
+        assert out.shape == (7, 3)
+
+    def test_no_bias(self):
+        layer = nn.Linear(2, 2, bias=False, rng=0)
+        assert layer.bias is None
+        assert len(list(layer.parameters())) == 1
+
+    def test_matches_manual(self, rng):
+        layer = nn.Linear(3, 2, rng=0)
+        x = rng.standard_normal((4, 3)).astype(np.float32)
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(layer(nn.Tensor(x)).numpy(), expected,
+                                   atol=1e-6)
+
+
+class TestEmbedding:
+    def test_lookup(self):
+        table = nn.Embedding(10, 4, rng=0)
+        out = table(np.asarray([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 4)
+        np.testing.assert_allclose(out.numpy()[0, 0], table.weight.data[1])
+
+    def test_out_of_range_raises(self):
+        table = nn.Embedding(3, 2, rng=0)
+        with pytest.raises(IndexError):
+            table(np.asarray([5]))
+
+    def test_gradient_accumulates_per_id(self):
+        table = nn.Embedding(4, 2, rng=0)
+        out = table(np.asarray([1, 1, 2]))
+        out.sum().backward()
+        np.testing.assert_allclose(table.weight.grad[1], [2.0, 2.0])
+        np.testing.assert_allclose(table.weight.grad[0], [0.0, 0.0])
+
+
+class TestMLP:
+    def test_requires_two_sizes(self):
+        with pytest.raises(ValueError):
+            nn.MLP([4])
+
+    def test_hidden_relu_applied(self):
+        mlp = nn.MLP([2, 3, 1], rng=0)
+        # 2 Linear layers + 1 ReLU
+        assert len(mlp.layers) == 3
+
+    def test_forward_shape(self, rng):
+        mlp = nn.MLP([4, 8, 8, 2], rng=0)
+        out = mlp(nn.Tensor(rng.standard_normal((5, 4)).astype(np.float32)))
+        assert out.shape == (5, 2)
+
+
+class TestLayerNormModule:
+    def test_parameters_and_shape(self, rng):
+        layer = nn.LayerNorm(6)
+        x = rng.standard_normal((2, 6)).astype(np.float32)
+        assert layer(nn.Tensor(x)).shape == (2, 6)
+        assert len(list(layer.parameters())) == 2

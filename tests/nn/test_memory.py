@@ -1,0 +1,42 @@
+"""Memory tracker tests."""
+
+import gc
+
+import numpy as np
+
+from repro import nn
+from repro.nn.memory import MemoryTracker
+
+
+class TestMemoryTracker:
+    def test_records_allocations(self):
+        with MemoryTracker() as tracker:
+            tensor = nn.Tensor(np.zeros((100, 100), dtype=np.float32))
+        assert tracker.peak_bytes >= tensor.data.nbytes
+
+    def test_peak_reflects_simultaneous_residency(self):
+        with MemoryTracker() as tracker:
+            a = nn.Tensor(np.zeros(1000, dtype=np.float32))
+            first_peak = tracker.current_bytes
+            del a
+            gc.collect()
+            nn.Tensor(np.zeros(10, dtype=np.float32))
+        assert tracker.peak_bytes == first_peak
+
+    def test_nested_trackers_both_observe(self):
+        with MemoryTracker() as outer:
+            with MemoryTracker() as inner:
+                nn.Tensor(np.zeros(64, dtype=np.float32))
+        assert inner.peak_bytes > 0
+        assert outer.peak_bytes >= inner.peak_bytes
+
+    def test_no_tracking_outside_context(self):
+        tracker = MemoryTracker()
+        nn.Tensor(np.zeros(64, dtype=np.float32))
+        assert tracker.peak_bytes == 0
+
+    def test_unit_conversions(self):
+        tracker = MemoryTracker()
+        tracker.peak_bytes = 1024**3
+        assert tracker.peak_gb == 1.0
+        assert tracker.peak_mb == 1024.0

@@ -1,0 +1,88 @@
+"""Optimizer tests: convergence, weight decay, clipping."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+def quadratic_param():
+    return nn.Parameter(np.asarray([5.0, -3.0], dtype=np.float32))
+
+
+def minimize(optimizer, param, steps=200):
+    for _ in range(steps):
+        optimizer.zero_grad()
+        loss = (param * param).sum()
+        loss.backward()
+        optimizer.step()
+    return np.abs(param.data).max()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        assert minimize(nn.SGD([p], lr=0.1), p) < 1e-3
+
+    def test_momentum_accelerates(self):
+        plain, momentum = quadratic_param(), quadratic_param()
+        final_plain = minimize(nn.SGD([plain], lr=0.01), plain, steps=50)
+        final_momentum = minimize(nn.SGD([momentum], lr=0.01, momentum=0.9),
+                                  momentum, steps=50)
+        assert final_momentum < final_plain
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            nn.SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        assert minimize(nn.Adam([p], lr=0.1), p) < 1e-2
+
+    def test_skips_params_without_grad(self):
+        p = quadratic_param()
+        q = nn.Parameter(np.asarray([1.0], dtype=np.float32))
+        optimizer = nn.Adam([p, q], lr=0.1)
+        optimizer.zero_grad()
+        (p * p).sum().backward()
+        optimizer.step()
+        np.testing.assert_allclose(q.data, [1.0])
+
+
+class TestAdamW:
+    def test_weight_decay_shrinks_unused_weights(self):
+        p = nn.Parameter(np.asarray([1.0], dtype=np.float32))
+        optimizer = nn.AdamW([p], lr=0.1, weight_decay=0.1)
+        for _ in range(10):
+            optimizer.zero_grad()
+            (p * 0.0).sum().backward()
+            optimizer.step()
+        assert abs(p.data[0]) < 1.0
+
+    def test_decay_zero_matches_adam(self):
+        a, b = quadratic_param(), quadratic_param()
+        opt_a = nn.Adam([a], lr=0.05)
+        opt_b = nn.AdamW([b], lr=0.05, weight_decay=0.0)
+        for _ in range(20):
+            for opt, p in ((opt_a, a), (opt_b, b)):
+                opt.zero_grad()
+                (p * p).sum().backward()
+                opt.step()
+        np.testing.assert_allclose(a.data, b.data, atol=1e-6)
+
+
+class TestClipGradNorm:
+    def test_clips_when_above(self):
+        p = nn.Parameter(np.zeros(2, dtype=np.float32))
+        p.grad = np.asarray([3.0, 4.0], dtype=np.float32)
+        total = nn.clip_grad_norm([p], max_norm=1.0)
+        assert total == pytest.approx(5.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0, abs=1e-5)
+
+    def test_no_clip_when_below(self):
+        p = nn.Parameter(np.zeros(2, dtype=np.float32))
+        p.grad = np.asarray([0.3, 0.4], dtype=np.float32)
+        nn.clip_grad_norm([p], max_norm=1.0)
+        np.testing.assert_allclose(p.grad, [0.3, 0.4])

@@ -1,0 +1,236 @@
+"""Autodiff engine tests: ops, broadcasting, graph traversal, gradcheck."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.nn.tensor import _unbroadcast
+
+
+def numeric_gradient(fn, array, eps=1e-3):
+    """Central-difference gradient of a scalar-valued fn."""
+    grad = np.zeros_like(array)
+    it = np.nditer(array, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        original = array[idx]
+        array[idx] = original + eps
+        plus = fn(array)
+        array[idx] = original - eps
+        minus = fn(array)
+        array[idx] = original
+        grad[idx] = (plus - minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_gradient(build, array, tol=2e-2):
+    """Compare autodiff gradient of build(Tensor) against finite diff."""
+    tensor = nn.Tensor(array, requires_grad=True)
+    build(tensor).backward()
+    numeric = numeric_gradient(lambda a: build(nn.Tensor(a)).item(),
+                               array.copy())
+    assert tensor.grad is not None
+    np.testing.assert_allclose(tensor.grad, numeric, atol=tol, rtol=tol)
+
+
+@pytest.fixture()
+def matrix(rng):
+    return rng.standard_normal((3, 4)).astype(np.float32)
+
+
+class TestBasics:
+    def test_creation_casts_to_float32(self):
+        assert nn.Tensor([1, 2, 3]).data.dtype == np.float32
+        assert nn.Tensor(np.zeros(2, dtype=np.float64)).data.dtype == np.float32
+
+    def test_requires_grad_respects_no_grad(self):
+        with nn.no_grad():
+            t = nn.Tensor([1.0], requires_grad=True)
+        assert not t.requires_grad
+        assert nn.is_grad_enabled()
+
+    def test_backward_requires_scalar(self, matrix):
+        t = nn.Tensor(matrix, requires_grad=True)
+        with pytest.raises(ValueError):
+            (t * 2).backward()
+
+    def test_detach_breaks_graph(self, matrix):
+        t = nn.Tensor(matrix, requires_grad=True)
+        out = (t * 2).detach()
+        assert not out.requires_grad
+
+    def test_repr_and_shape(self, matrix):
+        t = nn.Tensor(matrix, requires_grad=True)
+        assert "requires_grad" in repr(t)
+        assert t.shape == (3, 4)
+        assert t.ndim == 2
+        assert t.size == 12
+        assert len(t) == 3
+
+
+class TestGradients:
+    def test_add_mul(self, matrix):
+        check_gradient(lambda t: ((t + 2.0) * t).sum(), matrix)
+
+    def test_sub_div(self, matrix):
+        check_gradient(lambda t: (t / 2.0 - t).sum(), matrix)
+
+    def test_pow(self, matrix):
+        check_gradient(lambda t: (t ** 2).sum(), matrix)
+
+    def test_matmul(self, rng):
+        a = rng.standard_normal((3, 4)).astype(np.float32)
+        b = rng.standard_normal((4, 5)).astype(np.float32)
+        ta = nn.Tensor(a, requires_grad=True)
+        tb = nn.Tensor(b, requires_grad=True)
+        (ta @ tb).sum().backward()
+        np.testing.assert_allclose(
+            ta.grad, numeric_gradient(
+                lambda x: float((x @ b).sum()), a.copy()), atol=2e-2)
+        np.testing.assert_allclose(
+            tb.grad, numeric_gradient(
+                lambda x: float((a @ x).sum()), b.copy()), atol=2e-2)
+
+    def test_matmul_vector_cases(self, rng):
+        a = rng.standard_normal(4).astype(np.float32)
+        m = rng.standard_normal((4, 3)).astype(np.float32)
+        ta = nn.Tensor(a, requires_grad=True)
+        (ta @ nn.Tensor(m)).sum().backward()
+        np.testing.assert_allclose(ta.grad, m.sum(axis=1), atol=1e-5)
+        tm = nn.Tensor(m, requires_grad=True)
+        (nn.Tensor(a) @ tm).sum().backward()
+        np.testing.assert_allclose(tm.grad, np.tile(a[:, None], (1, 3)),
+                                   atol=1e-5)
+
+    def test_batched_matmul(self, rng):
+        a = rng.standard_normal((2, 3, 4)).astype(np.float32)
+        b = rng.standard_normal((2, 4, 5)).astype(np.float32)
+        ta = nn.Tensor(a, requires_grad=True)
+        tb = nn.Tensor(b, requires_grad=True)
+        ((ta @ tb) ** 2).sum().backward()
+        assert ta.grad.shape == a.shape
+        assert tb.grad.shape == b.shape
+
+    def test_nonlinearities(self, matrix):
+        check_gradient(lambda t: t.tanh().sum(), matrix)
+        check_gradient(lambda t: t.sigmoid().sum(), matrix)
+        check_gradient(lambda t: t.exp().sum(), matrix)
+        check_gradient(lambda t: (t * t + 1.0).log().sum(), matrix)
+        check_gradient(lambda t: t.relu().sum(), matrix + 0.1)
+        check_gradient(lambda t: t.abs().sum(), matrix + 0.1)
+
+    def test_reductions(self, matrix):
+        check_gradient(lambda t: t.sum(axis=0).sum(), matrix)
+        check_gradient(lambda t: t.mean(axis=1).sum(), matrix)
+        check_gradient(lambda t: t.sum(axis=1, keepdims=True).sum(), matrix)
+        check_gradient(lambda t: t.max(axis=1).sum(), matrix)
+
+    def test_shape_ops(self, matrix):
+        check_gradient(lambda t: t.reshape(4, 3).sum(), matrix)
+        check_gradient(lambda t: t.transpose().sum(), matrix)
+        check_gradient(lambda t: t.swapaxes(0, 1).sum(), matrix)
+
+    def test_getitem(self, matrix):
+        check_gradient(lambda t: t[1:, :2].sum(), matrix)
+
+    def test_fancy_indexing_accumulates(self):
+        t = nn.Tensor(np.zeros(3, dtype=np.float32), requires_grad=True)
+        rows = np.asarray([0, 0, 2])
+        t[rows].sum().backward()
+        np.testing.assert_allclose(t.grad, [2.0, 0.0, 1.0])
+
+    def test_clip(self, matrix):
+        t = nn.Tensor(matrix, requires_grad=True)
+        t.clip(-0.5, 0.5).sum().backward()
+        inside = (matrix >= -0.5) & (matrix <= 0.5)
+        np.testing.assert_allclose(t.grad, inside.astype(np.float32))
+
+    def test_shared_subexpression(self, matrix):
+        t = nn.Tensor(matrix, requires_grad=True)
+        y = t * 2.0
+        (y + y).sum().backward()
+        np.testing.assert_allclose(t.grad, np.full_like(matrix, 4.0))
+
+    def test_grad_accumulates_across_backwards(self, matrix):
+        t = nn.Tensor(matrix, requires_grad=True)
+        (t * 1.0).sum().backward()
+        (t * 1.0).sum().backward()
+        np.testing.assert_allclose(t.grad, np.full_like(matrix, 2.0))
+
+    def test_broadcasting_gradient(self, rng):
+        a = rng.standard_normal((3, 4)).astype(np.float32)
+        b = rng.standard_normal((4,)).astype(np.float32)
+        tb = nn.Tensor(b, requires_grad=True)
+        (nn.Tensor(a) * tb).sum().backward()
+        np.testing.assert_allclose(tb.grad, a.sum(axis=0), atol=1e-5)
+
+
+class TestConcatStack:
+    def test_concat_gradient(self, rng):
+        a = rng.standard_normal((2, 3)).astype(np.float32)
+        b = rng.standard_normal((4, 3)).astype(np.float32)
+        ta = nn.Tensor(a, requires_grad=True)
+        tb = nn.Tensor(b, requires_grad=True)
+        out = nn.concat([ta, tb], axis=0)
+        assert out.shape == (6, 3)
+        (out * 2).sum().backward()
+        np.testing.assert_allclose(ta.grad, np.full_like(a, 2.0))
+        np.testing.assert_allclose(tb.grad, np.full_like(b, 2.0))
+
+    def test_stack_gradient(self, rng):
+        a = rng.standard_normal(3).astype(np.float32)
+        ta = nn.Tensor(a, requires_grad=True)
+        out = nn.stack([ta, ta], axis=0)
+        assert out.shape == (2, 3)
+        out.sum().backward()
+        np.testing.assert_allclose(ta.grad, np.full_like(a, 2.0))
+
+
+class TestUnbroadcast:
+    def test_identity(self):
+        g = np.ones((3, 4))
+        assert _unbroadcast(g, (3, 4)).shape == (3, 4)
+
+    def test_leading_dims(self):
+        g = np.ones((2, 3, 4))
+        np.testing.assert_allclose(_unbroadcast(g, (3, 4)),
+                                   np.full((3, 4), 2.0))
+
+    def test_kept_ones(self):
+        g = np.ones((3, 4))
+        np.testing.assert_allclose(_unbroadcast(g, (3, 1)),
+                                   np.full((3, 1), 4.0))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.floats(-3, 3), min_size=2, max_size=12))
+def test_property_sum_gradient_is_ones(values):
+    array = np.asarray(values, dtype=np.float32)
+    t = nn.Tensor(array, requires_grad=True)
+    t.sum().backward()
+    np.testing.assert_allclose(t.grad, np.ones_like(array))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.floats(-2, 2), min_size=2, max_size=8),
+       st.lists(st.floats(-2, 2), min_size=2, max_size=8))
+def test_property_addition_commutes_gradients(left, right):
+    n = min(len(left), len(right))
+    a = np.asarray(left[:n], dtype=np.float32)
+    b = np.asarray(right[:n], dtype=np.float32)
+    ta = nn.Tensor(a, requires_grad=True)
+    tb = nn.Tensor(b, requires_grad=True)
+    (ta * tb).sum().backward()
+    np.testing.assert_allclose(ta.grad, b, atol=1e-6)
+    np.testing.assert_allclose(tb.grad, a, atol=1e-6)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 5), st.integers(2, 5))
+def test_property_tanh_gradcheck(n, m):
+    rng = np.random.default_rng(n * 10 + m)
+    array = rng.standard_normal((n, m)).astype(np.float32)
+    check_gradient(lambda t: (t.tanh() ** 2).sum(), array)

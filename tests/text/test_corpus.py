@@ -1,0 +1,58 @@
+"""Synthetic corpus generation tests."""
+
+from repro.datasets.world import AttributeSchema, ConceptUniverse, caption_for
+from repro.text.corpus import build_caption_corpus, build_text_corpus
+
+
+class TestCaptionCorpus:
+    def test_count_and_indices(self):
+        universe = ConceptUniverse(6, seed=1)
+        corpus = build_caption_corpus(universe, captions_per_concept=3, seed=1)
+        assert len(corpus) == 18
+        assert {i for i, _ in corpus} == set(range(6))
+
+    def test_deterministic(self):
+        universe = ConceptUniverse(4, seed=2)
+        a = build_caption_corpus(universe, seed=5)
+        b = build_caption_corpus(universe, seed=5)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        universe = ConceptUniverse(4, seed=2)
+        a = build_caption_corpus(universe, seed=5)
+        b = build_caption_corpus(universe, seed=6)
+        assert a != b
+
+
+class TestTextCorpus:
+    def test_contains_symbolic_facts(self):
+        universe = ConceptUniverse(3, seed=0)
+        sentences = build_text_corpus(universe, seed=0)
+        concept = universe[0]
+        assert any(concept.symbolic["food"] in s and "eats" in s
+                   for s in sentences)
+
+    def test_contains_visual_phrases(self):
+        universe = ConceptUniverse(3, seed=0)
+        sentences = build_text_corpus(universe, seed=0)
+        concept = universe[0]
+        part, color = concept.visual_items()[0]
+        phrase = universe.schema.visual_phrase(part, color)
+        assert any(phrase in s and concept.name in s for s in sentences)
+
+
+class TestCaptionFor:
+    def test_photo_prefix(self):
+        universe = ConceptUniverse(2, seed=0)
+        caption = caption_for(universe[0], universe.schema, rng=0)
+        assert caption.startswith("a photo of a")
+
+    def test_mentions_an_own_attribute_word(self):
+        universe = ConceptUniverse(2, seed=0)
+        schema = universe.schema
+        concept = universe[0]
+        own_colors = {schema.color_names[c] for _, c in concept.visual_items()}
+        own_parts = {schema.part_names[p] for p, _ in concept.visual_items()}
+        caption = caption_for(concept, schema, rng=1)
+        words = set(caption.split())
+        assert words & (own_colors | own_parts)

@@ -1,0 +1,86 @@
+"""MiniLM pre-trained embedding tests."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.world import ConceptUniverse
+from repro.text.corpus import build_text_corpus
+from repro.text.minilm import MiniLM
+from repro.text.tokenizer import Vocabulary
+
+
+@pytest.fixture(scope="module")
+def trained():
+    universe = ConceptUniverse(12, kind="bird", seed=3)
+    vocab = Vocabulary(universe.vocabulary_words())
+    model = MiniLM(vocab, dim=24).pretrain(
+        build_text_corpus(universe, seed=3), seed=3)
+    return universe, model
+
+
+class TestPretrain:
+    def test_requires_corpus(self):
+        model = MiniLM(Vocabulary(["word"]))
+        with pytest.raises(ValueError):
+            model.pretrain([])
+
+    def test_embed_before_pretrain_raises(self):
+        model = MiniLM(Vocabulary(["word"]))
+        with pytest.raises(RuntimeError):
+            model.embed_text("word")
+
+    def test_special_tokens_are_zero(self, trained):
+        _, model = trained
+        np.testing.assert_allclose(model.embeddings[:5], 0.0)
+
+    def test_embedding_shape(self, trained):
+        universe, model = trained
+        assert model.embeddings.shape == (len(model.vocab), 24)
+
+
+class TestSemantics:
+    def test_color_words_cluster(self, trained):
+        _, model = trained
+        # colors co-occur in the same caption slots, so they should be
+        # more similar to each other than to unrelated glue words
+        related = model.similarity("white", "black")
+        unrelated = model.similarity("white", "eats")
+        assert related > unrelated
+
+    def test_token_vs_text_embedding(self, trained):
+        _, model = trained
+        tokens = model.embed_tokens("white crown")
+        assert tokens.shape == (2, 24)
+        np.testing.assert_allclose(model.embed_text("white crown"),
+                                   tokens.mean(axis=0), atol=1e-6)
+
+    def test_empty_text(self, trained):
+        _, model = trained
+        assert model.embed_text("").shape == (24,)
+        assert model.embed_tokens("").shape == (0, 24)
+
+    def test_embed_texts_batch(self, trained):
+        _, model = trained
+        out = model.embed_texts(["white", "black", "grey"])
+        assert out.shape == (3, 24)
+
+    def test_similarity_bounds(self, trained):
+        _, model = trained
+        value = model.similarity("white", "white")
+        assert value == pytest.approx(1.0, abs=1e-5)
+
+    def test_name_similar_to_own_attribute(self, trained):
+        universe, model = trained
+        concept = universe[0]
+        part, color = concept.visual_items()[0]
+        schema = universe.schema
+        own = model.similarity(concept.name,
+                               schema.color_names[color])
+        # the concept's name co-occurs with its own colors in the corpus
+        others = [c for c in universe
+                  if schema.color_names[color] not in
+                  {schema.color_names[col] for _, col in c.visual_items()}]
+        if others:
+            other = model.similarity(others[0].name,
+                                     schema.color_names[color])
+            assert own > other

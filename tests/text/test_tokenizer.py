@@ -1,0 +1,120 @@
+"""Tokenizer and vocabulary tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text.tokenizer import (CLIP_MAX_TOKENS, CLS, MASK, PAD, SEP, UNK,
+                                  Vocabulary, WordTokenizer)
+
+
+@pytest.fixture()
+def vocab():
+    return Vocabulary(["laysan", "albatross", "white", "crown", "wing"])
+
+
+@pytest.fixture()
+def tokenizer(vocab):
+    return WordTokenizer(vocab, max_len=12)
+
+
+class TestVocabulary:
+    def test_specials_reserved_first(self, vocab):
+        assert vocab.pad_id == 0
+        assert vocab.cls_id == 1
+        assert vocab.sep_id == 2
+        assert vocab.mask_id == 3
+        assert vocab.unk_id == 4
+
+    def test_add_is_idempotent(self, vocab):
+        first = vocab.add("crown")
+        second = vocab.add("crown")
+        assert first == second
+
+    def test_add_rejects_multiword(self, vocab):
+        with pytest.raises(ValueError):
+            vocab.add("two words")
+
+    def test_unknown_maps_to_unk(self, vocab):
+        assert vocab.id_of("zebra") == vocab.unk_id
+
+    def test_add_text_splits_words(self):
+        vocab = Vocabulary()
+        vocab.add_text("White Crown, black-tail!")
+        assert "white" in vocab
+        assert "black-tail" in vocab
+
+    def test_len_and_tokens(self, vocab):
+        assert len(vocab) == 5 + 5
+        assert vocab.tokens()[0] == PAD
+
+
+class TestWordTokenizer:
+    def test_encode_structure(self, tokenizer, vocab):
+        ids = tokenizer.encode("laysan albatross")
+        assert ids[0] == vocab.cls_id
+        assert ids[3] == vocab.sep_id
+        assert (ids[4:] == vocab.pad_id).all()
+        assert len(ids) == 12
+
+    def test_truncation_at_max_len(self, vocab):
+        tokenizer = WordTokenizer(vocab, max_len=5)
+        ids = tokenizer.encode("white crown wing laysan albatross")
+        assert len(ids) == 5
+        assert ids[-1] == vocab.sep_id
+
+    def test_default_limit_is_clip_77(self, vocab):
+        assert WordTokenizer(vocab).max_len == CLIP_MAX_TOKENS
+
+    def test_max_len_too_small_raises(self, vocab):
+        with pytest.raises(ValueError):
+            WordTokenizer(vocab, max_len=2)
+
+    def test_decode_roundtrip(self, tokenizer):
+        text = "laysan albatross white crown"
+        assert tokenizer.decode(tokenizer.encode(text)) == text
+
+    def test_unknown_words_decode_as_unk(self, tokenizer):
+        decoded = tokenizer.decode(tokenizer.encode("zebra"))
+        assert decoded == UNK.lower().strip("[]") or UNK in decoded or decoded == "unk"
+
+    def test_encode_batch_pads_to_longest(self, tokenizer):
+        batch = tokenizer.encode_batch(["white", "white crown wing"])
+        assert batch.shape == (2, 5)
+
+    def test_encode_batch_respects_max_len(self, vocab):
+        tokenizer = WordTokenizer(vocab, max_len=4)
+        batch = tokenizer.encode_batch(["white crown wing laysan"])
+        assert batch.shape[1] == 4
+
+    def test_attention_mask(self, tokenizer):
+        batch = tokenizer.encode_batch(["white", "white crown"])
+        mask = tokenizer.attention_mask(batch)
+        assert mask[0].sum() == 3  # CLS word SEP
+        assert mask[1].sum() == 4
+
+    def test_case_insensitive(self, tokenizer):
+        np.testing.assert_array_equal(tokenizer.encode("WHITE"),
+                                      tokenizer.encode("white"))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.sampled_from(["laysan", "albatross", "white", "crown",
+                                 "wing"]), min_size=1, max_size=8))
+def test_property_roundtrip(words):
+    vocab = Vocabulary(["laysan", "albatross", "white", "crown", "wing"])
+    tokenizer = WordTokenizer(vocab, max_len=32)
+    text = " ".join(words)
+    assert tokenizer.decode(tokenizer.encode(text)) == text
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.text(max_size=60))
+def test_property_encode_never_crashes_and_bounds(text):
+    vocab = Vocabulary(["word"])
+    tokenizer = WordTokenizer(vocab, max_len=16)
+    ids = tokenizer.encode(text)
+    assert len(ids) == 16
+    assert ids.min() >= 0
+    assert ids.max() < len(vocab)

@@ -1,0 +1,84 @@
+"""Vision feature extractor tests."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.datasets.world import ConceptUniverse
+from repro.vision.encoder import PatchFeatureExtractor, VisionEncoder
+from repro.vision.image import ImageSpec, render_concept, render_repository
+
+
+@pytest.fixture(scope="module")
+def universe():
+    return ConceptUniverse(4, kind="bird", seed=5)
+
+
+class TestPatchFeatureExtractor:
+    def test_feature_shapes(self, universe):
+        extractor = PatchFeatureExtractor(dim=16, seed=1)
+        spec = ImageSpec()
+        image = render_concept(universe[0], rng=0)
+        assert extractor.features(image).shape == (spec.num_patches, 16)
+        raw = extractor.raw_features(image)
+        assert raw.shape == (spec.num_patches, 8 + spec.num_patches)
+
+    def test_position_onehot_in_raw(self, universe):
+        extractor = PatchFeatureExtractor(seed=1)
+        raw = extractor.raw_features(render_concept(universe[0], rng=0))
+        np.testing.assert_array_equal(raw[:, 8:],
+                                      np.eye(ImageSpec().num_patches))
+
+    def test_deterministic_given_seed(self, universe):
+        image = render_concept(universe[0], rng=0)
+        a = PatchFeatureExtractor(seed=3).features(image)
+        b = PatchFeatureExtractor(seed=3).features(image)
+        np.testing.assert_array_equal(a, b)
+
+    def test_batch(self, universe):
+        extractor = PatchFeatureExtractor(dim=8, seed=1)
+        repo = render_repository(list(universe), 2, seed=0)
+        out = extractor.features_batch(repo)
+        assert out.shape == (8, ImageSpec().num_patches, 8)
+
+    def test_empty_batch(self):
+        extractor = PatchFeatureExtractor(dim=8, seed=1)
+        assert extractor.features_batch([]).shape == (
+            0, ImageSpec().num_patches, 8)
+
+    def test_same_color_similar_features(self, universe):
+        """Patches painted the same color should be close in feature
+        space across different images."""
+        extractor = PatchFeatureExtractor(seed=1)
+        concept = universe[0]
+        part, _ = concept.visual_items()[0]
+        a = extractor.features(render_concept(concept, rng=1,
+                                              occlusion_prob=0.0))[part]
+        b = extractor.features(render_concept(concept, rng=2,
+                                              occlusion_prob=0.0))[part]
+        cosine = a @ b / (np.linalg.norm(a) * np.linalg.norm(b))
+        assert cosine > 0.9
+
+
+class TestVisionEncoder:
+    def test_output_shape(self, universe):
+        encoder = VisionEncoder(embed_dim=32, width=24, depth=1, rng=0)
+        pixels = np.stack([render_concept(universe[i], rng=i)
+                           for i in range(3)])
+        assert encoder(pixels).shape == (3, 32)
+
+    def test_single_image_promoted_to_batch(self, universe):
+        encoder = VisionEncoder(embed_dim=16, width=24, depth=1, rng=0)
+        out = encoder(render_concept(universe[0], rng=0))
+        assert out.shape == (1, 16)
+
+    def test_trainable(self, universe):
+        encoder = VisionEncoder(embed_dim=16, width=24, depth=1, rng=0)
+        out = encoder(render_concept(universe[0], rng=0))
+        out.sum().backward()
+        assert all(p.grad is not None for p in encoder.parameters())
+
+    def test_encode_images_helper(self, universe):
+        encoder = VisionEncoder(embed_dim=16, width=24, depth=1, rng=0)
+        repo = render_repository(list(universe)[:2], 2, seed=0)
+        assert encoder.encode_images(repo).shape == (4, 16)

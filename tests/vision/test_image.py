@@ -1,0 +1,68 @@
+"""Synthetic image renderer tests."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.world import COLOR_RGB, ConceptUniverse
+from repro.vision.image import (GRID, PATCH, SIDE, ImageSpec, render_concept,
+                                render_repository)
+
+
+@pytest.fixture(scope="module")
+def universe():
+    return ConceptUniverse(6, kind="bird", seed=4)
+
+
+class TestRenderConcept:
+    def test_shape_and_range(self, universe):
+        image = render_concept(universe[0], rng=0)
+        assert image.shape == (SIDE, SIDE, 3)
+        assert image.min() >= 0.0 and image.max() <= 1.0
+
+    def test_deterministic_with_seed(self, universe):
+        a = render_concept(universe[0], rng=42)
+        b = render_concept(universe[0], rng=42)
+        np.testing.assert_array_equal(a, b)
+
+    def test_attribute_patch_matches_color(self, universe):
+        concept = universe[0]
+        image = render_concept(concept, rng=0, noise=0.0, occlusion_prob=0.0)
+        part, color = concept.visual_items()[0]
+        row, col = divmod(part, GRID)
+        patch = image[row * PATCH:(row + 1) * PATCH,
+                      col * PATCH:(col + 1) * PATCH]
+        distance = np.abs(patch.mean(axis=(0, 1)) - COLOR_RGB[color]).mean()
+        assert distance < 0.25
+
+    def test_views_differ(self, universe):
+        a = render_concept(universe[0], rng=1)
+        b = render_concept(universe[0], rng=2)
+        assert not np.allclose(a, b)
+
+    def test_occlusion_probability_one_hides_a_patch(self, universe):
+        concept = universe[0]
+        clean = render_concept(concept, rng=3, noise=0.0, occlusion_prob=0.0)
+        occluded = render_concept(concept, rng=3, noise=0.0, occlusion_prob=1.0)
+        assert not np.allclose(clean, occluded)
+
+
+class TestRepository:
+    def test_counts_and_provenance(self, universe):
+        repo = render_repository(list(universe)[:3], images_per_concept=4,
+                                 seed=0)
+        assert len(repo) == 12
+        concepts = {img.concept_index for img in repo}
+        assert concepts == {0, 1, 2}
+        assert sorted(img.image_id for img in repo) == list(range(12))
+
+    def test_shuffled_but_deterministic(self, universe):
+        a = render_repository(list(universe)[:3], 2, seed=9)
+        b = render_repository(list(universe)[:3], 2, seed=9)
+        assert [x.image_id for x in a] == [x.image_id for x in b]
+
+
+class TestImageSpec:
+    def test_defaults_consistent(self):
+        spec = ImageSpec()
+        assert spec.side == SIDE
+        assert spec.num_patches == GRID * GRID

@@ -1,0 +1,51 @@
+"""Patch extraction tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.world import ConceptUniverse
+from repro.vision.image import ImageSpec, render_concept, render_repository
+from repro.vision.patches import extract_patches, patch_grid
+
+
+class TestPatchGrid:
+    def test_shape(self):
+        spec = ImageSpec()
+        image = np.zeros((spec.side, spec.side, 3), dtype=np.float32)
+        patches = patch_grid(image)
+        assert patches.shape == (spec.num_patches, spec.patch, spec.patch, 3)
+
+    def test_wrong_shape_raises(self):
+        with pytest.raises(ValueError):
+            patch_grid(np.zeros((5, 5, 3), dtype=np.float32))
+
+    def test_patch_i_is_slot_i(self):
+        spec = ImageSpec()
+        image = np.zeros((spec.side, spec.side, 3), dtype=np.float32)
+        image[:spec.patch, spec.patch:2 * spec.patch] = 1.0  # slot 1
+        patches = patch_grid(image)
+        assert patches[1].min() == 1.0
+        assert patches[0].max() == 0.0
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_property_reassembly(self, seed):
+        spec = ImageSpec()
+        rng = np.random.default_rng(seed)
+        image = rng.random((spec.side, spec.side, 3)).astype(np.float32)
+        patches = patch_grid(image)
+        rebuilt = patches.reshape(spec.grid, spec.grid, spec.patch,
+                                  spec.patch, 3).transpose(0, 2, 1, 3, 4)
+        rebuilt = rebuilt.reshape(spec.side, spec.side, 3)
+        np.testing.assert_array_equal(rebuilt, image)
+
+
+class TestExtractPatches:
+    def test_batch_shape(self):
+        universe = ConceptUniverse(2, seed=0)
+        repo = render_repository(list(universe), 2, seed=0)
+        spec = ImageSpec()
+        out = extract_patches(repo)
+        assert out.shape == (4, spec.num_patches, spec.patch, spec.patch, 3)

@@ -1,0 +1,60 @@
+"""Video substrate tests (§II-A frame division)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.world import ConceptUniverse
+from repro.vision.video import frames_to_images, record_video
+
+
+@pytest.fixture(scope="module")
+def universe():
+    return ConceptUniverse(3, seed=8)
+
+
+class TestRecordVideo:
+    def test_shape_and_range(self, universe):
+        video = record_video(universe[0], num_frames=6, rng=0)
+        assert video.frames.shape == (6, 24, 24, 3)
+        assert video.num_frames == 6
+        assert video.frames.min() >= 0.0 and video.frames.max() <= 1.0
+
+    def test_deterministic(self, universe):
+        a = record_video(universe[0], num_frames=4, rng=5)
+        b = record_video(universe[0], num_frames=4, rng=5)
+        np.testing.assert_array_equal(a.frames, b.frames)
+
+    def test_frames_vary_but_depict_same_content(self, universe):
+        video = record_video(universe[0], num_frames=4, rng=0)
+        assert not np.allclose(video.frames[0], video.frames[1])
+        # consecutive frames stay close (smooth flicker, same scene)
+        delta = np.abs(video.frames[0] - video.frames[1]).mean()
+        assert delta < 0.15
+
+    def test_requires_frames(self, universe):
+        with pytest.raises(ValueError):
+            record_video(universe[0], num_frames=0)
+
+
+class TestFramesToImages:
+    def test_stride_sampling(self, universe):
+        videos = [record_video(universe[i], num_frames=8, rng=i, video_id=i)
+                  for i in range(2)]
+        images = frames_to_images(videos, stride=2)
+        assert len(images) == 8  # 4 per video
+        assert [img.image_id for img in images] == list(range(8))
+
+    def test_provenance_preserved(self, universe):
+        video = record_video(universe[1], num_frames=4, rng=0, video_id=0)
+        images = frames_to_images([video], stride=1)
+        assert all(img.concept_index == universe[1].index for img in images)
+
+    def test_invalid_stride(self, universe):
+        video = record_video(universe[0], num_frames=4, rng=0)
+        with pytest.raises(ValueError):
+            frames_to_images([video], stride=0)
+
+    def test_start_image_id(self, universe):
+        video = record_video(universe[0], num_frames=2, rng=0)
+        images = frames_to_images([video], stride=1, start_image_id=100)
+        assert images[0].image_id == 100
