@@ -22,6 +22,7 @@ from repro.baselines import (ALIGNZeroShot, CLIPZeroShot, GPPTMatcher,
                              IMRAMMatcher, TransAEMatcher, ViLBERTMatcher,
                              VisualBERTMatcher)
 from repro.clip.zoo import PretrainedBundle
+from repro.obs import format_profile
 from repro.core import (CrossEM, CrossEMConfig, CrossEMPlus,
                         CrossEMPlusConfig, RankingResult)
 from repro.datasets import CrossModalDataset, VertexSplit, train_test_split
@@ -126,6 +127,16 @@ def print_table(title: str, results: Sequence[MethodResult],
         if paper is not None:
             line += f"   {paper.get(row.method, '-')}"
         print(line)
+    print_span_profile(f"{title} — span profile")
+
+
+def print_span_profile(title: str = "span profile") -> None:
+    """Emit the run-so-far hierarchical span profile (skipped when no
+    spans were recorded, e.g. under ``REPRO_TELEMETRY=0``)."""
+    report = format_profile()
+    if report:
+        print(f"\n--- {title} ---")
+        print(report)
 
 
 def by_method(results: Sequence[MethodResult]) -> Dict[str, MethodResult]:

@@ -6,6 +6,12 @@ Three commands cover the common workflows without writing code:
 * ``match`` — fit a matcher on a benchmark and report H@k / MRR.
 * ``clean`` — run the data-cleaning detectors over a benchmark's
   repository with injected corruption (demo of the future-work module).
+
+Every command accepts the benchmark positionally or via ``--benchmark``.
+``match`` additionally exposes the telemetry layer: ``--log-level``
+overrides ``REPRO_LOG_LEVEL`` and ``--metrics-out PATH`` writes the
+run's metrics registry plus span profile as JSONL
+(:mod:`repro.obs.export` documents the schema).
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ from typing import List, Optional
 __all__ = ["main"]
 
 _BENCHMARKS = ("cub", "sun", "fb2k", "fb6k", "fb10k")
+_LOG_LEVELS = ("debug", "info", "warning", "error", "off")
 
 
 def _load(name: str, seed: int):
@@ -42,6 +49,16 @@ def _cmd_match(args: argparse.Namespace) -> int:
     from .core import (CrossEM, CrossEMConfig, CrossEMPlus,
                        CrossEMPlusConfig)
     from .datasets import train_test_split
+    from .obs import (configure_logging, export_jsonl, registry,
+                      reset_spans)
+
+    if args.log_level:
+        configure_logging(args.log_level)
+    # A fresh registry/profile per invocation keeps --metrics-out
+    # self-contained when main() is driven in-process (tests, notebooks).
+    reg = registry()
+    reg.reset()
+    reset_spans()
 
     bundle, dataset = _load(args.benchmark, args.seed)
     split = train_test_split(dataset, args.test_fraction, seed=args.seed)
@@ -57,13 +74,26 @@ def _cmd_match(args: argparse.Namespace) -> int:
     matcher.fit(dataset.graph, dataset.images, dataset.entity_vertices)
     result = matcher.evaluate(dataset, list(split.test))
     print(f"{dataset.name} / {args.method}: {result}")
-    if matcher.efficiency and matcher.efficiency.seconds_per_epoch:
+    # Efficiency goes through the registry (not just stdout) so
+    # --metrics-out captures it even for zero-epoch runs.
+    reg.gauge("efficiency.seconds_per_epoch").set(
+        matcher.efficiency.seconds_per_epoch)
+    reg.gauge("efficiency.peak_memory_mb").set(
+        matcher.efficiency.peak_memory_mb)
+    if matcher.efficiency.seconds_per_epoch:
         print(f"efficiency: {matcher.efficiency}")
     if args.save:
         from .core import save_matcher
 
         save_matcher(matcher, args.save)
         print(f"saved tuned matcher to {args.save}")
+    if args.metrics_out:
+        rows = export_jsonl(args.metrics_out,
+                            meta={"benchmark": args.benchmark,
+                                  "method": args.method,
+                                  "epochs": args.epochs,
+                                  "seed": args.seed})
+        print(f"wrote {rows} metric rows to {args.metrics_out}")
     return 0
 
 
@@ -91,6 +121,14 @@ def _cmd_clean(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_benchmark_argument(command: argparse.ArgumentParser) -> None:
+    """Accept the benchmark either positionally or as ``--benchmark``."""
+    command.add_argument("benchmark", nargs="?", choices=_BENCHMARKS,
+                         help="benchmark to run on")
+    command.add_argument("--benchmark", dest="benchmark_opt",
+                         choices=_BENCHMARKS, help=argparse.SUPPRESS)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -99,11 +137,11 @@ def build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
 
     stats = commands.add_parser("stats", help="print benchmark statistics")
-    stats.add_argument("benchmark", choices=_BENCHMARKS)
+    _add_benchmark_argument(stats)
     stats.set_defaults(func=_cmd_stats)
 
     match = commands.add_parser("match", help="fit a matcher and evaluate")
-    match.add_argument("benchmark", choices=_BENCHMARKS)
+    _add_benchmark_argument(match)
     match.add_argument("--method", default="plus",
                        choices=("baseline", "hard", "soft", "plus"))
     match.add_argument("--epochs", type=int, default=10)
@@ -111,10 +149,14 @@ def build_parser() -> argparse.ArgumentParser:
     match.add_argument("--test-fraction", type=float, default=0.5)
     match.add_argument("--save", default=None,
                        help="path to save the tuned matcher (.npz)")
+    match.add_argument("--log-level", default=None, choices=_LOG_LEVELS,
+                       help="override REPRO_LOG_LEVEL for this run")
+    match.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write metrics + span profile as JSONL")
     match.set_defaults(func=_cmd_match)
 
     clean = commands.add_parser("clean", help="run the cleaning detectors")
-    clean.add_argument("benchmark", choices=_BENCHMARKS)
+    _add_benchmark_argument(clean)
     clean.add_argument("--inject", type=int, default=3,
                        help="corrupted images to inject")
     clean.add_argument("--z-threshold", type=float, default=1.5)
@@ -123,7 +165,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "benchmark_opt", None):
+        args.benchmark = args.benchmark_opt
+    if getattr(args, "benchmark", "-") is None:
+        parser.error("a benchmark is required (positional or --benchmark)")
     return args.func(args)
 
 

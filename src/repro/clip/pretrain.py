@@ -16,12 +16,15 @@ import numpy as np
 from .. import nn
 from ..datasets.world import ConceptUniverse
 from ..nn.init import rng_from
+from ..obs import get_logger, registry, span
 from ..text.corpus import build_caption_corpus
 from ..text.tokenizer import WordTokenizer
 from ..vision.image import render_concept
 from .model import MiniCLIP
 
 __all__ = ["PretrainConfig", "pretrain_clip", "clip_contrastive_loss"]
+
+_log = get_logger("repro.clip.pretrain")
 
 
 @dataclasses.dataclass
@@ -81,29 +84,39 @@ def pretrain_clip(model: MiniCLIP, universe: ConceptUniverse,
 
     optimizer = nn.AdamW(model.parameters(), lr=config.lr)
     losses: List[float] = []
-    for epoch in range(config.epochs):
-        order = rng.permutation(len(pairs))
-        epoch_losses: List[float] = []
-        for start in range(0, len(order), config.batch_size):
-            batch = [pairs[i] for i in order[start:start + config.batch_size]]
-            if len(batch) < 2:
-                continue
-            token_ids = tokenizer.encode_batch([caption for caption, _ in batch])
-            mask = tokenizer.attention_mask(token_ids)
-            pixels = np.stack([img for _, img in batch])
-            optimizer.zero_grad()
-            text_embeds = model.encode_text(token_ids, mask)
-            image_embeds = model.encode_image(pixels)
-            loss = clip_contrastive_loss(model, text_embeds, image_embeds)
-            loss.backward()
-            nn.clip_grad_norm(model.parameters(), 5.0)
-            optimizer.step()
-            # Keep the temperature in CLIP's stable range.
-            model.logit_scale.data = np.clip(model.logit_scale.data, 0.0,
-                                             np.log(100.0))
-            epoch_losses.append(loss.item())
-        losses.append(float(np.mean(epoch_losses)))
-        if verbose:
-            print(f"[pretrain] epoch {epoch + 1}/{config.epochs} "
-                  f"loss {losses[-1]:.4f}")
+    reg = registry()
+    with span("pretrain"):
+        for epoch in range(config.epochs):
+            with span("epoch") as ep:
+                order = rng.permutation(len(pairs))
+                epoch_losses: List[float] = []
+                for start in range(0, len(order), config.batch_size):
+                    batch = [pairs[i]
+                             for i in order[start:start + config.batch_size]]
+                    if len(batch) < 2:
+                        continue
+                    token_ids = tokenizer.encode_batch(
+                        [caption for caption, _ in batch])
+                    mask = tokenizer.attention_mask(token_ids)
+                    pixels = np.stack([img for _, img in batch])
+                    optimizer.zero_grad()
+                    text_embeds = model.encode_text(token_ids, mask)
+                    image_embeds = model.encode_image(pixels)
+                    loss = clip_contrastive_loss(model, text_embeds,
+                                                 image_embeds)
+                    loss.backward()
+                    nn.clip_grad_norm(model.parameters(), 5.0)
+                    optimizer.step()
+                    # Keep the temperature in CLIP's stable range.
+                    model.logit_scale.data = np.clip(model.logit_scale.data,
+                                                     0.0, np.log(100.0))
+                    epoch_losses.append(loss.item())
+            losses.append(float(np.mean(epoch_losses)))
+            reg.histogram("pretrain.epoch_loss").observe(losses[-1])
+            _log.debug("pretrain epoch done", epoch=epoch + 1,
+                       epochs=config.epochs, loss=losses[-1],
+                       seconds=ep.elapsed)
+            if verbose:
+                print(f"[pretrain] epoch {epoch + 1}/{config.epochs} "
+                      f"loss {losses[-1]:.4f}")
     return losses

@@ -14,12 +14,14 @@ import dataclasses
 import hashlib
 import json
 import os
+import zipfile
 from pathlib import Path
 from typing import Dict, Optional
 
 import numpy as np
 
 from ..datasets.world import ConceptUniverse
+from ..obs import get_logger, registry, span
 from ..text.corpus import build_text_corpus
 from ..text.minilm import MiniLM
 from ..text.tokenizer import Vocabulary, WordTokenizer
@@ -31,6 +33,7 @@ from .pretrain import PretrainConfig, pretrain_clip
 __all__ = ["PretrainedBundle", "get_pretrained_bundle", "clear_memory_cache"]
 
 _MEMORY_CACHE: Dict[str, "PretrainedBundle"] = {}
+_log = get_logger("repro.clip.zoo")
 
 
 @dataclasses.dataclass
@@ -90,25 +93,26 @@ def _save_bundle(path: Path, bundle: PretrainedBundle) -> None:
 
 def _load_bundle(path: Path, kind: str, num_concepts: int, seed: int,
                  max_len: int) -> Optional[PretrainedBundle]:
+    # np.load on an .npz is lazy: a file with a valid zip header but a
+    # corrupt body (truncated write, bad disk) opens fine and only
+    # raises BadZipFile when an array is actually read — so the whole
+    # deserialization is one recovery boundary, not just the open.
     try:
         archive = np.load(path)
-    except (OSError, ValueError):
-        return None
-    universe = ConceptUniverse(num_concepts, kind=kind, seed=seed)
-    vocab = Vocabulary(universe.vocabulary_words())
-    tokenizer = WordTokenizer(vocab, max_len=max_len)
-    minilm = MiniLM(vocab)
-    minilm.embeddings = archive["minilm.embeddings"]
-    clip = MiniCLIP(len(vocab), max_len=max_len, rng=seed)
-    try:
+        universe = ConceptUniverse(num_concepts, kind=kind, seed=seed)
+        vocab = Vocabulary(universe.vocabulary_words())
+        tokenizer = WordTokenizer(vocab, max_len=max_len)
+        minilm = MiniLM(vocab)
+        minilm.embeddings = archive["minilm.embeddings"]
+        clip = MiniCLIP(len(vocab), max_len=max_len, rng=seed)
         clip.load_state_dict({k[len("clip."):]: archive[k]
                               for k in archive.files if k.startswith("clip.")})
-    except (KeyError, ValueError):
+        extractor = PatchFeatureExtractor(seed=seed)
+        aligner = PropertyAligner(extractor, minilm)
+        aligner._weights = archive["aligner.weights"]
+        losses = archive["losses"].tolist()
+    except (zipfile.BadZipFile, OSError, ValueError, KeyError):
         return None
-    extractor = PatchFeatureExtractor(seed=seed)
-    aligner = PropertyAligner(extractor, minilm)
-    aligner._weights = archive["aligner.weights"]
-    losses = archive["losses"].tolist()
     return PretrainedBundle(universe, vocab, tokenizer, minilm, clip,
                             extractor, aligner, losses)
 
@@ -120,14 +124,35 @@ def get_pretrained_bundle(kind: str = "bird", num_concepts: int = 80,
     """Return a (possibly cached) fully pre-trained model bundle."""
     config = config or PretrainConfig(seed=seed)
     key = _config_key(kind, num_concepts, seed, max_len, config)
+    reg = registry()
     if key in _MEMORY_CACHE:
+        reg.counter("cache.memory_hit").inc()
         return _MEMORY_CACHE[key]
     path = _cache_dir() / f"bundle-{key}.npz"
     bundle = None
     if use_disk_cache and path.exists():
         bundle = _load_bundle(path, kind, num_concepts, seed, max_len)
+        if bundle is None:
+            # A cache entry that exists but will not deserialize is
+            # corrupt: drop it so the rebuilt bundle replaces it and
+            # later processes never re-trip on the same bad bytes.
+            reg.counter("cache.corrupt").inc()
+            _log.warning("corrupt bundle cache, rebuilding",
+                         path=str(path))
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        else:
+            reg.counter("cache.hit").inc()
+            _log.debug("bundle loaded from disk cache", key=key)
     if bundle is None:
-        bundle = _build_bundle(kind, num_concepts, seed, max_len, config)
+        reg.counter("cache.miss").inc()
+        with span("zoo/build") as build:
+            bundle = _build_bundle(kind, num_concepts, seed, max_len, config)
+        reg.histogram("cache.build_seconds").observe(build.elapsed)
+        _log.info("bundle built", kind=kind, num_concepts=num_concepts,
+                  seed=seed, seconds=build.elapsed)
         if use_disk_cache:
             try:
                 _save_bundle(path, bundle)

@@ -26,6 +26,7 @@ import numpy as np
 from .. import nn
 from ..clip.zoo import PretrainedBundle
 from ..nn.init import rng_from
+from ..obs import get_logger, registry, span
 from .losses import batch_contrastive_loss, combined_loss, orthogonal_constraint
 from .matcher import CrossEM, CrossEMConfig
 from .minibatch import (MiniBatchPlan, Partition, PCPConfig,
@@ -33,6 +34,8 @@ from .minibatch import (MiniBatchPlan, Partition, PCPConfig,
 from .negative import NegativeSamplingConfig, augment_plan
 
 __all__ = ["CrossEMPlusConfig", "CrossEMPlus"]
+
+_log = get_logger("repro.core.crossem_plus")
 
 
 @dataclasses.dataclass
@@ -125,7 +128,16 @@ class CrossEMPlus(CrossEM):
         it before the timed epochs, invalidating any plan from a
         previous fit."""
         self.plan = None
-        self._ensure_plan()
+        with span("fit/plan"):
+            plan = self._ensure_plan()
+        full_pairs = len(self.vertex_ids) * len(self.images)
+        reg = registry()
+        reg.gauge("plan.partitions").set(len(plan.partitions))
+        reg.gauge("plan.pairs").set(plan.total_pairs)
+        reg.gauge("plan.pair_coverage").set(
+            plan.total_pairs / full_pairs if full_pairs else 0.0)
+        _log.info("mini-batch plan built", partitions=len(plan.partitions),
+                  pairs=plan.total_pairs, full_pairs=full_pairs)
 
     def _refresh_pseudo_labels(self) -> None:
         self._ensure_plan()  # labeling mixes in the plan's proximity

@@ -12,7 +12,6 @@ cost that motivates CrossEM+ (§IV).
 from __future__ import annotations
 
 import dataclasses
-import time
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -22,12 +21,15 @@ from ..clip.zoo import PretrainedBundle
 from ..datalake.aggregate import GNNAggregator, GraphSageAggregator
 from ..datalake.graph import Graph
 from ..nn.init import rng_from
+from ..obs import get_logger, registry, span
 from ..vision.image import SyntheticImage
 from .losses import batch_contrastive_loss
 from .metrics import EfficiencyReport, RankingResult, evaluate_ranking
 from .prompts import HardPromptGenerator, SoftPromptModule, baseline_prompt
 
 __all__ = ["CrossEMConfig", "CrossEM"]
+
+_log = get_logger("repro.core.matcher")
 
 
 @dataclasses.dataclass
@@ -263,16 +265,30 @@ class CrossEM:
         optimizer = nn.AdamW(trainable, lr=self.config.lr) if trainable else None
         epoch_seconds: List[float] = []
         tracker = nn.MemoryTracker()
+        reg = registry()
         self.epoch_losses = []
-        with tracker:
-            for _ in range(epochs):
-                start = time.perf_counter()
-                self._refresh_pseudo_labels()
-                losses = [self._train_batch(optimizer, vc, ic)
-                          for vc, ic in self._iter_epoch(rng)]
-                epoch_seconds.append(time.perf_counter() - start)
+        with tracker, span("fit"):
+            for epoch in range(epochs):
+                with span("epoch") as ep:
+                    with span("labels"):
+                        self._refresh_pseudo_labels()
+                    batches = list(self._iter_epoch(rng))
+                    losses = [self._train_batch(optimizer, vc, ic)
+                              for vc, ic in batches]
+                epoch_seconds.append(ep.elapsed)
                 losses = [l for l in losses if not np.isnan(l)]
-                self.epoch_losses.append(float(np.mean(losses)) if losses else 0.0)
+                mean_loss = float(np.mean(losses)) if losses else 0.0
+                self.epoch_losses.append(mean_loss)
+                pairs = sum(len(vc) * len(ic) for vc, ic in batches)
+                pairs_per_sec = pairs / ep.elapsed if ep.elapsed > 0 else 0.0
+                reg.counter("train.batches").inc(len(batches))
+                reg.counter("train.pairs").inc(pairs)
+                reg.histogram("train.epoch_loss").observe(mean_loss)
+                reg.histogram("train.epoch_seconds").observe(ep.elapsed)
+                reg.gauge("train.pairs_per_sec").set(pairs_per_sec)
+                _log.info("epoch done", epoch=epoch + 1, epochs=epochs,
+                          loss=mean_loss, pairs=pairs,
+                          pairs_per_sec=pairs_per_sec, seconds=ep.elapsed)
         self.efficiency = EfficiencyReport(
             seconds_per_epoch=float(np.mean(epoch_seconds)) if epoch_seconds else 0.0,
             peak_memory_bytes=tracker.peak_bytes)
@@ -310,9 +326,18 @@ class CrossEM:
         """Rank all images per vertex and score H@k/MRR against the
         dataset's ground truth."""
         vertex_ids = list(vertex_ids if vertex_ids is not None else self.vertex_ids)
-        scores = self.score(vertex_ids)
-        gold = [dataset.images_of_vertex(v) for v in vertex_ids]
-        return evaluate_ranking(scores, gold)
+        with span("evaluate"):
+            scores = self.score(vertex_ids)
+            gold = [dataset.images_of_vertex(v) for v in vertex_ids]
+            result = evaluate_ranking(scores, gold)
+        reg = registry()
+        reg.gauge("eval.hits1").set(result.hits1)
+        reg.gauge("eval.hits3").set(result.hits3)
+        reg.gauge("eval.hits5").set(result.hits5)
+        reg.gauge("eval.mrr").set(result.mrr)
+        _log.info("evaluated", vertices=len(vertex_ids), h1=result.hits1,
+                  h3=result.hits3, h5=result.hits5, mrr=result.mrr)
+        return result
 
     def match_pairs(self, vertex_ids: Optional[Sequence[int]] = None,
                     top_k: int = 1,

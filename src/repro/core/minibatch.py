@@ -27,11 +27,14 @@ import numpy as np
 from ..clip.alignment import PropertyAligner
 from ..datalake.graph import Graph
 from ..nn.init import SeedLike, rng_from
+from ..obs import get_logger, registry, span
 from ..text.minilm import MiniLM
 from ..vision.image import SyntheticImage
 
 __all__ = ["PCPConfig", "Partition", "MiniBatchPlan", "property_closeness",
            "pairwise_proximity", "generate_minibatches", "kmeans"]
+
+_log = get_logger("repro.core.minibatch")
 
 
 @dataclasses.dataclass
@@ -151,7 +154,9 @@ def kmeans(points: np.ndarray, k: int, rng: SeedLike = None,
         return np.zeros(n, dtype=np.int64)
     centers = points[rng.choice(n, size=k, replace=False)].astype(np.float64)
     labels = np.zeros(n, dtype=np.int64)
+    iterations_run = 0
     for _ in range(iterations):
+        iterations_run += 1
         distances = ((points[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
         new_labels = distances.argmin(axis=1)
         for cluster in range(k):
@@ -165,6 +170,7 @@ def kmeans(points: np.ndarray, k: int, rng: SeedLike = None,
         if np.array_equal(new_labels, labels):
             break
         labels = new_labels
+    registry().counter("pcp.kmeans_iterations").inc(iterations_run)
     return labels
 
 
@@ -176,36 +182,47 @@ def generate_minibatches(graph: Graph, vertex_ids: Sequence[int],
     config = config or PCPConfig()
     rng = rng_from(config.seed)
     vertex_ids = list(vertex_ids)
-    properties, patches = property_closeness(graph, vertex_ids, images,
-                                             minilm, aligner, config.d)
-    proximity = pairwise_proximity(graph, vertex_ids, properties, patches,
-                                   config.d)
+    reg = registry()
+    with span("pcp/closeness"):
+        properties, patches = property_closeness(graph, vertex_ids, images,
+                                                 minilm, aligner, config.d)
+    with span("pcp/proximity"):
+        proximity = pairwise_proximity(graph, vertex_ids, properties, patches,
+                                       config.d)
     # Phase 3: random vertex split -> prune -> cluster -> shuffle.
-    order = rng.permutation(len(vertex_ids))
-    subsets = np.array_split(order, min(config.num_vertex_subsets,
-                                        len(vertex_ids)))
-    partitions: List[Partition] = []
-    for subset in subsets:
-        if not len(subset):
-            continue
-        subset_vertices = [vertex_ids[i] for i in subset]
-        subset_prox = proximity[subset]  # (|V_i|, |I|)
-        relevance = subset_prox.max(axis=0)
-        theta = np.quantile(relevance, config.prune_quantile)
-        kept = np.flatnonzero(relevance > theta)
-        if not len(kept):
-            kept = np.arange(len(images))
-        # P_i(I): per-image distribution of proximity over the subset.
-        columns = subset_prox[:, kept].T  # (|kept|, |V_i|)
-        sums = columns.sum(axis=1, keepdims=True)
-        distributions = columns / np.maximum(sums, 1e-8)
-        labels = kmeans(distributions, config.num_image_clusters, rng)
-        cluster_ids = list(np.unique(labels))
-        rng.shuffle(cluster_ids)
-        for cluster in cluster_ids:
-            members = [int(kept[i]) for i in np.flatnonzero(labels == cluster)]
-            rng.shuffle(members)
-            if len(members) >= 2:
-                partitions.append(Partition(list(subset_vertices), members))
-    rng.shuffle(partitions)
+    with span("pcp/partition"):
+        order = rng.permutation(len(vertex_ids))
+        subsets = np.array_split(order, min(config.num_vertex_subsets,
+                                            len(vertex_ids)))
+        partitions: List[Partition] = []
+        for subset in subsets:
+            if not len(subset):
+                continue
+            subset_vertices = [vertex_ids[i] for i in subset]
+            subset_prox = proximity[subset]  # (|V_i|, |I|)
+            relevance = subset_prox.max(axis=0)
+            theta = np.quantile(relevance, config.prune_quantile)
+            kept = np.flatnonzero(relevance > theta)
+            if not len(kept):
+                kept = np.arange(len(images))
+            reg.counter("pcp.pruned_images").inc(len(images) - len(kept))
+            # P_i(I): per-image distribution of proximity over the subset.
+            columns = subset_prox[:, kept].T  # (|kept|, |V_i|)
+            sums = columns.sum(axis=1, keepdims=True)
+            distributions = columns / np.maximum(sums, 1e-8)
+            labels = kmeans(distributions, config.num_image_clusters, rng)
+            cluster_ids = list(np.unique(labels))
+            rng.shuffle(cluster_ids)
+            for cluster in cluster_ids:
+                members = [int(kept[i])
+                           for i in np.flatnonzero(labels == cluster)]
+                rng.shuffle(members)
+                if len(members) >= 2:
+                    partitions.append(Partition(list(subset_vertices), members))
+        rng.shuffle(partitions)
+    for partition in partitions:
+        reg.histogram("pcp.partition_vertices").observe(len(partition.vertex_ids))
+        reg.histogram("pcp.partition_images").observe(len(partition.image_indices))
+    _log.debug("pcp plan generated", vertices=len(vertex_ids),
+               images=len(images), partitions=len(partitions))
     return MiniBatchPlan(partitions, proximity, vertex_ids)

@@ -17,9 +17,12 @@ from typing import List, Optional
 import numpy as np
 
 from ..nn.init import rng_from
+from ..obs import get_logger, registry, span
 from .minibatch import MiniBatchPlan, Partition
 
 __all__ = ["NegativeSamplingConfig", "sample_negatives", "augment_plan"]
+
+_log = get_logger("repro.core.negative")
 
 
 @dataclasses.dataclass
@@ -66,18 +69,26 @@ def augment_plan(plan: MiniBatchPlan,
     negatives to the nearest batch-size multiple and shuffle."""
     config = config or NegativeSamplingConfig()
     rng = rng_from(config.seed)
+    reg = registry()
+    total_negatives = 0
     augmented: List[Partition] = []
-    for partition in plan.partitions:
-        pairs = partition.num_pairs
-        target = int(np.ceil(pairs / config.batch_size)) * config.batch_size
-        deficit_pairs = target - pairs
-        # Convert the pair deficit into extra image columns.
-        extra_images = (deficit_pairs + len(partition.vertex_ids) - 1) \
-            // max(1, len(partition.vertex_ids))
-        negatives = sample_negatives(plan, partition, extra_images, rng,
-                                     config.max_top_k) if extra_images else []
-        images = list(partition.image_indices) + negatives
-        rng.shuffle(images)
-        augmented.append(Partition(list(partition.vertex_ids), images))
-    rng.shuffle(augmented)
+    with span("ns/augment"):
+        for partition in plan.partitions:
+            pairs = partition.num_pairs
+            target = int(np.ceil(pairs / config.batch_size)) * config.batch_size
+            deficit_pairs = target - pairs
+            # Convert the pair deficit into extra image columns.
+            extra_images = (deficit_pairs + len(partition.vertex_ids) - 1) \
+                // max(1, len(partition.vertex_ids))
+            negatives = sample_negatives(plan, partition, extra_images, rng,
+                                         config.max_top_k) if extra_images else []
+            reg.histogram("ns.negatives_per_partition").observe(len(negatives))
+            total_negatives += len(negatives)
+            images = list(partition.image_indices) + negatives
+            rng.shuffle(images)
+            augmented.append(Partition(list(partition.vertex_ids), images))
+        rng.shuffle(augmented)
+    reg.counter("ns.negatives").inc(total_negatives)
+    _log.debug("negative sampling done", partitions=len(augmented),
+               negatives=total_negatives)
     return MiniBatchPlan(augmented, plan.proximity, plan.vertex_ids)

@@ -1,0 +1,33 @@
+"""Observability: structured logging, span timers and a metrics registry.
+
+One small subsystem gives the whole reproduction a common telemetry
+vocabulary:
+
+* :mod:`repro.obs.log` — structured key=value logging, controlled by
+  ``REPRO_LOG_LEVEL`` or :func:`configure_logging`.
+* :mod:`repro.obs.spans` — nestable wall-time spans aggregated into a
+  hierarchical profile (``with span("fit/epoch"): ...``).
+* :mod:`repro.obs.metrics` — a process-wide registry of counters,
+  gauges and histograms.
+* :mod:`repro.obs.export` — JSONL export of metrics + span profiles so
+  benchmark runs and CI can be diffed.
+
+Everything is dependency-free and safe to import from any module; none
+of it changes numeric results.  The disabled paths (log level ``off``,
+:func:`set_spans_enabled(False) <set_spans_enabled>`) reduce to an
+integer comparison respectively two clock reads per call site.
+"""
+
+from .export import export_jsonl, read_jsonl
+from .log import Logger, configure as configure_logging, get_logger, level_name
+from .metrics import (Counter, Gauge, Histogram, MetricsRegistry, registry)
+from .spans import (format_profile, reset_spans, set_spans_enabled, span,
+                    span_snapshot, spans_enabled)
+
+__all__ = [
+    "Logger", "configure_logging", "get_logger", "level_name",
+    "span", "span_snapshot", "format_profile", "reset_spans",
+    "set_spans_enabled", "spans_enabled",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "registry",
+    "export_jsonl", "read_jsonl",
+]

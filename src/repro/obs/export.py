@@ -1,0 +1,60 @@
+"""JSONL export of metrics and span profiles.
+
+One line per record.  The first line is a ``meta`` header; every other
+line is either a registry instrument row or a span row::
+
+    {"type": "meta", "schema_version": 1, "created_unix": ..., ...}
+    {"type": "counter", "name": "cache.hit", "value": 3}
+    {"type": "gauge", "name": "train.pairs_per_sec", "value": 812.4}
+    {"type": "histogram", "name": "train.epoch_loss", "count": 10,
+     "sum": ..., "min": ..., "max": ..., "p50": ..., "p95": ...}
+    {"type": "span", "name": "fit/epoch", "count": 10,
+     "total_seconds": ..., "p50_seconds": ..., "p95_seconds": ...}
+
+JSONL rather than one JSON blob so benchmark runs can be diffed with
+line-oriented tools and appended to without re-parsing.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from .metrics import MetricsRegistry, registry
+from .spans import span_snapshot
+
+__all__ = ["SCHEMA_VERSION", "export_jsonl", "read_jsonl"]
+
+SCHEMA_VERSION = 1
+
+
+def export_jsonl(path, reg: Optional[MetricsRegistry] = None,
+                 include_spans: bool = True,
+                 meta: Optional[dict] = None) -> int:
+    """Write the registry (default: process-wide) and span profile to
+    ``path``; returns the number of rows written (incl. the header)."""
+    reg = reg if reg is not None else registry()
+    rows: List[dict] = [{"type": "meta", "schema_version": SCHEMA_VERSION,
+                         "created_unix": time.time(), **(meta or {})}]
+    rows.extend(reg.snapshot())
+    if include_spans:
+        rows.extend(span_snapshot())
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        for row in rows:
+            handle.write(json.dumps(row, sort_keys=True) + "\n")
+    return len(rows)
+
+
+def read_jsonl(path) -> List[dict]:
+    """Parse a metrics JSONL file back into a list of row dicts."""
+    rows: List[dict] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    return rows

@@ -1,0 +1,133 @@
+"""Structured logging with a near-zero disabled fast path.
+
+A deliberate non-use of :mod:`logging`: the stdlib's handler/formatter
+machinery costs a surprising amount per suppressed record, while
+training loops here may log per epoch inside benchmarks that are being
+*timed*.  Instead every log call starts with one integer comparison
+against a module-level threshold; only calls at or above the threshold
+pay for formatting.
+
+Records are single lines of ``key=value`` pairs after the message::
+
+    12:01:44 INFO repro.core.matcher epoch done epoch=3 loss=0.4381 pairs=2048
+
+The threshold comes from ``REPRO_LOG_LEVEL`` (``debug``, ``info``,
+``warning`` (default), ``error``, ``off``) and can be changed at runtime
+with :func:`configure` (the CLI's ``--log-level`` does exactly that).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from typing import Dict, Optional, TextIO
+
+__all__ = ["LEVELS", "Logger", "configure", "get_logger", "level_name"]
+
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40, "off": 100}
+_LEVEL_LABEL = {10: "DEBUG", 20: "INFO", 30: "WARNING", 40: "ERROR"}
+
+_DEFAULT_LEVEL = "warning"
+
+# Module-level state read on every log call; an int compare against
+# ``_threshold`` is the whole cost of a suppressed record.
+_threshold = LEVELS[_DEFAULT_LEVEL]
+_stream: Optional[TextIO] = None  # None -> sys.stderr at emit time
+
+
+def _env_threshold() -> int:
+    name = os.environ.get("REPRO_LOG_LEVEL", _DEFAULT_LEVEL).strip().lower()
+    return LEVELS.get(name, LEVELS[_DEFAULT_LEVEL])
+
+
+_threshold = _env_threshold()
+
+
+def configure(level: Optional[str] = None,
+              stream: Optional[TextIO] = None) -> None:
+    """Set the global log level (and optionally the output stream).
+
+    ``level=None`` re-reads ``REPRO_LOG_LEVEL`` from the environment.
+    Unknown level names raise ``ValueError`` rather than being silently
+    swallowed — a typo'd ``--log-level`` should fail loudly.
+    """
+    global _threshold, _stream
+    if level is None:
+        _threshold = _env_threshold()
+    else:
+        key = level.strip().lower()
+        if key not in LEVELS:
+            raise ValueError(f"unknown log level {level!r}; "
+                             f"expected one of {sorted(LEVELS)}")
+        _threshold = LEVELS[key]
+    if stream is not None:
+        _stream = stream
+
+
+def level_name() -> str:
+    """The currently-active level name (``"off"`` when disabled)."""
+    for name, value in LEVELS.items():
+        if value == _threshold:
+            return name
+    return "off"
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    text = str(value)
+    if " " in text or "=" in text:
+        return repr(text)
+    return text
+
+
+class Logger:
+    """A named logger carrying bound ``key=value`` context fields."""
+
+    __slots__ = ("name", "_context")
+
+    def __init__(self, name: str,
+                 context: Optional[Dict[str, object]] = None) -> None:
+        self.name = name
+        self._context = context or {}
+
+    def bind(self, **fields) -> "Logger":
+        """A child logger whose records always carry ``fields``."""
+        merged = dict(self._context)
+        merged.update(fields)
+        return Logger(self.name, merged)
+
+    def _emit(self, levelno: int, msg: str, fields: Dict[str, object]) -> None:
+        parts = [time.strftime("%H:%M:%S"), _LEVEL_LABEL[levelno],
+                 self.name, msg]
+        for key, value in self._context.items():
+            parts.append(f"{key}={_format_value(value)}")
+        for key, value in fields.items():
+            parts.append(f"{key}={_format_value(value)}")
+        stream = _stream if _stream is not None else sys.stderr
+        print(" ".join(parts), file=stream)
+
+    def debug(self, msg: str, **fields) -> None:
+        if _threshold <= 10:
+            self._emit(10, msg, fields)
+
+    def info(self, msg: str, **fields) -> None:
+        if _threshold <= 20:
+            self._emit(20, msg, fields)
+
+    def warning(self, msg: str, **fields) -> None:
+        if _threshold <= 30:
+            self._emit(30, msg, fields)
+
+    def error(self, msg: str, **fields) -> None:
+        if _threshold <= 40:
+            self._emit(40, msg, fields)
+
+    def isEnabledFor(self, level: str) -> bool:
+        return _threshold <= LEVELS[level]
+
+
+def get_logger(name: str) -> Logger:
+    """Module-level entry point: ``_log = get_logger(__name__)``."""
+    return Logger(name)

@@ -1,0 +1,181 @@
+"""A process-wide metrics registry: counters, gauges, histograms.
+
+The registry is the single sink for quantities the reproduction wants
+to report or diff across runs — cache hit rates, partition sizes,
+per-epoch losses, pairs/sec.  Instruments are created on first use and
+keyed by dotted name::
+
+    from repro.obs import registry
+
+    registry().counter("cache.corrupt").inc()
+    registry().gauge("train.pairs_per_sec").set(rate)
+    registry().histogram("pcp.partition_images").observe(len(images))
+
+Counters and histograms take a per-instrument lock so concurrent
+writers (e.g. data-parallel workers) never lose increments; gauges are
+last-write-wins by design.  ``snapshot()`` returns plain dicts in the
+same schema the JSONL exporter writes, so tests can assert on either.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+from .spans import _MAX_SAMPLES, percentile
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "registry"]
+
+
+class Counter:
+    """Monotonically increasing count (atomic under a lock)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def row(self) -> dict:
+        return {"type": "counter", "name": self.name, "value": self._value}
+
+
+class Gauge:
+    """A point-in-time value; last write wins."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def row(self) -> dict:
+        return {"type": "gauge", "name": self.name, "value": self._value}
+
+
+class Histogram:
+    """A distribution summary: count/sum/min/max plus p50/p95.
+
+    Keeps at most ``_MAX_SAMPLES`` raw samples for the percentiles;
+    count, sum and the extrema stay exact beyond that.
+    """
+
+    __slots__ = ("name", "_count", "_sum", "_min", "_max", "_samples",
+                 "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._samples: List[float] = []
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            self._min = min(self._min, value)
+            self._max = max(self._max, value)
+            if len(self._samples) < _MAX_SAMPLES:
+                self._samples.append(value)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        with self._lock:
+            samples = list(self._samples)
+        return percentile(samples, q)
+
+    def row(self) -> dict:
+        with self._lock:
+            samples = list(self._samples)
+            count, total = self._count, self._sum
+            low = self._min if count else 0.0
+            high = self._max if count else 0.0
+        return {"type": "histogram", "name": self.name, "count": count,
+                "sum": total, "min": low, "max": high,
+                "p50": percentile(samples, 50.0),
+                "p95": percentile(samples, 95.0)}
+
+
+class MetricsRegistry:
+    """Get-or-create home for all instruments of one process/test."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, cls):
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = self._instruments[name] = cls(name)
+            elif not isinstance(instrument, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{type(instrument).__name__}, not {cls.__name__}")
+            return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def get(self, name: str):
+        """The instrument registered under ``name``, or ``None``."""
+        with self._lock:
+            return self._instruments.get(name)
+
+    def snapshot(self) -> List[dict]:
+        """One schema row per instrument, sorted by name."""
+        with self._lock:
+            instruments = sorted(self._instruments.items())
+        return [instrument.row() for _, instrument in instruments]
+
+    def reset(self) -> None:
+        """Drop every instrument (a fresh start per run/test)."""
+        with self._lock:
+            self._instruments.clear()
+
+
+_default = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _default

@@ -1,0 +1,202 @@
+"""Nestable span timers aggregated into a hierarchical profile.
+
+Usage::
+
+    from repro.obs import span
+
+    with span("fit"):
+        for _ in range(epochs):
+            with span("epoch") as ep:
+                ...
+            seconds.append(ep.elapsed)
+
+Nesting builds slash-joined paths: the inner span above aggregates
+under ``fit/epoch``.  A span opened outside any other span keeps its
+name verbatim, so ``span("fit/epoch")`` at top level lands in the same
+bucket — the path *is* the identity.
+
+Per path the aggregator keeps call count, total wall time and a bounded
+sample buffer for p50/p95.  Aggregation is process-wide and
+thread-safe; the nesting stack is thread-local, so concurrent threads
+profile independently without seeing each other's parents.
+
+Disabled path: :func:`set_spans_enabled(False) <set_spans_enabled>` (or
+``REPRO_TELEMETRY=0`` in the environment) skips the stack push and the
+locked aggregation entirely.  A span still measures its own
+``elapsed`` — two ``perf_counter`` reads, the exact cost of the ad-hoc
+timing the span API replaced — so code that *consumes* a span's elapsed
+time (e.g. the matcher's efficiency report) behaves identically either
+way.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Dict, List, Optional
+
+__all__ = ["Span", "span", "span_snapshot", "format_profile", "reset_spans",
+           "set_spans_enabled", "spans_enabled", "percentile"]
+
+#: histogram sample cap per path — beyond this, count/total keep
+#: accumulating but percentiles describe the first _MAX_SAMPLES calls
+_MAX_SAMPLES = 4096
+
+_lock = threading.Lock()
+_local = threading.local()
+_enabled = os.environ.get("REPRO_TELEMETRY", "1").strip().lower() \
+    not in ("0", "false", "off")
+
+
+class _SpanStats:
+    __slots__ = ("count", "total", "samples")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.samples: List[float] = []
+
+    def add(self, elapsed: float) -> None:
+        self.count += 1
+        self.total += elapsed
+        if len(self.samples) < _MAX_SAMPLES:
+            self.samples.append(elapsed)
+
+
+_stats: Dict[str, _SpanStats] = {}
+
+
+def set_spans_enabled(flag: bool) -> None:
+    """Globally enable/disable span aggregation (elapsed still works)."""
+    global _enabled
+    _enabled = bool(flag)
+
+
+def spans_enabled() -> bool:
+    return _enabled
+
+
+def _stack() -> List[str]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = []
+        _local.stack = stack
+    return stack
+
+
+class Span:
+    """Context manager timing one region; reusable objects are cheap."""
+
+    __slots__ = ("name", "path", "_start", "elapsed")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.path = name
+        self._start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Span":
+        if _enabled:
+            stack = _stack()
+            self.path = f"{stack[-1]}/{self.name}" if stack else self.name
+            stack.append(self.path)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.elapsed = time.perf_counter() - self._start
+        if _enabled:
+            stack = _stack()
+            if stack and stack[-1] == self.path:
+                stack.pop()
+            with _lock:
+                stats = _stats.get(self.path)
+                if stats is None:
+                    stats = _stats[self.path] = _SpanStats()
+                stats.add(self.elapsed)
+
+
+def span(name: str) -> Span:
+    """Open a (nestable) timed span named ``name``."""
+    return Span(name)
+
+
+def percentile(samples: List[float], q: float) -> float:
+    """Linear-interpolation percentile of ``samples`` (q in [0, 100])."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = (len(ordered) - 1) * (q / 100.0)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+def span_snapshot() -> List[dict]:
+    """Aggregated stats per span path, sorted by path.
+
+    Schema per row: ``{"type": "span", "name", "count", "total_seconds",
+    "p50_seconds", "p95_seconds"}`` — the same rows the JSONL exporter
+    writes.
+    """
+    with _lock:
+        items = [(path, stats.count, stats.total, list(stats.samples))
+                 for path, stats in _stats.items()]
+    rows = []
+    for path, count, total, samples in sorted(items):
+        rows.append({
+            "type": "span",
+            "name": path,
+            "count": count,
+            "total_seconds": total,
+            "p50_seconds": percentile(samples, 50.0),
+            "p95_seconds": percentile(samples, 95.0),
+        })
+    return rows
+
+
+def reset_spans() -> None:
+    """Drop all aggregated span stats (the nesting stack is untouched)."""
+    with _lock:
+        _stats.clear()
+
+
+def format_profile() -> str:
+    """Render the aggregate as an indented tree, heaviest siblings first.
+
+    Returns ``""`` when nothing was recorded, so callers can skip the
+    header for unprofiled runs.
+    """
+    rows = span_snapshot()
+    if not rows:
+        return ""
+    by_path = {row["name"]: row for row in rows}
+    children: Dict[Optional[str], List[str]] = {}
+    for path in by_path:
+        parent = path.rsplit("/", 1)[0] if "/" in path else None
+        if parent is not None and parent not in by_path:
+            parent = None  # orphaned path: show at top level
+        children.setdefault(parent, []).append(path)
+
+    lines = [f"{'span':40s} {'count':>7s} {'total':>9s} "
+             f"{'p50':>9s} {'p95':>9s}"]
+
+    def emit(path: str, depth: int) -> None:
+        row = by_path[path]
+        label = "  " * depth + path.rsplit("/", 1)[-1]
+        lines.append(f"{label:40s} {row['count']:7d} "
+                     f"{row['total_seconds']:8.3f}s "
+                     f"{row['p50_seconds']:8.4f}s "
+                     f"{row['p95_seconds']:8.4f}s")
+        for child in sorted(children.get(path, []),
+                            key=lambda p: -by_path[p]["total_seconds"]):
+            emit(child, depth + 1)
+
+    for top in sorted(children.get(None, []),
+                      key=lambda p: -by_path[p]["total_seconds"]):
+        emit(top, 0)
+    return "\n".join(lines)

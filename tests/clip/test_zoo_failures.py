@@ -5,6 +5,7 @@ import pytest
 
 from repro.clip import zoo
 from repro.clip.pretrain import PretrainConfig
+from repro.obs import registry
 
 
 @pytest.fixture()
@@ -47,6 +48,36 @@ class TestDiskCacheFailures:
         bundle = zoo.get_pretrained_bundle(kind="bird", num_concepts=5,
                                            seed=33, config=config)
         assert bundle.pretrain_losses  # rebuilt, not loaded garbage
+        zoo.clear_memory_cache()
+
+    def test_truncated_zip_rebuilds_and_replaces_cache(self, config, tmp_path,
+                                                       monkeypatch):
+        """Regression: a *truncated* .npz keeps its valid zip header, so
+        np.load only raises zipfile.BadZipFile lazily while reading an
+        array — which used to escape _load_bundle and crash the whole
+        session.  The zoo must treat it as a miss, delete the bad file,
+        rebuild, and count it via the cache.corrupt metric."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        zoo.clear_memory_cache()
+        first = zoo.get_pretrained_bundle(kind="bird", num_concepts=5,
+                                          seed=33, config=config)
+        [cache_file] = list(tmp_path.glob("bundle-*.npz"))
+        payload = cache_file.read_bytes()
+        cache_file.write_bytes(payload[: len(payload) // 2])
+        zoo.clear_memory_cache()
+        corrupt_before = registry().counter("cache.corrupt").value
+        rebuilt = zoo.get_pretrained_bundle(kind="bird", num_concepts=5,
+                                            seed=33, config=config)
+        assert registry().counter("cache.corrupt").value == corrupt_before + 1
+        for key, value in rebuilt.clip.state_dict().items():
+            np.testing.assert_allclose(value, first.clip.state_dict()[key],
+                                       atol=1e-6)
+        # the bad blob was replaced with a loadable one
+        assert cache_file.read_bytes() != payload[: len(payload) // 2]
+        zoo.clear_memory_cache()
+        reloaded = zoo.get_pretrained_bundle(kind="bird", num_concepts=5,
+                                             seed=33, config=config)
+        assert reloaded.pretrain_losses == rebuilt.pretrain_losses
         zoo.clear_memory_cache()
 
     def test_cache_disabled_skips_disk(self, config, tmp_path, monkeypatch):

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 import repro.cli as cli
+from repro.obs import read_jsonl
 
 
 @pytest.fixture(autouse=True)
@@ -38,6 +39,58 @@ class TestCLI:
                          "--z-threshold", "1.0"]) == 0
         out = capsys.readouterr().out
         assert "flagged" in out
+
+    def test_benchmark_flag_alias(self, capsys):
+        assert cli.main(["match", "--benchmark", "cub", "--method", "hard",
+                         "--epochs", "0"]) == 0
+        assert "H@1=" in capsys.readouterr().out
+
+    def test_match_requires_some_benchmark(self):
+        with pytest.raises(SystemExit):
+            cli.main(["match", "--method", "hard"])
+
+    def test_metrics_out_zero_epoch_run(self, capsys, tmp_path):
+        """--metrics-out captures efficiency + eval rows even when no
+        epoch ever runs (the hard prompt has nothing to tune)."""
+        path = tmp_path / "m.jsonl"
+        assert cli.main(["match", "cub", "--method", "hard", "--epochs", "0",
+                         "--metrics-out", str(path),
+                         "--log-level", "off"]) == 0
+        assert "wrote" in capsys.readouterr().out
+        rows = read_jsonl(path)
+        by_name = {row.get("name"): row for row in rows}
+        assert rows[0]["type"] == "meta"
+        assert rows[0]["benchmark"] == "cub" and rows[0]["method"] == "hard"
+        assert by_name["efficiency.seconds_per_epoch"]["value"] == 0.0
+        assert by_name["efficiency.peak_memory_mb"]["value"] >= 0.0
+        assert by_name["eval.hits1"]["type"] == "gauge"
+        assert any(row["type"] == "span" and row["name"] == "fit"
+                   for row in rows)
+
+    def test_metrics_out_training_run(self, tmp_path):
+        """A tuned run exports per-epoch loss/throughput metrics and the
+        hierarchical span profile (the acceptance-criteria schema)."""
+        path = tmp_path / "m.jsonl"
+        assert cli.main(["match", "cub", "--method", "plus", "--epochs", "2",
+                         "--metrics-out", str(path),
+                         "--log-level", "off"]) == 0
+        rows = read_jsonl(path)
+        by_name = {row.get("name"): row for row in rows}
+        loss = by_name["train.epoch_loss"]
+        assert loss["type"] == "histogram" and loss["count"] == 2
+        assert {"sum", "min", "max", "p50", "p95"} <= set(loss)
+        assert by_name["train.pairs_per_sec"]["type"] == "gauge"
+        assert by_name["train.batches"]["value"] > 0
+        assert by_name["efficiency.seconds_per_epoch"]["value"] > 0.0
+        assert by_name["plan.partitions"]["value"] >= 1
+        assert by_name["pcp.partition_images"]["type"] == "histogram"
+        assert by_name["ns.negatives_per_partition"]["count"] >= 1
+        span_names = {row["name"] for row in rows if row["type"] == "span"}
+        assert {"fit", "fit/epoch", "fit/epoch/labels",
+                "fit/plan"} <= span_names
+        epoch_span = by_name["fit/epoch"]
+        assert epoch_span["count"] == 2
+        assert epoch_span["p50_seconds"] <= epoch_span["p95_seconds"]
 
     def test_unknown_benchmark_rejected(self):
         with pytest.raises(SystemExit):

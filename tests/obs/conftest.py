@@ -1,0 +1,17 @@
+"""Telemetry tests run against clean global state."""
+
+import pytest
+
+from repro.obs import registry, reset_spans, set_spans_enabled
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    """Isolate each test from (and restore) the process-wide sinks."""
+    registry().reset()
+    reset_spans()
+    set_spans_enabled(True)
+    yield
+    registry().reset()
+    reset_spans()
+    set_spans_enabled(True)

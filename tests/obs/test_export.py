@@ -1,0 +1,62 @@
+"""JSONL exporter tests: schema and round-trip."""
+
+from repro.obs import export_jsonl, read_jsonl, registry, span
+from repro.obs.export import SCHEMA_VERSION
+
+#: required keys per row type — the schema --metrics-out consumers rely on
+ROW_KEYS = {
+    "meta": {"schema_version", "created_unix"},
+    "counter": {"name", "value"},
+    "gauge": {"name", "value"},
+    "histogram": {"name", "count", "sum", "min", "max", "p50", "p95"},
+    "span": {"name", "count", "total_seconds", "p50_seconds", "p95_seconds"},
+}
+
+
+def populate():
+    reg = registry()
+    reg.counter("cache.hit").inc(3)
+    reg.gauge("train.pairs_per_sec").set(812.5)
+    for value in (0.1, 0.2, 0.3):
+        reg.histogram("train.epoch_loss").observe(value)
+    with span("fit"):
+        with span("epoch"):
+            pass
+
+
+class TestExport:
+    def test_round_trip_preserves_values(self, tmp_path):
+        populate()
+        path = tmp_path / "metrics.jsonl"
+        written = export_jsonl(path, meta={"benchmark": "tiny"})
+        rows = read_jsonl(path)
+        assert len(rows) == written
+        by_name = {row.get("name"): row for row in rows}
+        assert by_name["cache.hit"]["value"] == 3
+        assert by_name["train.pairs_per_sec"]["value"] == 812.5
+        assert by_name["train.epoch_loss"]["count"] == 3
+        assert abs(by_name["train.epoch_loss"]["sum"] - 0.6) < 1e-9
+        assert by_name["fit/epoch"]["count"] == 1
+
+    def test_schema(self, tmp_path):
+        populate()
+        path = tmp_path / "metrics.jsonl"
+        export_jsonl(path, meta={"benchmark": "tiny"})
+        rows = read_jsonl(path)
+        assert rows[0]["type"] == "meta"
+        assert rows[0]["schema_version"] == SCHEMA_VERSION
+        assert rows[0]["benchmark"] == "tiny"
+        for row in rows:
+            assert row["type"] in ROW_KEYS
+            assert ROW_KEYS[row["type"]] <= set(row)
+
+    def test_spans_can_be_excluded(self, tmp_path):
+        populate()
+        path = tmp_path / "metrics.jsonl"
+        export_jsonl(path, include_spans=False)
+        assert all(row["type"] != "span" for row in read_jsonl(path))
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "dir" / "metrics.jsonl"
+        export_jsonl(path)
+        assert read_jsonl(path)[0]["type"] == "meta"

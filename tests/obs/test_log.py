@@ -1,0 +1,82 @@
+"""Structured logger tests: level control, key=value records, binding."""
+
+import io
+
+import pytest
+
+from repro.obs import configure_logging, get_logger, level_name
+from repro.obs import log as log_module
+
+
+@pytest.fixture(autouse=True)
+def restore_logging():
+    yield
+    configure_logging("warning", stream=None)
+    log_module._stream = None
+
+
+def capture(level="debug"):
+    stream = io.StringIO()
+    configure_logging(level, stream=stream)
+    return stream
+
+
+class TestLevels:
+    def test_below_threshold_is_suppressed(self):
+        stream = capture("warning")
+        get_logger("t").info("hidden")
+        assert stream.getvalue() == ""
+
+    def test_at_threshold_is_emitted(self):
+        stream = capture("info")
+        get_logger("t").info("visible")
+        assert "visible" in stream.getvalue()
+
+    def test_off_silences_everything(self):
+        stream = capture("off")
+        logger = get_logger("t")
+        logger.error("nope")
+        assert stream.getvalue() == ""
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            configure_logging("loud")
+
+    def test_env_var_controls_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "debug")
+        configure_logging(None)
+        assert level_name() == "debug"
+
+    def test_bad_env_var_falls_back_to_warning(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "verbose")
+        configure_logging(None)
+        assert level_name() == "warning"
+
+
+class TestRecords:
+    def test_key_value_fields(self):
+        stream = capture()
+        get_logger("repro.test").info("epoch done", epoch=3, loss=0.43812)
+        line = stream.getvalue().strip()
+        assert "INFO" in line and "repro.test" in line
+        assert "epoch=3" in line and "loss=0.4381" in line
+
+    def test_values_with_spaces_are_quoted(self):
+        stream = capture()
+        get_logger("t").info("msg", path="a b")
+        assert "path='a b'" in stream.getvalue()
+
+    def test_bound_context_rides_along(self):
+        stream = capture()
+        logger = get_logger("t").bind(run="r1")
+        logger.info("first", step=1)
+        logger.info("second", step=2)
+        lines = stream.getvalue().strip().splitlines()
+        assert all("run=r1" in line for line in lines)
+
+    def test_bind_does_not_mutate_parent(self):
+        stream = capture()
+        parent = get_logger("t")
+        parent.bind(extra="x")
+        parent.info("plain")
+        assert "extra=" not in stream.getvalue()

@@ -1,0 +1,88 @@
+"""Metrics registry tests: counters (incl. atomicity), gauges, histograms."""
+
+import threading
+
+import pytest
+
+from repro.obs import MetricsRegistry, registry
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = registry().counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            registry().counter("c").inc(-1)
+
+    def test_concurrent_increments_are_not_lost(self):
+        counter = registry().counter("atomic")
+        workers, per_worker = 8, 2000
+
+        def hammer():
+            for _ in range(per_worker):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == workers * per_worker
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        gauge = registry().gauge("g")
+        gauge.set(1.5)
+        gauge.set(2.5)
+        assert gauge.value == 2.5
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        histogram = registry().histogram("h")
+        for value in range(1, 101):
+            histogram.observe(value)
+        assert histogram.count == 100
+        assert histogram.sum == 5050.0
+        assert histogram.mean == 50.5
+        assert histogram.quantile(50.0) == 50.5
+        row = histogram.row()
+        assert row["min"] == 1.0 and row["max"] == 100.0
+        assert abs(row["p95"] - 95.05) < 1e-9
+
+    def test_empty_histogram_row(self):
+        row = registry().histogram("empty").row()
+        assert row["count"] == 0
+        assert row["min"] == 0.0 and row["max"] == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        assert registry().counter("same") is registry().counter("same")
+
+    def test_type_mismatch_raises(self):
+        registry().counter("typed")
+        with pytest.raises(ValueError):
+            registry().gauge("typed")
+
+    def test_snapshot_schema(self):
+        reg = MetricsRegistry()
+        reg.counter("a.count").inc(2)
+        reg.gauge("b.gauge").set(3.0)
+        reg.histogram("c.hist").observe(1.0)
+        rows = reg.snapshot()
+        assert [row["name"] for row in rows] == ["a.count", "b.gauge", "c.hist"]
+        assert [row["type"] for row in rows] == ["counter", "gauge",
+                                                "histogram"]
+
+    def test_reset_drops_instruments(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.reset()
+        assert reg.snapshot() == []
+        assert reg.counter("x").value == 0

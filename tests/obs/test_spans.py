@@ -1,0 +1,111 @@
+"""Span timer tests: nesting, aggregation, percentiles, disabled path."""
+
+from repro.obs import (format_profile, reset_spans, set_spans_enabled, span,
+                       span_snapshot, spans_enabled)
+from repro.obs.spans import percentile
+
+
+def _by_name(rows):
+    return {row["name"]: row for row in rows}
+
+
+class TestNesting:
+    def test_nested_spans_build_slash_paths(self):
+        with span("fit"):
+            with span("epoch"):
+                with span("labels"):
+                    pass
+        names = {row["name"] for row in span_snapshot()}
+        assert names == {"fit", "fit/epoch", "fit/epoch/labels"}
+
+    def test_top_level_slash_name_matches_nested_bucket(self):
+        with span("fit"):
+            with span("epoch"):
+                pass
+        with span("fit/epoch"):
+            pass
+        rows = _by_name(span_snapshot())
+        assert rows["fit/epoch"]["count"] == 2
+
+    def test_sibling_spans_share_parent(self):
+        with span("fit"):
+            with span("plan"):
+                pass
+            with span("epoch"):
+                pass
+        names = {row["name"] for row in span_snapshot()}
+        assert {"fit/plan", "fit/epoch"} <= names
+
+
+class TestAggregation:
+    def test_counts_and_totals_accumulate(self):
+        for _ in range(5):
+            with span("work"):
+                pass
+        [row] = span_snapshot()
+        assert row["count"] == 5
+        assert row["total_seconds"] >= 0.0
+        assert row["p50_seconds"] <= row["p95_seconds"]
+
+    def test_elapsed_available_after_exit(self):
+        with span("timed") as sp:
+            sum(range(1000))
+        assert sp.elapsed > 0.0
+
+    def test_reset_clears_aggregate(self):
+        with span("gone"):
+            pass
+        reset_spans()
+        assert span_snapshot() == []
+
+    def test_exception_still_records(self):
+        try:
+            with span("raises"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        [row] = span_snapshot()
+        assert row["name"] == "raises" and row["count"] == 1
+
+
+class TestDisabled:
+    def test_disabled_spans_record_nothing(self):
+        set_spans_enabled(False)
+        assert not spans_enabled()
+        with span("invisible"):
+            pass
+        assert span_snapshot() == []
+
+    def test_disabled_spans_still_measure_elapsed(self):
+        set_spans_enabled(False)
+        with span("still-timed") as sp:
+            sum(range(1000))
+        assert sp.elapsed > 0.0
+
+
+class TestPercentile:
+    def test_interpolates(self):
+        samples = [float(v) for v in range(1, 101)]
+        assert percentile(samples, 50.0) == 50.5
+        assert abs(percentile(samples, 95.0) - 95.05) < 1e-9
+
+    def test_edge_cases(self):
+        assert percentile([], 50.0) == 0.0
+        assert percentile([3.0], 95.0) == 3.0
+        assert percentile([1.0, 2.0], 0.0) == 1.0
+        assert percentile([1.0, 2.0], 100.0) == 2.0
+
+
+class TestProfileReport:
+    def test_empty_profile_is_empty_string(self):
+        assert format_profile() == ""
+
+    def test_tree_rendering_indents_children(self):
+        with span("fit"):
+            with span("epoch"):
+                pass
+        report = format_profile()
+        lines = report.splitlines()
+        assert any(line.startswith("fit") for line in lines)
+        assert any(line.startswith("  epoch") for line in lines)
+        assert "count" in lines[0]
