@@ -72,3 +72,27 @@ class PropertyAligner:
         """Patch features of one image, already in MiniLM space:
         ``(num_patches, minilm.dim)``."""
         return self.project_patches(self.extractor.features(pixels))
+
+    def patch_text_space_batch(self, images, chunk: int = 256,
+                               workers=None) -> np.ndarray:
+        """Aligned patch features for a whole repository,
+        ``(num_images, num_patches, minilm.dim)``.
+
+        Extraction and projection both run batched (optionally on a
+        thread pool via ``workers`` / ``REPRO_ENCODE_WORKERS``); each
+        image's rows equal the per-image :meth:`patch_text_space` output
+        exactly, so PCP's closeness matrix is unchanged.
+        """
+        if not len(images):
+            return np.zeros((0, self.extractor.spec.num_patches,
+                             self.minilm.dim), dtype=np.float32)
+        from ..vision.pipeline import chunked_encode
+
+        def encode(start: int, stop: int) -> np.ndarray:
+            pixels = np.stack([img.pixels for img in images[start:stop]])
+            feats = self.extractor.features_pixels_batch(pixels)
+            flat = feats.reshape(-1, feats.shape[-1]) @ self._require_fit()
+            return flat.reshape(stop - start, feats.shape[1], -1)
+
+        return chunked_encode(encode, len(images), chunk=chunk,
+                              workers=workers, name="align_patches")

@@ -12,6 +12,7 @@ cost that motivates CrossEM+ (§IV).
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -23,6 +24,7 @@ from ..datalake.graph import Graph
 from ..nn.init import rng_from
 from ..obs import get_logger, registry, span
 from ..vision.image import SyntheticImage
+from ..vision.pipeline import chunked_encode
 from .losses import batch_contrastive_loss
 from .metrics import EfficiencyReport, RankingResult, evaluate_ranking
 from .prompts import HardPromptGenerator, SoftPromptModule, baseline_prompt
@@ -90,6 +92,10 @@ class CrossEM:
         self.vertex_ids: List[int] = []
         self.soft_prompts: Optional[SoftPromptModule] = None
         self._hard_prompts: Dict[int, str] = {}
+        self._prompt_token_ids: Optional[np.ndarray] = None
+        self._prompt_mask: Optional[np.ndarray] = None
+        self._vertex_pos: Dict[int, int] = {}
+        self._text_embeds: Optional[np.ndarray] = None
         self._image_embeds: Optional[np.ndarray] = None
         self._pseudo_labels: Dict[int, int] = {}
         self.efficiency: Optional[EfficiencyReport] = None
@@ -97,7 +103,21 @@ class CrossEM:
 
     # -- prompt handling ----------------------------------------------------
     def _prepare_prompts(self) -> None:
+        """Build the prompt generator and, for the discrete kinds,
+        tokenize every vertex's prompt once.
+
+        Hard and baseline prompts are static strings, so re-running
+        ``encode_batch`` per training batch only repeats work — the
+        padded id matrix and mask are cached here, and (because the
+        prompts also have no trainable parameters) the full vertex
+        embedding matrix is cached lazily by :meth:`encode_vertices`.
+        Both caches are invalidated on every :meth:`fit`.
+        """
         config = self.config
+        self._text_embeds = None
+        self._prompt_token_ids = None
+        self._prompt_mask = None
+        self._vertex_pos = {v: i for i, v in enumerate(self.vertex_ids)}
         if config.prompt == "soft":
             self.soft_prompts = SoftPromptModule(
                 self.graph, self.vertex_ids, self.clip, self.tokenizer,
@@ -111,11 +131,47 @@ class CrossEM:
         else:
             self._hard_prompts = {v: baseline_prompt(self.graph.label(v))
                                   for v in self.vertex_ids}
+        with span("prompts/tokenize"):
+            texts = [self._hard_prompts[v] for v in self.vertex_ids]
+            self._prompt_token_ids = self.tokenizer.encode_batch(texts)
+            self._prompt_mask = self.tokenizer.attention_mask(
+                self._prompt_token_ids)
+
+    def _cached_text_matrix(self) -> np.ndarray:
+        """The full ``(|V|, embed_dim)`` discrete-prompt embedding matrix.
+
+        Valid because hard/baseline prompts carry no trainable
+        parameters: the text tower never changes between fit and
+        inference, so one frozen forward pass per fit is exact (see
+        DESIGN.md).  Built on first use from the cached token matrix,
+        then sliced by every caller.
+        """
+        reg = registry()
+        if self._text_embeds is None:
+            reg.counter("matcher.prompt_cache.build").inc()
+            with span("encode/text_cache"), nn.no_grad():
+                self._text_embeds = chunked_encode(
+                    lambda s, e: self.clip.encode_text(
+                        self._prompt_token_ids[s:e],
+                        self._prompt_mask[s:e]).numpy(),
+                    len(self.vertex_ids), chunk=64, name="encode_text")
+        else:
+            reg.counter("matcher.prompt_cache.hit").inc()
+        return self._text_embeds
 
     def encode_vertices(self, vertex_ids: Sequence[int]) -> nn.Tensor:
-        """Prompted text embeddings for ``vertex_ids`` (grad-enabled)."""
+        """Prompted text embeddings for ``vertex_ids`` (grad-enabled for
+        the soft prompt; served from the frozen-prompt cache otherwise)."""
         if self.config.prompt == "soft":
             return self.soft_prompts(vertex_ids)
+        if self._prompt_token_ids is not None:
+            rows = np.asarray([self._vertex_pos[v] for v in vertex_ids])
+            return nn.Tensor(self._cached_text_matrix()[rows])
+        return self.encode_vertices_reference(vertex_ids)
+
+    def encode_vertices_reference(self, vertex_ids: Sequence[int]) -> nn.Tensor:
+        """The uncached discrete-prompt path: re-tokenize and re-encode
+        every call (retained as the golden reference for the cache)."""
         texts = [self._hard_prompts[v] for v in vertex_ids]
         token_ids = self.tokenizer.encode_batch(texts)
         mask = self.tokenizer.attention_mask(token_ids)
@@ -125,16 +181,16 @@ class CrossEM:
         """Frozen image-tower embeddings for a batch of image indices.
 
         The tower is frozen (§II-C), so embeddings are computed once per
-        fit and sliced afterwards; the first call fills the cache.
+        fit and sliced afterwards; the first call fills the cache via
+        the shared chunked (optionally thread-pooled) encode path.
         """
         if self._image_embeds is None:
-            chunks = []
-            for start in range(0, len(self.images), 64):
-                pixels = np.stack([img.pixels
-                                   for img in self.images[start:start + 64]])
-                with nn.no_grad():
-                    chunks.append(self.clip.encode_image(pixels).numpy())
-            self._image_embeds = np.concatenate(chunks, axis=0)
+            with span("encode/image_cache"), nn.no_grad():
+                self._image_embeds = chunked_encode(
+                    lambda s, e: self.clip.encode_image(
+                        np.stack([img.pixels
+                                  for img in self.images[s:e]])).numpy(),
+                    len(self.images), chunk=64, name="encode_image")
         return nn.Tensor(self._image_embeds[np.asarray(indices)])
 
     # -- training (Algorithm 1) ------------------------------------------------
@@ -238,6 +294,8 @@ class CrossEM:
             if best_vertex[best_image[row]] == row}
 
     def _encode_all_vertices(self, batch: int = 32) -> np.ndarray:
+        if self.config.prompt != "soft" and self._prompt_token_ids is not None:
+            return self._cached_text_matrix()
         chunks = [self.encode_vertices(self.vertex_ids[s:s + batch]).numpy()
                   for s in range(0, len(self.vertex_ids), batch)]
         return np.concatenate(chunks, axis=0)
@@ -311,14 +369,30 @@ class CrossEM:
             raise RuntimeError("CrossEM.fit must be called before inference")
 
     def score(self, vertex_ids: Optional[Sequence[int]] = None,
-              image_batch: int = 64) -> np.ndarray:
-        """Similarity matrix (vertices x all images), evaluated frozen."""
+              vertex_batch: int = 64, *,
+              image_batch: Optional[int] = None) -> np.ndarray:
+        """Similarity matrix (vertices x all images), evaluated frozen.
+
+        ``vertex_batch`` chunks the *vertex* encoding (it was misnamed
+        ``image_batch`` historically; the old keyword still works but
+        warns).  Discrete prompts skip the chunking entirely: their
+        cached embedding matrix is sliced instead of re-encoded.
+        """
+        if image_batch is not None:
+            warnings.warn("score(image_batch=...) chunks vertices and was "
+                          "renamed to vertex_batch", DeprecationWarning,
+                          stacklevel=2)
+            vertex_batch = image_batch
         self._require_fitted()
         vertex_ids = list(vertex_ids if vertex_ids is not None else self.vertex_ids)
-        with nn.no_grad():
-            text = np.concatenate(
-                [self.encode_vertices(vertex_ids[s:s + image_batch]).numpy()
-                 for s in range(0, len(vertex_ids), image_batch)], axis=0)
+        if self.config.prompt != "soft" and self._prompt_token_ids is not None:
+            rows = np.asarray([self._vertex_pos[v] for v in vertex_ids])
+            text = self._cached_text_matrix()[rows]
+        else:
+            with nn.no_grad():
+                text = np.concatenate(
+                    [self.encode_vertices(vertex_ids[s:s + vertex_batch]).numpy()
+                     for s in range(0, len(vertex_ids), vertex_batch)], axis=0)
         image_matrix = self._encode_images(range(len(self.images))).numpy()
         return text @ image_matrix.T
 
@@ -354,11 +428,21 @@ class CrossEM:
         vertex_ids = list(vertex_ids if vertex_ids is not None else self.vertex_ids)
         scores = self.score(vertex_ids)
         pairs: Set[Tuple[int, int]] = set()
+        top: Optional[np.ndarray] = None
+        if threshold is None:
+            if top_k <= 0:
+                top = np.zeros((len(vertex_ids), 0), dtype=np.int64)
+            elif top_k >= scores.shape[1]:
+                top = np.broadcast_to(np.arange(scores.shape[1]), scores.shape)
+            else:
+                # top-k selection, not a full sort: argpartition is
+                # O(|I|) per row versus argsort's O(|I| log |I|).
+                top = np.argpartition(-scores, top_k - 1, axis=1)[:, :top_k]
         for row, vertex in enumerate(vertex_ids):
             if threshold is not None:
                 columns = np.flatnonzero(scores[row] >= threshold)
             else:
-                columns = np.argsort(-scores[row])[:top_k]
+                columns = top[row]
             for column in columns:
                 pairs.add((vertex, self.images[int(column)].image_id))
         return pairs

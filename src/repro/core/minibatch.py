@@ -32,7 +32,8 @@ from ..text.minilm import MiniLM
 from ..vision.image import SyntheticImage
 
 __all__ = ["PCPConfig", "Partition", "MiniBatchPlan", "property_closeness",
-           "pairwise_proximity", "generate_minibatches", "kmeans"]
+           "pairwise_proximity", "pairwise_proximity_reference",
+           "generate_minibatches", "kmeans", "kmeans_reference"]
 
 _log = get_logger("repro.core.minibatch")
 
@@ -79,8 +80,13 @@ class MiniBatchPlan:
     def total_pairs(self) -> int:
         return sum(p.num_pairs for p in self.partitions)
 
+    def __post_init__(self) -> None:
+        # vertex_row is called inside the negative-sampling loops, so an
+        # O(|V|) list.index per call turned Algorithm 3 quadratic.
+        self._row_of = {v: i for i, v in enumerate(self.vertex_ids)}
+
     def vertex_row(self, vertex_id: int) -> int:
-        return self.vertex_ids.index(vertex_id)
+        return self._row_of[vertex_id]
 
 
 def _property_texts(graph: Graph, vertex_id: int, d: int) -> List[str]:
@@ -111,12 +117,21 @@ def property_closeness(graph: Graph, vertex_ids: Sequence[int],
     embeddings (one per d-hop edge, plus the label itself) and
     ``patch_features`` has shape ``(num_images, num_patches, dim)``.
     """
+    # One embed_texts call over every vertex's property phrases: each
+    # row only depends on its own text, so slicing the batch back apart
+    # reproduces the per-vertex calls exactly.
+    texts_per_vertex = [_property_texts(graph, vid, d) for vid in vertex_ids]
+    bounds = np.cumsum([0] + [len(t) for t in texts_per_vertex])
+    all_embeds = minilm.embed_texts([t for texts in texts_per_vertex
+                                     for t in texts])
     properties: Dict[int, np.ndarray] = {}
-    for vid in vertex_ids:
-        matrix = minilm.embed_texts(_property_texts(graph, vid, d))
+    for row, vid in enumerate(vertex_ids):
+        matrix = all_embeds[bounds[row]:bounds[row + 1]]
         norms = np.linalg.norm(matrix, axis=1, keepdims=True)
         properties[vid] = (matrix / np.maximum(norms, 1e-8)).astype(np.float32)
-    patches = np.stack([aligner.patch_text_space(img.pixels) for img in images])
+    # Patch features run batched (and optionally thread-pooled) through
+    # the same chunked path the matcher's image tower uses.
+    patches = aligner.patch_text_space_batch(list(images))
     norms = np.linalg.norm(patches, axis=-1, keepdims=True)
     patches = (patches / np.maximum(norms, 1e-8)).astype(np.float32)
     return properties, patches
@@ -128,7 +143,54 @@ def pairwise_proximity(graph: Graph, vertex_ids: Sequence[int],
     """Phase 2 (Eq. 8): ``S(v, I) = sum_{v_j in N(v)} max_k S_c[v_j, c_k]``
     with ``N(v) = {v} ∪ V_d``, averaged over properties so vertices with
     different neighborhood sizes are comparable.
-    Returns ``(len(vertex_ids), num_images)``."""
+    Returns ``(len(vertex_ids), num_images)``.
+
+    Vectorized: every vertex's property matrix is stacked into one
+    ``(total_properties, dim)`` operand so the closeness computation is
+    a single GEMM followed by one max-reduction; only the cheap
+    per-vertex mean remains a loop.  The GEMM runs against *patch-major*
+    columns so the per-image max reduces over axis 1 with a contiguous
+    vectorized inner loop instead of a stride-``num_patches`` gather —
+    the dominant cost of the naive layout.  BLAS GEMM results are
+    row-sliceable and column-permutation-stable (each element's
+    K-accumulation is independent of column order), and max is exactly
+    commutative, so the matrix is bit-identical to
+    :func:`pairwise_proximity_reference`.
+    """
+    num_images = patch_features.shape[0]
+    proximity = np.zeros((len(vertex_ids), num_images), dtype=np.float32)
+    if not len(vertex_ids):
+        return proximity
+    patch_major = np.ascontiguousarray(
+        patch_features.transpose(1, 0, 2).reshape(
+            -1, patch_features.shape[-1]))
+    matrices = [properties[vid] for vid in vertex_ids]
+    bounds = np.cumsum([0] + [len(m) for m in matrices])
+    stacked = np.concatenate(matrices, axis=0)
+    closeness = stacked @ patch_major.T  # (total_properties, patches * |I|)
+    best = closeness.reshape(len(stacked), -1, num_images).max(axis=1)
+    flat_patches = None
+    for row, matrix in enumerate(matrices):
+        if len(matrix) == 1:
+            # BLAS routes single-row operands through gemv, which rounds
+            # differently from the stacked gemm; redo these rows with
+            # the reference's kernel so equality stays exact.
+            if flat_patches is None:
+                flat_patches = patch_features.reshape(
+                    -1, patch_features.shape[-1])
+            single = (matrix @ flat_patches.T).reshape(1, num_images, -1)
+            proximity[row] = single.max(axis=2).mean(axis=0)
+        else:
+            proximity[row] = best[bounds[row]:bounds[row + 1]].mean(axis=0)
+    return proximity
+
+
+def pairwise_proximity_reference(graph: Graph, vertex_ids: Sequence[int],
+                                 properties: Dict[int, np.ndarray],
+                                 patch_features: np.ndarray,
+                                 d: int = 1) -> np.ndarray:
+    """The retained naive per-vertex loop (golden-equivalence tests
+    assert :func:`pairwise_proximity` matches it exactly)."""
     num_images = patch_features.shape[0]
     flat_patches = patch_features.reshape(-1, patch_features.shape[-1])
     proximity = np.zeros((len(vertex_ids), num_images), dtype=np.float32)
@@ -146,18 +208,33 @@ def kmeans(points: np.ndarray, k: int, rng: SeedLike = None,
 
     Small and deterministic on purpose — scipy's kmeans2 seeds globally.
     Empty clusters are re-seeded from the farthest points.
+
+    Distances use the ``‖x‖² + ‖c‖² − 2·x·cᵀ`` expansion: one GEMM and
+    two squared-norm vectors instead of the ``(n, k, d)`` broadcast
+    temporary the naive form materializes.  The expansion rounds
+    differently at the ULP level, but assignments only consume distances
+    through argmin/argmax, which golden tests pin to
+    :func:`kmeans_reference` labels.
     """
     rng = rng_from(rng)
     n = len(points)
     k = min(k, n)
     if k <= 1:
         return np.zeros(n, dtype=np.int64)
+    points = np.asarray(points)
+    pts = points.astype(np.float64)
+    # Centers follow the reference update exactly (means in the input
+    # dtype, upcast on store) so the two variants only differ in how the
+    # point-center distances round.
     centers = points[rng.choice(n, size=k, replace=False)].astype(np.float64)
+    point_norms = (pts ** 2).sum(axis=1)
     labels = np.zeros(n, dtype=np.int64)
     iterations_run = 0
     for _ in range(iterations):
         iterations_run += 1
-        distances = ((points[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        center_norms = (centers ** 2).sum(axis=1)
+        distances = (point_norms[:, None] + center_norms[None, :]
+                     - 2.0 * (pts @ centers.T))
         new_labels = distances.argmin(axis=1)
         for cluster in range(k):
             members = points[new_labels == cluster]
@@ -171,6 +248,35 @@ def kmeans(points: np.ndarray, k: int, rng: SeedLike = None,
             break
         labels = new_labels
     registry().counter("pcp.kmeans_iterations").inc(iterations_run)
+    return labels
+
+
+def kmeans_reference(points: np.ndarray, k: int, rng: SeedLike = None,
+                     iterations: int = 25) -> np.ndarray:
+    """The retained naive Lloyd iteration with the ``(n, k, d)``
+    broadcast temporary (golden tests assert :func:`kmeans` assigns the
+    same labels)."""
+    rng = rng_from(rng)
+    n = len(points)
+    k = min(k, n)
+    if k <= 1:
+        return np.zeros(n, dtype=np.int64)
+    centers = points[rng.choice(n, size=k, replace=False)].astype(np.float64)
+    labels = np.zeros(n, dtype=np.int64)
+    for _ in range(iterations):
+        distances = ((points[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        new_labels = distances.argmin(axis=1)
+        for cluster in range(k):
+            members = points[new_labels == cluster]
+            if len(members):
+                centers[cluster] = members.mean(axis=0)
+            else:
+                farthest = distances.min(axis=1).argmax()
+                centers[cluster] = points[farthest]
+                new_labels[farthest] = cluster
+        if np.array_equal(new_labels, labels):
+            break
+        labels = new_labels
     return labels
 
 

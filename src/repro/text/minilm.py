@@ -48,8 +48,37 @@ class MiniLM:
         self.embeddings: Optional[np.ndarray] = None
 
     # -- pre-training -------------------------------------------------------
-    def pretrain(self, sentences: Iterable[str], seed: SeedLike = 0) -> "MiniLM":
-        """Fit embeddings on ``sentences``; returns self for chaining."""
+    def _sentence_ids(self, sentence: str) -> np.ndarray:
+        return np.asarray([self.vocab.id_of(w)
+                           for w in self._tokenizer.tokenize(sentence)],
+                          dtype=np.int64)
+
+    def _cooccurrence(self, sentences: Iterable[str]) -> np.ndarray:
+        """Windowed co-occurrence counts via ``np.add.at`` scatter.
+
+        For every offset ``k`` in ``1..window`` the (center, context)
+        index pairs of *all* sentences are concatenated and scattered in
+        one call per direction.  Unit increments into float64 counts are
+        exact integers, so the matrix is identical to the retained
+        per-token reference loop regardless of accumulation order.
+        """
+        vocab_size = len(self.vocab)
+        counts = np.zeros((vocab_size, vocab_size), dtype=np.float64)
+        ids_list = [self._sentence_ids(s) for s in sentences]
+        for k in range(1, self.window + 1):
+            lefts = [ids[:-k] for ids in ids_list if len(ids) > k]
+            rights = [ids[k:] for ids in ids_list if len(ids) > k]
+            if not lefts:
+                continue
+            left = np.concatenate(lefts)
+            right = np.concatenate(rights)
+            np.add.at(counts, (left, right), 1.0)
+            np.add.at(counts, (right, left), 1.0)
+        return counts
+
+    def _cooccurrence_reference(self, sentences: Iterable[str]) -> np.ndarray:
+        """The retained naive per-token loop (golden-equivalence tests
+        assert :meth:`_cooccurrence` matches it exactly)."""
         vocab_size = len(self.vocab)
         counts = np.zeros((vocab_size, vocab_size), dtype=np.float64)
         for sentence in sentences:
@@ -60,6 +89,12 @@ class MiniLM:
                 for j in range(lo, hi):
                     if j != i:
                         counts[center, ids[j]] += 1.0
+        return counts
+
+    def pretrain(self, sentences: Iterable[str], seed: SeedLike = 0) -> "MiniLM":
+        """Fit embeddings on ``sentences``; returns self for chaining."""
+        vocab_size = len(self.vocab)
+        counts = self._cooccurrence(list(sentences))
         total = counts.sum()
         if total == 0:
             raise ValueError("empty corpus: no co-occurrences observed")
@@ -109,7 +144,37 @@ class MiniLM:
         return tokens.mean(axis=0)
 
     def embed_texts(self, texts: Sequence[str]) -> np.ndarray:
-        """Batch of mean-pooled embeddings, shape ``(len(texts), dim)``."""
+        """Batch of mean-pooled embeddings, shape ``(len(texts), dim)``.
+
+        Vectorized: one padded id matrix, one embedding gather, one
+        masked mean.  Padding positions gather the all-zero ``[PAD]``
+        row and numpy's axis-1 reduction is sequential, so appending
+        exact zeros leaves every sum bit-identical to the per-text
+        :meth:`embed_text` reference.
+        """
+        if not texts:
+            return np.zeros((0, self.dim), dtype=np.float32)
+        emb = self._require_trained()
+        ids_list = [[self.vocab.id_of(w) for w in self._tokenizer.tokenize(t)]
+                    for t in texts]
+        lengths = np.asarray([len(ids) for ids in ids_list], dtype=np.int64)
+        longest = int(lengths.max())
+        if longest == 0:
+            return np.zeros((len(texts), self.dim), dtype=np.float32)
+        pad_id = self.vocab.pad_id
+        padded = np.full((len(texts), longest), pad_id, dtype=np.int64)
+        for row, ids in enumerate(ids_list):
+            padded[row, : len(ids)] = ids
+        gathered = emb[padded]  # (B, L, dim); [PAD] rows are exact zeros
+        if emb[pad_id].any():  # hand-loaded embeddings may break that
+            gathered[padded == pad_id] = 0.0
+        sums = gathered.sum(axis=1)
+        counts = np.maximum(lengths, 1).astype(np.float32)
+        return (sums / counts[:, None]).astype(np.float32, copy=False)
+
+    def embed_texts_reference(self, texts: Sequence[str]) -> np.ndarray:
+        """The retained naive per-text loop (golden-equivalence tests
+        assert :meth:`embed_texts` matches it exactly)."""
         return np.stack([self.embed_text(t) for t in texts]) if texts else \
             np.zeros((0, self.dim), dtype=np.float32)
 

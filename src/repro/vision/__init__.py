@@ -4,9 +4,11 @@ from .encoder import PatchFeatureExtractor, VisionEncoder
 from .image import (ImageSpec, SyntheticImage, render_concept,
                     render_repository)
 from .patches import extract_patches, patch_grid
+from .pipeline import chunked_encode, resolve_workers
 from .video import SyntheticVideo, frames_to_images, record_video
 
 __all__ = ["ImageSpec", "SyntheticImage", "render_concept",
            "render_repository", "extract_patches", "patch_grid",
            "PatchFeatureExtractor", "VisionEncoder", "SyntheticVideo",
-           "record_video", "frames_to_images"]
+           "record_video", "frames_to_images", "chunked_encode",
+           "resolve_workers"]

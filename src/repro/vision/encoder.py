@@ -71,8 +71,41 @@ class PatchFeatureExtractor:
         """Projected per-patch features of one image, ``(num_patches, dim)``."""
         return self.raw_features(pixels) @ self._projection
 
-    def features_batch(self, images: Sequence[SyntheticImage]) -> np.ndarray:
+    def features_pixels_batch(self, pixels_batch: np.ndarray) -> np.ndarray:
+        """Projected features for stacked pixels ``(B, side, side, C)``,
+        returning ``(B, num_patches, dim)``.
+
+        The per-patch statistics are computed over the whole batch at
+        once and projected through a single GEMM; every output element
+        matches the per-image :meth:`features` path bit for bit (the
+        statistics reduce within one patch, and the projection is a
+        row-sliceable matmul).
+        """
+        spec = self.spec
+        patches = np.stack([patch_grid(p, spec) for p in pixels_batch])
+        stats = _patch_statistics(patches)  # (B, P, 8)
+        position = np.broadcast_to(np.eye(spec.num_patches, dtype=np.float32),
+                                   (len(pixels_batch), spec.num_patches,
+                                    spec.num_patches))
+        raw = np.concatenate([stats, position], axis=-1)
+        flat = raw.reshape(-1, raw.shape[-1]) @ self._projection
+        return flat.reshape(len(pixels_batch), spec.num_patches, self.dim)
+
+    def features_batch(self, images: Sequence[SyntheticImage],
+                       chunk: int = 256) -> np.ndarray:
         """Features for a repository, ``(num_images, num_patches, dim)``."""
+        if not images:
+            return np.zeros((0, self.spec.num_patches, self.dim), dtype=np.float32)
+        from .pipeline import chunked_encode
+        return chunked_encode(
+            lambda s, e: self.features_pixels_batch(
+                np.stack([img.pixels for img in images[s:e]])),
+            len(images), chunk=chunk, name="patch_features")
+
+    def features_batch_reference(self,
+                                 images: Sequence[SyntheticImage]) -> np.ndarray:
+        """The retained naive per-image loop; golden tests assert the
+        vectorized :meth:`features_batch` equals it exactly."""
         if not images:
             return np.zeros((0, self.spec.num_patches, self.dim), dtype=np.float32)
         return np.stack([self.features(img.pixels) for img in images])

@@ -1,0 +1,76 @@
+"""Chunked (optionally thread-pooled) encoding over frozen towers.
+
+Frozen encoders — the MiniCLIP image tower after :meth:`freeze_image_tower`
+and the :class:`~repro.vision.encoder.PatchFeatureExtractor` — are pure
+functions of their input, so a repository can be embedded chunk by chunk
+and the chunks computed on a thread pool without changing a single bit
+of the result: each chunk is encoded independently and the outputs are
+concatenated in index order, so scheduling never reorders arithmetic.
+
+The pool is opt-in (``workers`` argument or ``REPRO_ENCODE_WORKERS``)
+because numpy only releases the GIL inside large BLAS calls; for small
+chunks a pool adds overhead.  The default is the serial path, which is
+what tests and benchmarks run unless explicitly configured otherwise.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..obs import get_logger, registry, span
+
+__all__ = ["resolve_workers", "chunked_encode"]
+
+_log = get_logger("repro.vision.pipeline")
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Worker count for :func:`chunked_encode`: the explicit argument,
+    else ``REPRO_ENCODE_WORKERS``, else 0 (serial)."""
+    if workers is not None:
+        return max(0, int(workers))
+    env = os.environ.get("REPRO_ENCODE_WORKERS", "").strip()
+    if env:
+        try:
+            return max(0, int(env))
+        except ValueError:
+            _log.warning("ignoring invalid REPRO_ENCODE_WORKERS", value=env)
+    return 0
+
+
+def chunked_encode(encode_chunk: Callable[[int, int], np.ndarray],
+                   num_items: int, chunk: int = 64,
+                   workers: Optional[int] = None,
+                   name: str = "encode") -> np.ndarray:
+    """Apply ``encode_chunk(start, stop)`` over ``[0, num_items)`` in
+    chunks and concatenate the results in index order.
+
+    ``encode_chunk`` must be a pure function returning a ``(stop-start,
+    ...)`` array.  With ``workers > 1`` chunks run on a thread pool;
+    outputs are still assembled by chunk index, so the result is
+    identical to the serial path.
+    """
+    if num_items <= 0:
+        raise ValueError("chunked_encode needs at least one item")
+    chunk = max(1, int(chunk))
+    starts = list(range(0, num_items, chunk))
+    workers = resolve_workers(workers)
+    reg = registry()
+    with span(f"{name}/chunked"):
+        if workers > 1 and len(starts) > 1:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                chunks: List[np.ndarray] = list(pool.map(
+                    lambda s: encode_chunk(s, min(s + chunk, num_items)),
+                    starts))
+            reg.counter(f"{name}.pooled_chunks").inc(len(starts))
+        else:
+            chunks = [encode_chunk(s, min(s + chunk, num_items))
+                      for s in starts]
+    reg.counter(f"{name}.chunks").inc(len(starts))
+    if len(chunks) == 1:
+        return chunks[0]
+    return np.concatenate(chunks, axis=0)

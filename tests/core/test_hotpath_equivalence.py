@@ -1,0 +1,96 @@
+"""Golden-equivalence tests for the fused encoder pipeline.
+
+Every vectorized hot path must reproduce its retained naive reference
+*exactly* (``atol=0``): the optimizations are pure reorderings and
+caches, so any drift is a bug, not noise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.minibatch import (kmeans, kmeans_reference,
+                                  pairwise_proximity,
+                                  pairwise_proximity_reference,
+                                  property_closeness)
+
+
+@pytest.fixture(scope="module")
+def closeness(tiny_bundle, tiny_dataset):
+    return property_closeness(tiny_dataset.graph,
+                              tiny_dataset.entity_vertices,
+                              tiny_dataset.images, tiny_bundle.minilm,
+                              tiny_bundle.aligner)
+
+
+class TestPairwiseProximity:
+    def test_matches_reference_exactly(self, tiny_dataset, closeness):
+        properties, patches = closeness
+        vectorized = pairwise_proximity(tiny_dataset.graph,
+                                        tiny_dataset.entity_vertices,
+                                        properties, patches)
+        reference = pairwise_proximity_reference(tiny_dataset.graph,
+                                                 tiny_dataset.entity_vertices,
+                                                 properties, patches)
+        np.testing.assert_array_equal(vectorized, reference)
+
+    def test_matches_reference_on_ragged_random_properties(self, rng):
+        """Property counts vary per vertex; the ragged reduction must
+        slice the stacked GEMM at exactly the right rows."""
+        num_images, patches_per_image, dim = 7, 4, 16
+        patch_features = rng.standard_normal(
+            (num_images, patches_per_image, dim)).astype(np.float32)
+        vertex_ids = list(range(9))
+        properties = {vid: rng.standard_normal(
+            (int(rng.integers(1, 6)), dim)).astype(np.float32)
+            for vid in vertex_ids}
+        vectorized = pairwise_proximity(None, vertex_ids, properties,
+                                        patch_features)
+        reference = pairwise_proximity_reference(None, vertex_ids, properties,
+                                                 patch_features)
+        np.testing.assert_array_equal(vectorized, reference)
+
+    def test_empty_vertex_list(self, rng):
+        patch_features = rng.random((3, 4, 8)).astype(np.float32)
+        out = pairwise_proximity(None, [], {}, patch_features)
+        assert out.shape == (0, 3)
+
+
+class TestKMeans:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_labels_match_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(5, 80))
+        d = int(rng.integers(2, 24))
+        k = int(rng.integers(2, 6))
+        points = rng.random((n, d)).astype(np.float32)
+        points /= points.sum(axis=1, keepdims=True)  # PCP-style rows
+        np.testing.assert_array_equal(kmeans(points, k, rng=seed),
+                                      kmeans_reference(points, k, rng=seed))
+
+    def test_labels_match_reference_separated_blobs(self):
+        rng = np.random.default_rng(3)
+        blobs = np.concatenate([rng.normal(loc, 0.1, size=(12, 5))
+                                for loc in (0.0, 3.0, -4.0)]).astype(np.float32)
+        np.testing.assert_array_equal(kmeans(blobs, 3, rng=1),
+                                      kmeans_reference(blobs, 3, rng=1))
+
+
+class TestPropertyCloseness:
+    def test_matches_per_item_reference(self, tiny_bundle, tiny_dataset,
+                                        closeness):
+        """The batched embed/patch pipeline must equal the per-vertex /
+        per-image composition it replaced."""
+        from repro.core.minibatch import _property_texts
+        properties, patches = closeness
+        minilm, aligner = tiny_bundle.minilm, tiny_bundle.aligner
+        for vid in tiny_dataset.entity_vertices:
+            matrix = minilm.embed_texts_reference(
+                _property_texts(tiny_dataset.graph, vid, 1))
+            norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+            expected = (matrix / np.maximum(norms, 1e-8)).astype(np.float32)
+            np.testing.assert_array_equal(properties[vid], expected)
+        reference = np.stack([aligner.patch_text_space(img.pixels)
+                              for img in tiny_dataset.images])
+        norms = np.linalg.norm(reference, axis=-1, keepdims=True)
+        reference = (reference / np.maximum(norms, 1e-8)).astype(np.float32)
+        np.testing.assert_array_equal(patches, reference)

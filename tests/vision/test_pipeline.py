@@ -1,0 +1,68 @@
+"""Chunked/thread-pooled encode helper and the batched patch featurizer:
+chunking, pooling and batching must be invisible in the output bits."""
+
+import numpy as np
+import pytest
+
+from repro.vision.pipeline import chunked_encode, resolve_workers
+
+
+class TestChunkedEncode:
+    def test_concatenates_in_index_order(self):
+        data = np.arange(23, dtype=np.float32)[:, None]
+        out = chunked_encode(lambda s, e: data[s:e], 23, chunk=5)
+        np.testing.assert_array_equal(out, data)
+
+    def test_threaded_matches_serial(self):
+        rng = np.random.default_rng(0)
+        data = rng.random((37, 4)).astype(np.float32)
+        serial = chunked_encode(lambda s, e: data[s:e] * 2.0, 37, chunk=4,
+                                workers=0)
+        threaded = chunked_encode(lambda s, e: data[s:e] * 2.0, 37, chunk=4,
+                                  workers=4)
+        np.testing.assert_array_equal(serial, threaded)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            chunked_encode(lambda s, e: np.zeros((e - s, 1)), 0)
+
+    def test_resolve_workers_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENCODE_WORKERS", raising=False)
+        assert resolve_workers(None) == 0
+        assert resolve_workers(3) == 3
+        monkeypatch.setenv("REPRO_ENCODE_WORKERS", "2")
+        assert resolve_workers(None) == 2
+        monkeypatch.setenv("REPRO_ENCODE_WORKERS", "bogus")
+        assert resolve_workers(None) == 0
+
+
+class TestBatchedPatchFeatures:
+    def test_features_batch_matches_reference(self, tiny_bundle,
+                                              tiny_dataset):
+        extractor = tiny_bundle.patch_extractor
+        batched = extractor.features_batch(tiny_dataset.images)
+        reference = extractor.features_batch_reference(tiny_dataset.images)
+        np.testing.assert_array_equal(batched, reference)
+
+    def test_aligned_batch_matches_per_image(self, tiny_bundle,
+                                             tiny_dataset):
+        aligner = tiny_bundle.aligner
+        batched = aligner.patch_text_space_batch(tiny_dataset.images)
+        reference = np.stack([aligner.patch_text_space(img.pixels)
+                              for img in tiny_dataset.images])
+        np.testing.assert_array_equal(batched, reference)
+
+    def test_threaded_image_tower_matches_serial(self, tiny_bundle,
+                                                 tiny_dataset):
+        import repro.nn as nn
+        clip = tiny_bundle.clip
+        pixels = lambda s, e: np.stack(
+            [img.pixels for img in tiny_dataset.images[s:e]])
+        with nn.no_grad():
+            serial = chunked_encode(
+                lambda s, e: clip.encode_image(pixels(s, e)).numpy(),
+                len(tiny_dataset.images), chunk=4, workers=0)
+            threaded = chunked_encode(
+                lambda s, e: clip.encode_image(pixels(s, e)).numpy(),
+                len(tiny_dataset.images), chunk=4, workers=4)
+        np.testing.assert_array_equal(serial, threaded)
