@@ -60,6 +60,10 @@ def _cmd_match(args: argparse.Namespace) -> int:
     reg.reset()
     reset_spans()
 
+    if args.resume and not args.checkpoint_dir:
+        print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+
     bundle, dataset = _load(args.benchmark, args.seed)
     split = train_test_split(dataset, args.test_fraction, seed=args.seed)
     aggregator = "sage" if args.benchmark.startswith("fb") else "gnn"
@@ -71,7 +75,10 @@ def _cmd_match(args: argparse.Namespace) -> int:
         matcher = CrossEM(bundle, CrossEMConfig(
             prompt=args.method, epochs=args.epochs, lr=args.lr,
             aggregator=aggregator, seed=args.seed))
-    matcher.fit(dataset.graph, dataset.images, dataset.entity_vertices)
+    matcher.fit(dataset.graph, dataset.images, dataset.entity_vertices,
+                checkpoint_dir=args.checkpoint_dir,
+                checkpoint_every=args.checkpoint_every,
+                resume_from=args.checkpoint_dir if args.resume else None)
     result = matcher.evaluate(dataset, list(split.test))
     print(f"{dataset.name} / {args.method}: {result}")
     # Efficiency goes through the registry (not just stdout) so
@@ -85,8 +92,8 @@ def _cmd_match(args: argparse.Namespace) -> int:
     if args.save:
         from .core import save_matcher
 
-        save_matcher(matcher, args.save)
-        print(f"saved tuned matcher to {args.save}")
+        saved = save_matcher(matcher, args.save)
+        print(f"saved tuned matcher to {saved}")
     if args.metrics_out:
         rows = export_jsonl(args.metrics_out,
                             meta={"benchmark": args.benchmark,
@@ -149,6 +156,13 @@ def build_parser() -> argparse.ArgumentParser:
     match.add_argument("--test-fraction", type=float, default=0.5)
     match.add_argument("--save", default=None,
                        help="path to save the tuned matcher (.npz)")
+    match.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                       help="write crash-safe training checkpoints here")
+    match.add_argument("--checkpoint-every", type=int, default=1,
+                       metavar="K", help="checkpoint cadence in epochs")
+    match.add_argument("--resume", action="store_true",
+                       help="resume from the newest valid checkpoint in "
+                            "--checkpoint-dir (trains fresh if none)")
     match.add_argument("--log-level", default=None, choices=_LOG_LEVELS,
                        help="override REPRO_LOG_LEVEL for this run")
     match.add_argument("--metrics-out", default=None, metavar="PATH",

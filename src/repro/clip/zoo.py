@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import io
 import json
 import os
 import zipfile
@@ -21,6 +22,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..datasets.world import ConceptUniverse
+from ..iosafe import atomic_write_bytes, quarantine, retry_io
 from ..obs import get_logger, registry, span
 from ..text.corpus import build_text_corpus
 from ..text.minilm import MiniLM
@@ -83,12 +85,16 @@ def _build_bundle(kind: str, num_concepts: int, seed: int, max_len: int,
 
 
 def _save_bundle(path: Path, bundle: PretrainedBundle) -> None:
-    path.parent.mkdir(parents=True, exist_ok=True)
     state = {f"clip.{k}": v for k, v in bundle.clip.state_dict().items()}
     state["minilm.embeddings"] = bundle.minilm.embeddings
     state["aligner.weights"] = bundle.aligner._weights
     state["losses"] = np.asarray(bundle.pretrain_losses, dtype=np.float64)
-    np.savez_compressed(path, **state)
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **state)
+    # Atomic publish: a process killed mid-save must never leave a
+    # truncated archive where every later process trips over it.
+    retry_io(lambda: atomic_write_bytes(path, buffer.getvalue()),
+             name="zoo.save")
 
 
 def _load_bundle(path: Path, kind: str, num_concepts: int, seed: int,
@@ -96,9 +102,15 @@ def _load_bundle(path: Path, kind: str, num_concepts: int, seed: int,
     # np.load on an .npz is lazy: a file with a valid zip header but a
     # corrupt body (truncated write, bad disk) opens fine and only
     # raises BadZipFile when an array is actually read — so the whole
-    # deserialization is one recovery boundary, not just the open.
+    # deserialization is one recovery boundary, not just the open.  The
+    # byte read itself is retried first: a transient I/O hiccup should
+    # cost milliseconds, not a full pre-training rebuild.
     try:
-        archive = np.load(path)
+        raw = retry_io(path.read_bytes, name="zoo.load")
+    except OSError:
+        return None
+    try:
+        archive = np.load(io.BytesIO(raw))
         universe = ConceptUniverse(num_concepts, kind=kind, seed=seed)
         vocab = Vocabulary(universe.vocabulary_words())
         tokenizer = WordTokenizer(vocab, max_len=max_len)
@@ -134,15 +146,13 @@ def get_pretrained_bundle(kind: str = "bird", num_concepts: int = 80,
         bundle = _load_bundle(path, kind, num_concepts, seed, max_len)
         if bundle is None:
             # A cache entry that exists but will not deserialize is
-            # corrupt: drop it so the rebuilt bundle replaces it and
+            # corrupt: quarantine it (keeping the evidence under a
+            # .corrupt suffix) so the rebuilt bundle replaces it and
             # later processes never re-trip on the same bad bytes.
             reg.counter("cache.corrupt").inc()
             _log.warning("corrupt bundle cache, rebuilding",
                          path=str(path))
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            quarantine(path)
         else:
             reg.counter("cache.hit").inc()
             _log.debug("bundle loaded from disk cache", key=key)

@@ -1,5 +1,8 @@
 """The paper's contribution: CrossEM / CrossEM+ prompt-tuning matchers."""
 
+from .checkpoint import (CheckpointCorruptError, CheckpointError,
+                         CheckpointManager, CheckpointMismatchError,
+                         read_checkpoint, write_checkpoint)
 from .cleaning import (ImageFlag, affinity_outliers, clean_repository,
                        provenance_conflicts)
 from .crossem_plus import CrossEMPlus, CrossEMPlusConfig
@@ -27,4 +30,6 @@ __all__ = ["CrossEM", "CrossEMConfig", "CrossEMPlus", "CrossEMPlusConfig",
            "mean_reciprocal_rank", "EfficiencyReport", "save_matcher",
            "load_matcher", "ImageFlag", "affinity_outliers",
            "provenance_conflicts", "clean_repository", "MatchingSetResult",
-           "matching_set_metrics"]
+           "matching_set_metrics", "CheckpointManager", "CheckpointError",
+           "CheckpointCorruptError", "CheckpointMismatchError",
+           "read_checkpoint", "write_checkpoint"]

@@ -1,0 +1,217 @@
+"""Durable training checkpoints: snapshot, verify, resume.
+
+A long prompt-tuning run owns exactly the state needed to continue it
+bit-identically after a crash:
+
+* the tuned parameters (soft-prompt table + Eq. 7 fusion weights),
+* the optimizer moments (AdamW ``m``/``v`` and the bias-correction
+  step counter),
+* the training RNG's bit-generator state (batch order),
+* the epoch counter, per-epoch losses and current pseudo-labels.
+
+:class:`CheckpointManager` writes one self-verifying file per
+checkpointed epoch.  The container format is deliberately simple::
+
+    MAGIC (8 bytes) | header length (8-byte LE) | header JSON | payload
+
+where the payload is an uncompressed ``.npz`` of the state arrays and
+the header records the schema version, a SHA-256 digest of the payload
+and the caller's metadata (epoch, config fingerprint, RNG state).  A
+reader verifies magic, schema and digest *before* deserializing, so
+every torn, truncated or bit-flipped file is rejected with a typed
+:class:`CheckpointCorruptError` instead of a ``BadZipFile`` surprise —
+and :meth:`CheckpointManager.latest` then quarantines the bad file and
+falls back to the newest older checkpoint that still verifies.
+
+Writes go through :func:`repro.iosafe.atomic_write_bytes` (temp + fsync
++ rename), so a crash mid-write never shadows a good checkpoint with a
+partial one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..iosafe import (CorruptArtifactError, atomic_write_bytes, quarantine,
+                      retry_io)
+from ..obs import get_logger, registry, span
+
+__all__ = ["CHECKPOINT_MAGIC", "SCHEMA_VERSION", "CheckpointError",
+           "CheckpointCorruptError", "CheckpointMismatchError",
+           "write_checkpoint", "read_checkpoint", "CheckpointManager"]
+
+_log = get_logger("repro.core.checkpoint")
+
+CHECKPOINT_MAGIC = b"REPROCK1"
+SCHEMA_VERSION = 1
+
+_HEADER_PREFIX = len(CHECKPOINT_MAGIC) + 8
+#: a header larger than this is certainly garbage length bytes
+_MAX_HEADER_BYTES = 16 * 1024 * 1024
+
+
+class CheckpointError(RuntimeError):
+    """Base class for checkpoint failures."""
+
+
+class CheckpointCorruptError(CheckpointError, CorruptArtifactError):
+    """The checkpoint file's bytes fail magic/schema/digest validation."""
+
+
+class CheckpointMismatchError(CheckpointError):
+    """A structurally valid checkpoint does not belong to this run
+    (different prompt kind, seed, matcher class or data shape)."""
+
+
+def write_checkpoint(path: Union[str, Path], arrays: Dict[str, np.ndarray],
+                     meta: dict) -> Path:
+    """Atomically write ``arrays`` + ``meta`` as a verified checkpoint.
+
+    The payload digest is computed over the serialized archive bytes, so
+    any later mutation — truncation, torn write, bit rot — is caught by
+    :func:`read_checkpoint` before deserialization.
+    """
+    buffer = io.BytesIO()
+    # Uncompressed: checkpoints are rewritten every K epochs and read on
+    # the crash-recovery path; cheap writes beat small files here.
+    np.savez(buffer, **arrays)
+    payload = buffer.getvalue()
+    header = json.dumps({
+        "schema": SCHEMA_VERSION,
+        "sha256": hashlib.sha256(payload).hexdigest(),
+        "meta": meta,
+    }, sort_keys=True).encode()
+    blob = (CHECKPOINT_MAGIC + len(header).to_bytes(8, "little")
+            + header + payload)
+    with span("ckpt/write"):
+        path = retry_io(lambda: atomic_write_bytes(path, blob),
+                        name="ckpt.write")
+    registry().counter("ckpt.write").inc()
+    _log.debug("checkpoint written", path=str(path), bytes=len(blob))
+    return path
+
+
+def read_checkpoint(path: Union[str, Path]) -> Tuple[Dict[str, np.ndarray], dict]:
+    """Read and verify a checkpoint; returns ``(arrays, meta)``.
+
+    Raises :class:`CheckpointCorruptError` (and increments the
+    ``ckpt.corrupt`` counter) for any byte-level damage, and
+    ``FileNotFoundError`` if the file does not exist.
+    """
+    path = Path(path)
+    with span("ckpt/restore"):
+        blob = retry_io(path.read_bytes, name="ckpt.read")
+        try:
+            arrays, meta = _parse_checkpoint(blob)
+        except CheckpointCorruptError:
+            registry().counter("ckpt.corrupt").inc()
+            raise
+    registry().counter("ckpt.restore").inc()
+    return arrays, meta
+
+
+def _parse_checkpoint(blob: bytes) -> Tuple[Dict[str, np.ndarray], dict]:
+    if len(blob) < _HEADER_PREFIX:
+        raise CheckpointCorruptError("checkpoint truncated before header")
+    if blob[: len(CHECKPOINT_MAGIC)] != CHECKPOINT_MAGIC:
+        raise CheckpointCorruptError("bad checkpoint magic")
+    header_len = int.from_bytes(
+        blob[len(CHECKPOINT_MAGIC): _HEADER_PREFIX], "little")
+    if header_len <= 0 or header_len > _MAX_HEADER_BYTES or \
+            _HEADER_PREFIX + header_len > len(blob):
+        raise CheckpointCorruptError("checkpoint header length out of range")
+    try:
+        header = json.loads(blob[_HEADER_PREFIX: _HEADER_PREFIX + header_len])
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CheckpointCorruptError("checkpoint header is not valid JSON") \
+            from exc
+    if not isinstance(header, dict) or "sha256" not in header:
+        raise CheckpointCorruptError("checkpoint header missing digest")
+    if header.get("schema") != SCHEMA_VERSION:
+        raise CheckpointCorruptError(
+            f"unsupported checkpoint schema {header.get('schema')!r} "
+            f"(this build reads schema {SCHEMA_VERSION})")
+    payload = blob[_HEADER_PREFIX + header_len:]
+    if hashlib.sha256(payload).hexdigest() != header["sha256"]:
+        raise CheckpointCorruptError("checkpoint payload digest mismatch")
+    try:
+        with np.load(io.BytesIO(payload)) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+    except Exception as exc:  # digest passed but npz still unreadable
+        raise CheckpointCorruptError(
+            "checkpoint payload failed to deserialize") from exc
+    return arrays, header.get("meta", {})
+
+
+class CheckpointManager:
+    """Epoch-indexed checkpoints in one directory, pruned and verified.
+
+    ``every`` controls the cadence (a checkpoint after every K-th
+    epoch); ``keep`` bounds how many recent checkpoints survive pruning
+    — more than one on purpose, so a checkpoint corrupted *after* a
+    successful write still leaves an older recovery point.
+    """
+
+    def __init__(self, directory: Union[str, Path], every: int = 1,
+                 keep: int = 3) -> None:
+        if every < 1:
+            raise ValueError("every must be at least 1")
+        if keep < 1:
+            raise ValueError("keep must be at least 1")
+        self.directory = Path(directory)
+        self.every = every
+        self.keep = keep
+
+    def path_for(self, epoch: int) -> Path:
+        return self.directory / f"ckpt-{epoch:06d}.ckpt"
+
+    def should_save(self, epoch: int) -> bool:
+        """Whether the (0-based) just-completed ``epoch`` is on cadence."""
+        return (epoch + 1) % self.every == 0
+
+    def checkpoints(self) -> List[Path]:
+        """All checkpoint files, oldest first (lexicographic == epoch
+        order thanks to the zero-padded name)."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(self.directory.glob("ckpt-*.ckpt"))
+
+    def save(self, epoch: int, arrays: Dict[str, np.ndarray],
+             meta: dict) -> Path:
+        path = write_checkpoint(self.path_for(epoch), arrays, meta)
+        self._prune()
+        return path
+
+    def _prune(self) -> None:
+        for stale in self.checkpoints()[: -self.keep]:
+            try:
+                stale.unlink()
+            except OSError:
+                pass  # pruning is best-effort; the next save retries
+
+    def latest(self) -> Optional[Tuple[Dict[str, np.ndarray], dict, Path]]:
+        """The newest checkpoint that verifies, or ``None``.
+
+        Corrupt files encountered on the way are quarantined (renamed to
+        ``*.corrupt``) so the next scan does not re-read them, and the
+        search continues with the next-older candidate — recovery, not
+        crash.
+        """
+        for path in reversed(self.checkpoints()):
+            try:
+                arrays, meta = read_checkpoint(path)
+            except CheckpointCorruptError as exc:
+                _log.warning("corrupt checkpoint skipped", path=str(path),
+                             error=str(exc))
+                quarantine(path)
+                continue
+            except FileNotFoundError:
+                continue  # raced with pruning
+            return arrays, meta, path
+        return None

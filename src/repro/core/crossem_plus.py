@@ -62,6 +62,12 @@ class CrossEMPlus(CrossEM):
     """CrossEM with mini-batch generation, negative sampling and the
     orthogonal prompt constraint."""
 
+    # The partition plan is rebuilt deterministically from the seed in
+    # _before_training, so checkpoints carry no plan state — but a plus
+    # checkpoint must never restore into a base matcher (and vice
+    # versa): their epoch batch streams differ for the same RNG state.
+    _checkpoint_kind = "plus"
+
     def __init__(self, bundle: PretrainedBundle,
                  config: Optional[CrossEMPlusConfig] = None) -> None:
         super().__init__(bundle, config or CrossEMPlusConfig())

@@ -13,7 +13,8 @@ from __future__ import annotations
 
 import dataclasses
 import warnings
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -25,6 +26,8 @@ from ..nn.init import rng_from
 from ..obs import get_logger, registry, span
 from ..vision.image import SyntheticImage
 from ..vision.pipeline import chunked_encode
+from .checkpoint import (CheckpointManager, CheckpointMismatchError,
+                         read_checkpoint)
 from .losses import batch_contrastive_loss
 from .metrics import EfficiencyReport, RankingResult, evaluate_ranking
 from .prompts import HardPromptGenerator, SoftPromptModule, baseline_prompt
@@ -79,6 +82,10 @@ class CrossEM:
     After :meth:`fit`, :attr:`efficiency` holds per-epoch time and peak
     memory (the Table III quantities).
     """
+
+    #: discriminator recorded in checkpoints/archives so state saved by
+    #: one matcher class is never silently restored into another
+    _checkpoint_kind = "base"
 
     def __init__(self, bundle: PretrainedBundle,
                  config: Optional[CrossEMConfig] = None) -> None:
@@ -301,10 +308,23 @@ class CrossEM:
         return np.concatenate(chunks, axis=0)
 
     def fit(self, graph: Graph, images: Sequence[SyntheticImage],
-            vertex_ids: Optional[Sequence[int]] = None) -> "CrossEM":
+            vertex_ids: Optional[Sequence[int]] = None, *,
+            checkpoint_dir: Optional[Union[str, Path]] = None,
+            checkpoint_every: int = 1,
+            resume_from: Optional[Union[str, Path]] = None) -> "CrossEM":
         """Run Algorithm 1; returns self.
 
         ``vertex_ids`` defaults to the graph's entity vertices.
+
+        With ``checkpoint_dir`` set, the tuned state (prompt parameters,
+        optimizer moments, RNG state, epoch counter, pseudo-labels) is
+        snapshotted atomically after every ``checkpoint_every``-th epoch
+        and after the final one.  ``resume_from`` — a checkpoint file or
+        a directory holding them — restores the newest verified snapshot
+        and continues from its epoch; under a fixed seed the resumed run
+        is bit-identical to an uninterrupted one (see DESIGN.md).  A
+        resume directory without any valid checkpoint trains from
+        scratch, so crash-retry loops need no special first-run casing.
         """
         self.graph = graph
         self.images = list(images)
@@ -321,12 +341,17 @@ class CrossEM:
         trainable = self._trainable_parameters()
         epochs = self.config.epochs if trainable else 0
         optimizer = nn.AdamW(trainable, lr=self.config.lr) if trainable else None
+        manager = CheckpointManager(checkpoint_dir, every=checkpoint_every) \
+            if checkpoint_dir is not None else None
         epoch_seconds: List[float] = []
         tracker = nn.MemoryTracker()
         reg = registry()
         self.epoch_losses = []
+        start_epoch = 0
+        if resume_from is not None:
+            start_epoch = self._resume_training(resume_from, optimizer, rng)
         with tracker, span("fit"):
-            for epoch in range(epochs):
+            for epoch in range(start_epoch, epochs):
                 with span("epoch") as ep:
                     with span("labels"):
                         self._refresh_pseudo_labels()
@@ -347,10 +372,131 @@ class CrossEM:
                 _log.info("epoch done", epoch=epoch + 1, epochs=epochs,
                           loss=mean_loss, pairs=pairs,
                           pairs_per_sec=pairs_per_sec, seconds=ep.elapsed)
+                if manager is not None and \
+                        (manager.should_save(epoch) or epoch == epochs - 1):
+                    self._save_checkpoint(manager, optimizer, rng, epoch)
         self.efficiency = EfficiencyReport(
             seconds_per_epoch=float(np.mean(epoch_seconds)) if epoch_seconds else 0.0,
             peak_memory_bytes=tracker.peak_bytes)
         return self
+
+    # -- checkpoint / resume -----------------------------------------------
+    def _checkpoint_state(self, optimizer: Optional[nn.AdamW],
+                          rng: np.random.Generator,
+                          epoch: int) -> Tuple[Dict[str, np.ndarray], dict]:
+        """Everything a resumed run needs to continue bit-identically:
+        tuned parameters, optimizer moments, RNG state, epoch counter,
+        losses and the current pseudo-labels."""
+        arrays: Dict[str, np.ndarray] = {
+            "epoch_losses": np.asarray(self.epoch_losses, dtype=np.float64),
+        }
+        if self.soft_prompts is not None:
+            for key, value in self.soft_prompts.state_dict().items():
+                if key.startswith("clip."):
+                    continue  # frozen; rebuilt deterministically from the zoo
+                arrays[f"soft.{key}"] = value
+        opt_step = 0
+        if optimizer is not None:
+            opt_state = optimizer.state_dict()
+            opt_step = opt_state["step"]
+            for i, moment in enumerate(opt_state["m"]):
+                arrays[f"opt.m.{i}"] = moment
+            for i, moment in enumerate(opt_state["v"]):
+                arrays[f"opt.v.{i}"] = moment
+        if self._pseudo_labels:
+            vertices = sorted(self._pseudo_labels)
+            arrays["labels.vertices"] = np.asarray(vertices, dtype=np.int64)
+            arrays["labels.images"] = np.asarray(
+                [self._pseudo_labels[v] for v in vertices], dtype=np.int64)
+        meta = {
+            "kind": self._checkpoint_kind,
+            "prompt": self.config.prompt,
+            "seed": self.config.seed,
+            "epoch": epoch + 1,  # the next epoch to run
+            "num_vertices": len(self.vertex_ids),
+            "num_images": len(self.images),
+            "opt_step": opt_step,
+            "rng": rng.bit_generator.state,
+        }
+        return arrays, meta
+
+    def _save_checkpoint(self, manager: CheckpointManager,
+                         optimizer: Optional[nn.AdamW],
+                         rng: np.random.Generator, epoch: int) -> Path:
+        arrays, meta = self._checkpoint_state(optimizer, rng, epoch)
+        path = manager.save(epoch, arrays, meta)
+        _log.info("checkpoint saved", epoch=epoch + 1, path=str(path))
+        return path
+
+    def _resume_training(self, source: Union[str, Path],
+                         optimizer: Optional[nn.AdamW],
+                         rng: np.random.Generator) -> int:
+        """Restore the newest verified checkpoint from ``source`` (a
+        checkpoint file or a directory of them); returns the epoch to
+        continue from (0 when a directory holds no valid checkpoint)."""
+        source = Path(source)
+        if source.is_dir() or (not source.exists()
+                               and source.suffix != ".ckpt"):
+            # A directory with no valid checkpoint — including one that
+            # does not exist yet — means "first run of a retry loop":
+            # train fresh.  Naming a specific .ckpt file that is missing
+            # stays a hard error below.
+            found = CheckpointManager(source).latest()
+            if found is None:
+                _log.info("no valid checkpoint to resume, training fresh",
+                          directory=str(source))
+                return 0
+            arrays, meta, path = found
+        else:
+            arrays, meta = read_checkpoint(source)
+            path = source
+        expected = {"kind": self._checkpoint_kind,
+                    "prompt": self.config.prompt,
+                    "seed": self.config.seed,
+                    "num_vertices": len(self.vertex_ids),
+                    "num_images": len(self.images)}
+        for field, want in expected.items():
+            if meta.get(field) != want:
+                raise CheckpointMismatchError(
+                    f"checkpoint {path} was written with {field}="
+                    f"{meta.get(field)!r}, this run has {want!r}")
+        if self.soft_prompts is not None:
+            state = self.soft_prompts.state_dict()
+            own = [k for k in state if not k.startswith("clip.")]
+            missing = [k for k in own if f"soft.{k}" not in arrays]
+            if missing:
+                raise CheckpointMismatchError(
+                    f"checkpoint {path} lacks tuned state for: "
+                    f"{sorted(missing)}")
+            for key in own:
+                state[key] = arrays[f"soft.{key}"]
+            self.soft_prompts.load_state_dict(state)
+        if optimizer is not None:
+            try:
+                optimizer.load_state_dict({
+                    "step": meta["opt_step"],
+                    "m": [arrays[f"opt.m.{i}"]
+                          for i in range(len(optimizer.params))],
+                    "v": [arrays[f"opt.v.{i}"]
+                          for i in range(len(optimizer.params))]})
+            except (KeyError, ValueError) as exc:
+                raise CheckpointMismatchError(
+                    f"checkpoint {path} optimizer state does not fit this "
+                    f"run: {exc}") from exc
+        try:
+            rng.bit_generator.state = meta["rng"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointMismatchError(
+                f"checkpoint {path} carries an incompatible RNG state: "
+                f"{exc}") from exc
+        if "labels.vertices" in arrays:
+            self._pseudo_labels = {
+                int(v): int(i) for v, i in zip(arrays["labels.vertices"],
+                                               arrays["labels.images"])}
+        self.epoch_losses = [float(l) for l in arrays["epoch_losses"]]
+        epoch = int(meta["epoch"])
+        _log.info("resumed from checkpoint", path=str(path), epoch=epoch)
+        return epoch
 
     def _before_training(self) -> None:
         """Hook for one-time data preprocessing before the timed epochs

@@ -43,23 +43,41 @@ def sample_negatives(plan: MiniBatchPlan, partition: Partition,
     ``partition``: per vertex, a random-k prefix of its proximity
     ranking, excluding images already in the partition."""
     excluded = set(partition.image_indices)
-    num_images = plan.proximity.shape[1]
     negatives: List[int] = []
+    rows: List[np.ndarray] = []
     for vertex in partition.vertex_ids:
         if len(negatives) >= count:
             break
         row = plan.proximity[plan.vertex_row(vertex)]
+        rows.append(row)
         k = int(rng.integers(1, max_top_k + 1))
-        ranked = np.argsort(-row)
-        for image_index in ranked[: k + len(excluded)]:
+        # Walk the full ranking so only *fresh* images consume the
+        # top-k budget: the old fixed window ranked[:k + len(excluded)]
+        # could be entirely eaten by exclusions clustered at the top of
+        # the ranking, under-filling the partition below its pad target
+        # even though plenty of images remained.
+        taken = 0
+        for image_index in np.argsort(-row):
+            if taken >= k or len(negatives) >= count:
+                break
             image_index = int(image_index)
-            if image_index not in excluded:
-                negatives.append(image_index)
-                excluded.add(image_index)
-                if len(negatives) >= count:
-                    break
+            if image_index in excluded:
+                continue
+            negatives.append(image_index)
+            excluded.add(image_index)
+            taken += 1
+    if len(negatives) < count and rows:
+        # The per-vertex top-k draws can sum below the deficit; top up
+        # from the partition-mean proximity ranking so the batch-size
+        # pad target is met whenever enough images exist at all.
+        for image_index in np.argsort(-np.mean(rows, axis=0)):
             if len(negatives) >= count:
                 break
+            image_index = int(image_index)
+            if image_index in excluded:
+                continue
+            negatives.append(image_index)
+            excluded.add(image_index)
     return negatives[:count]
 
 

@@ -197,8 +197,11 @@ class SoftPromptModule(nn.Module):
         label_mask = self._label_mask[rows]
         label_embeddings = self.clip.text.token_embed(label_ids)
         # Pooled label embedding h(l_v): mean over non-pad positions.
-        weights = (label_mask / label_mask.sum(axis=1, keepdims=True)).astype(
-            np.float32)
+        # The denominator is clamped: a label that tokenizes to all-pad
+        # would otherwise divide by zero, and the resulting NaN rows
+        # poison every similarity they are matmul'd into.
+        counts = np.maximum(label_mask.sum(axis=1, keepdims=True), 1)
+        weights = (label_mask / counts).astype(np.float32)
         pooled = (label_embeddings * nn.Tensor(weights[:, :, None])).sum(axis=1)
         prompts = self.prompt_table[rows]
         fused = self.fusion(nn.concat([pooled, prompts], axis=1)).relu()

@@ -1,0 +1,157 @@
+"""Crash-safe I/O primitives shared by every disk-touching subsystem.
+
+Three failure classes keep showing up around the zoo cache, matcher
+persistence and (now) training checkpoints:
+
+* **torn writes** — a crash mid-``np.savez`` leaves a half-written
+  archive at the final path, which later reads mistake for data;
+* **transient errors** — NFS hiccups, ``EINTR``, briefly-locked files:
+  failures that succeed on a second attempt but crash a long run when
+  surfaced immediately;
+* **corrupt artifacts** — bytes that exist but will not deserialize;
+  deleting them destroys the evidence, keeping them in place re-trips
+  every later process.
+
+The helpers here address them uniformly: :func:`atomic_write_bytes`
+publishes a file only after its content is durable (temp + fsync +
+rename, so readers see the old version or the new one, never a mix),
+:func:`retry_io` wraps reads/writes in bounded exponential backoff, and
+:func:`quarantine` moves bad artifacts aside under a ``.corrupt`` suffix
+instead of either crashing or silently deleting.
+
+Everything is dependency-free and deliberately lives outside
+``repro.core`` so that low-level modules (``repro.clip.zoo``) can import
+it without pulling in the matcher stack.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Callable, Optional, Tuple, Type, TypeVar, Union
+
+from .obs import get_logger, registry
+
+__all__ = ["CorruptArtifactError", "retry_io", "atomic_write_bytes",
+           "fsync_directory", "quarantine"]
+
+_log = get_logger("repro.iosafe")
+
+T = TypeVar("T")
+
+
+class CorruptArtifactError(RuntimeError):
+    """An on-disk artifact exists but fails integrity/deserialization.
+
+    Raised instead of the underlying ``zipfile.BadZipFile`` /
+    ``ValueError`` soup so callers can catch one typed error for "the
+    bytes are bad" and keep transient I/O failures separate.
+    """
+
+
+def retry_io(fn: Callable[[], T], *, attempts: int = 3,
+             base_delay: float = 0.05,
+             retry_on: Tuple[Type[BaseException], ...] = (OSError,),
+             sleep: Callable[[float], None] = time.sleep,
+             name: str = "io") -> T:
+    """Call ``fn`` with bounded exponential backoff on transient errors.
+
+    ``FileNotFoundError`` is never retried (a missing file does not
+    appear by waiting); everything else in ``retry_on`` is retried
+    ``attempts - 1`` times with delays ``base_delay * 2**i``, then the
+    last exception propagates.  Each retry increments the ``io.retry``
+    counter so flaky storage is visible in exported metrics.
+    """
+    if attempts < 1:
+        raise ValueError("attempts must be at least 1")
+    for attempt in range(attempts):
+        try:
+            return fn()
+        except retry_on as exc:
+            if isinstance(exc, FileNotFoundError) or attempt == attempts - 1:
+                raise
+            registry().counter("io.retry").inc()
+            _log.warning("transient I/O failure, retrying", op=name,
+                         attempt=attempt + 1, attempts=attempts,
+                         error=type(exc).__name__)
+            sleep(base_delay * (2 ** attempt))
+    raise AssertionError("unreachable")
+
+
+def fsync_directory(directory: Union[str, Path]) -> None:
+    """Best-effort fsync of a directory entry (makes a rename durable).
+
+    Silently a no-op where directories cannot be opened (Windows) or the
+    filesystem refuses — atomicity of the rename itself is unaffected.
+    """
+    try:
+        fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: Union[str, Path], data: bytes) -> Path:
+    """Durably publish ``data`` at ``path`` via write-to-temp + fsync +
+    rename.
+
+    A crash at any point leaves either the previous version of ``path``
+    or the complete new one — never a truncated mix.  The temp file is
+    created in the same directory (``os.replace`` must not cross
+    filesystems) and cleaned up on failure.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
+    fsync_directory(path.parent)
+    return path
+
+
+def quarantine(path: Union[str, Path]) -> Optional[Path]:
+    """Move a corrupt artifact aside under a ``.corrupt`` suffix.
+
+    Keeps the bad bytes for post-mortem while guaranteeing no later read
+    trips over them.  Falls back to deletion if the rename fails, so the
+    one invariant — the corrupt file no longer sits at ``path`` — holds
+    whenever the filesystem allows it at all.  Returns the quarantine
+    path, or ``None`` if the artifact could only be deleted.
+    """
+    path = Path(path)
+    target = path.with_name(path.name + ".corrupt")
+    bump = 0
+    while target.exists():
+        bump += 1
+        target = path.with_name(f"{path.name}.corrupt{bump}")
+    try:
+        os.replace(path, target)
+    except OSError:
+        try:
+            path.unlink()
+        except OSError:
+            return None
+        registry().counter("io.quarantined").inc()
+        _log.warning("corrupt artifact deleted (rename failed)",
+                     path=str(path))
+        return None
+    registry().counter("io.quarantined").inc()
+    _log.warning("corrupt artifact quarantined", path=str(path),
+                 quarantined=str(target))
+    return target

@@ -42,6 +42,19 @@ class _Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    @staticmethod
+    def _check_slots(name: str, slots: List[np.ndarray],
+                     arrays) -> List[np.ndarray]:
+        arrays = list(arrays)
+        if len(arrays) != len(slots):
+            raise ValueError(f"optimizer state {name!r} holds {len(arrays)} "
+                             f"arrays for {len(slots)} parameters")
+        for slot, array in zip(slots, arrays):
+            if np.shape(array) != slot.shape:
+                raise ValueError(f"optimizer state {name!r} shape "
+                                 f"{np.shape(array)} vs {slot.shape}")
+        return arrays
+
 
 class SGD(_Optimizer):
     """Stochastic gradient descent with optional momentum."""
@@ -51,6 +64,17 @@ class SGD(_Optimizer):
         super().__init__(params, lr)
         self.momentum = momentum
         self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def state_dict(self) -> dict:
+        """Momentum buffers for checkpointing (arrays are copies)."""
+        return {"velocity": [v.copy() for v in self._velocity]}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore buffers from :meth:`state_dict` output, in place."""
+        velocity = self._check_slots("velocity", self._velocity,
+                                     state["velocity"])
+        for slot, array in zip(self._velocity, velocity):
+            slot[...] = array
 
     def step(self) -> None:
         for p, v in zip(self.params, self._velocity):
@@ -75,6 +99,27 @@ class Adam(_Optimizer):
         self._step = 0
         self._m = [np.zeros_like(p.data) for p in self.params]
         self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def state_dict(self) -> dict:
+        """Moments + step counter for checkpointing (arrays are copies).
+
+        Restoring this exactly is what makes a resumed run's updates
+        bit-identical to the uninterrupted one: the bias correction
+        depends on ``step`` and the moments carry the whole history.
+        """
+        return {"step": self._step,
+                "m": [m.copy() for m in self._m],
+                "v": [v.copy() for v in self._v]}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore moments from :meth:`state_dict` output, in place."""
+        m = self._check_slots("m", self._m, state["m"])
+        v = self._check_slots("v", self._v, state["v"])
+        self._step = int(state["step"])
+        for slot, array in zip(self._m, m):
+            slot[...] = array
+        for slot, array in zip(self._v, v):
+            slot[...] = array
 
     def _update(self, p: Parameter, m: np.ndarray, v: np.ndarray) -> np.ndarray:
         m *= self.beta1

@@ -70,3 +70,46 @@ class TestAugmentPlan:
     def test_proximity_carried_over(self, plan):
         augmented = augment_plan(plan, NegativeSamplingConfig(seed=0))
         np.testing.assert_array_equal(augmented.proximity, plan.proximity)
+
+
+class TestUnderFillRegression:
+    def test_top_clustered_exclusions_do_not_underfill(self):
+        """Regression: when the partition's own images occupy the top of
+        every proximity ranking, the old fixed window
+        ranked[:k + len(excluded)] saw almost nothing fresh and returned
+        far fewer negatives than requested despite 7 spare images."""
+        proximity = np.tile(
+            np.linspace(1.0, 0.1, 10, dtype=np.float32), (2, 1))
+        partition = Partition([100, 101], [0, 1, 2])  # the top-3 images
+        plan = MiniBatchPlan([partition], proximity, [100, 101])
+        rng = np.random.default_rng(0)
+        negatives = sample_negatives(plan, partition, 6, rng, max_top_k=1)
+        assert len(negatives) == 6
+        assert not set(negatives) & {0, 1, 2}
+        assert len(set(negatives)) == 6
+
+    def test_fill_exhausts_cleanly_when_images_run_out(self):
+        proximity = np.ones((2, 4), dtype=np.float32)
+        partition = Partition([100, 101], [0, 1])
+        plan = MiniBatchPlan([partition], proximity, [100, 101])
+        negatives = sample_negatives(plan, partition, 10,
+                                     np.random.default_rng(0))
+        assert sorted(negatives) == [2, 3]  # everything available, once
+
+    def test_augmented_partitions_reach_pad_target(self):
+        """Alg. 3's contract: every partition is padded up to (at least)
+        the next batch-size multiple whenever enough images exist."""
+        rng = np.random.default_rng(1)
+        proximity = rng.random((4, 40)).astype(np.float32)
+        # partition images deliberately placed at the top of the ranking
+        top = list(np.argsort(-proximity[0])[:5])
+        partitions = [Partition([100, 101], top),
+                      Partition([102, 103], [0, 1])]
+        plan = MiniBatchPlan(partitions, proximity, [100, 101, 102, 103])
+        config = NegativeSamplingConfig(batch_size=16, max_top_k=2, seed=0)
+        augmented = augment_plan(plan, config)
+        for before, after in zip(plan.partitions, sorted(
+                augmented.partitions,
+                key=lambda p: p.vertex_ids)):
+            target = int(np.ceil(before.num_pairs / 16)) * 16
+            assert after.num_pairs >= target

@@ -65,3 +65,87 @@ class TestSaveLoad:
         load_matcher(path, tiny_bundle, tiny_dataset.graph,
                      tiny_dataset.images, fresh)
         np.testing.assert_allclose(fresh.score(), trained.score(), atol=1e-5)
+
+
+class TestSaveLoadHardening:
+    def test_missing_suffix_normalized_and_returned(self, tiny_bundle,
+                                                    tiny_dataset, tmp_path):
+        """save_matcher(path) without .npz used to write path + '.npz'
+        silently (np.savez behaviour) while load_matcher(path) looked
+        for the bare name; now the real path is normalized + returned."""
+        trained = CrossEM(tiny_bundle, CrossEMConfig(prompt="hard", epochs=0))
+        trained.fit(tiny_dataset.graph, tiny_dataset.images,
+                    tiny_dataset.entity_vertices)
+        returned = save_matcher(trained, tmp_path / "matcher")
+        assert returned.suffix == ".npz" and returned.exists()
+        fresh = CrossEM(tiny_bundle, CrossEMConfig(prompt="hard", epochs=0))
+        load_matcher(returned, tiny_bundle, tiny_dataset.graph,
+                     tiny_dataset.images, fresh)
+        np.testing.assert_allclose(fresh.score(), trained.score(), atol=1e-5)
+
+    def test_missing_soft_keys_fail_loudly(self, tiny_bundle, tiny_dataset,
+                                           tmp_path):
+        """An archive lacking tuned soft-prompt state must error, not
+        silently serve freshly-initialized weights."""
+        trained = CrossEM(tiny_bundle, CrossEMConfig(prompt="soft", epochs=0,
+                                                     seed=3))
+        trained.fit(tiny_dataset.graph, tiny_dataset.images,
+                    tiny_dataset.entity_vertices)
+        path = save_matcher(trained, tmp_path / "m.npz")
+        with np.load(path) as archive:
+            arrays = {k: archive[k] for k in archive.files}
+        dropped = {k: v for k, v in arrays.items()
+                   if k != "soft.prompt_table"}
+        np.savez_compressed(path, **dropped)
+        fresh = CrossEM(tiny_bundle, CrossEMConfig(prompt="soft", epochs=0,
+                                                   seed=3))
+        with pytest.raises(KeyError, match="prompt_table"):
+            load_matcher(path, tiny_bundle, tiny_dataset.graph,
+                         tiny_dataset.images, fresh)
+
+    def test_prompt_mismatch_checked_before_rebuild(self, tiny_bundle,
+                                                    tiny_dataset, tmp_path,
+                                                    monkeypatch):
+        """Meta validation must run *before* the expensive epochs=0 fit
+        (it used to run after, wasting the whole rebuild)."""
+        trained = CrossEM(tiny_bundle, CrossEMConfig(prompt="hard", epochs=0))
+        trained.fit(tiny_dataset.graph, tiny_dataset.images,
+                    tiny_dataset.entity_vertices)
+        path = save_matcher(trained, tmp_path / "hard.npz")
+        fresh = CrossEM(tiny_bundle, CrossEMConfig(prompt="soft", epochs=0))
+
+        def fit_must_not_run(*args, **kwargs):
+            raise AssertionError("fit ran before meta validation")
+
+        monkeypatch.setattr(CrossEM, "fit", fit_must_not_run)
+        with pytest.raises(ValueError, match="prompt"):
+            load_matcher(path, tiny_bundle, tiny_dataset.graph,
+                         tiny_dataset.images, fresh)
+
+    def test_kind_mismatch_rejected(self, tiny_bundle, tiny_dataset,
+                                    tmp_path):
+        trained = CrossEMPlus(tiny_bundle, CrossEMPlusConfig(epochs=0,
+                                                             seed=2))
+        trained.fit(tiny_dataset.graph, tiny_dataset.images,
+                    tiny_dataset.entity_vertices)
+        path = save_matcher(trained, tmp_path / "plus.npz")
+        fresh = CrossEM(tiny_bundle, CrossEMConfig(prompt="soft", epochs=0,
+                                                   seed=2))
+        with pytest.raises(ValueError, match="kind|plus"):
+            load_matcher(path, tiny_bundle, tiny_dataset.graph,
+                         tiny_dataset.images, fresh)
+
+    def test_archive_handle_closed_after_load(self, tiny_bundle,
+                                              tiny_dataset, tmp_path):
+        """load_matcher must not leak the NpzFile handle: overwriting
+        the archive right after loading (locked on some platforms while
+        open) and re-loading must work."""
+        trained = CrossEM(tiny_bundle, CrossEMConfig(prompt="hard", epochs=0))
+        trained.fit(tiny_dataset.graph, tiny_dataset.images,
+                    tiny_dataset.entity_vertices)
+        path = save_matcher(trained, tmp_path / "m.npz")
+        fresh = CrossEM(tiny_bundle, CrossEMConfig(prompt="hard", epochs=0))
+        load_matcher(path, tiny_bundle, tiny_dataset.graph,
+                     tiny_dataset.images, fresh)
+        returned = save_matcher(trained, path)  # would fail on a leak (win)
+        assert returned == path

@@ -124,3 +124,34 @@ class TestSoftPromptModule:
         out.sum().backward()
         assert module.prompt_table.grad is not None
         assert module.fusion.weight.grad is not None
+
+
+class TestSoftPromptDegenerateLabels:
+    def test_empty_label_vertex_stays_finite(self, tiny_bundle, tiny_dataset):
+        """Regression: a vertex whose label contributes no real tokens
+        must still produce finite, unit-norm embeddings."""
+        graph = Graph()
+        empty = graph.add_vertex("")
+        other = graph.add_vertex("laysan albatross")
+        graph.add_edge(other, empty, "related to")
+        module = SoftPromptModule(graph, [empty, other],
+                                  tiny_bundle.clip.clone(),
+                                  tiny_bundle.tokenizer, tiny_bundle.minilm,
+                                  rng=0)
+        out = module([empty, other]).numpy()
+        assert np.isfinite(out).all()
+        np.testing.assert_allclose(np.linalg.norm(out, axis=1), np.ones(2),
+                                   atol=1e-4)
+
+    def test_all_pad_mask_does_not_divide_by_zero(self, tiny_bundle,
+                                                  tiny_dataset):
+        """Force the degenerate all-pad mask directly: the pooled-label
+        denominator must clamp instead of emitting NaN rows that poison
+        every similarity they reach."""
+        module = SoftPromptModule(
+            tiny_dataset.graph, tiny_dataset.entity_vertices,
+            tiny_bundle.clip.clone(), tiny_bundle.tokenizer,
+            tiny_bundle.minilm, rng=0)
+        module._label_mask = np.zeros_like(module._label_mask)
+        out = module(tiny_dataset.entity_vertices[:3]).numpy()
+        assert np.isfinite(out).all()

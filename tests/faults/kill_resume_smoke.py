@@ -1,0 +1,118 @@
+"""Standalone kill/resume smoke test (run by CI, not pytest).
+
+Drives the real failure end-to-end across process boundaries:
+
+1. a *victim* process fits 4 soft-prompt epochs with checkpointing and
+   SIGKILLs itself between epochs 2 and 3 — a genuine ``kill -9``, no
+   cleanup handlers run;
+2. a fresh process resumes from the surviving checkpoints and finishes;
+3. another fresh process runs the same fit uninterrupted;
+4. the two ``score()`` matrices must be **bit-identical**.
+
+Usage::
+
+    PYTHONPATH=src python tests/faults/kill_resume_smoke.py
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+SOFT = dict(prompt="soft", epochs=4, lr=1e-3, seed=3)
+
+
+def _setup():
+    from repro.clip.pretrain import PretrainConfig
+    from repro.clip.zoo import get_pretrained_bundle
+    from repro.datasets.generator import build_attribute_dataset
+
+    config = PretrainConfig(epochs=20, batch_size=16,
+                            captions_per_concept=6, seed=7)
+    bundle = get_pretrained_bundle(kind="bird", num_concepts=16, seed=7,
+                                   config=config)
+    dataset = build_attribute_dataset(bundle.universe, name="tiny-cub",
+                                      concept_indices=range(10),
+                                      images_per_concept=2, seed=7)
+    return bundle, dataset
+
+
+def run_victim(checkpoint_dir: str) -> None:
+    from repro.core import CrossEM, CrossEMConfig
+
+    bundle, dataset = _setup()
+    original = CrossEM._refresh_pseudo_labels
+    calls = {"n": 0}
+
+    def dying_refresh(self):
+        calls["n"] += 1
+        if calls["n"] == 3:  # epoch 3 is starting: die between epochs
+            os.kill(os.getpid(), signal.SIGKILL)
+        return original(self)
+
+    CrossEM._refresh_pseudo_labels = dying_refresh
+    CrossEM(bundle, CrossEMConfig(**SOFT)).fit(
+        dataset.graph, dataset.images, dataset.entity_vertices,
+        checkpoint_dir=checkpoint_dir)
+    raise SystemExit("victim survived: the kill never fired")
+
+
+def run_scorer(out_path: str, resume_from=None) -> None:
+    from repro.core import CrossEM, CrossEMConfig
+
+    bundle, dataset = _setup()
+    matcher = CrossEM(bundle, CrossEMConfig(**SOFT))
+    matcher.fit(dataset.graph, dataset.images, dataset.entity_vertices,
+                resume_from=resume_from)
+    np.save(out_path, matcher.score())
+
+
+def main() -> int:
+    if len(sys.argv) > 1:
+        mode = sys.argv[1]
+        if mode == "victim":
+            run_victim(sys.argv[2])
+        elif mode == "resume":
+            run_scorer(sys.argv[3], resume_from=sys.argv[2])
+        elif mode == "full":
+            run_scorer(sys.argv[2])
+        else:
+            raise SystemExit(f"unknown mode {mode!r}")
+        return 0
+
+    me = str(Path(__file__).resolve())
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = Path(tmp)
+        ckpt_dir = tmp / "ckpts"
+        victim = subprocess.run([sys.executable, me, "victim",
+                                 str(ckpt_dir)])
+        if victim.returncode not in (-signal.SIGKILL, 128 + signal.SIGKILL):
+            print(f"FAIL: victim exited {victim.returncode}, expected "
+                  f"SIGKILL")
+            return 1
+        survivors = sorted(ckpt_dir.glob("ckpt-*.ckpt"))
+        if not survivors:
+            print("FAIL: no checkpoint survived the kill")
+            return 1
+        subprocess.run([sys.executable, me, "resume", str(ckpt_dir),
+                        str(tmp / "resumed.npy")], check=True)
+        subprocess.run([sys.executable, me, "full",
+                        str(tmp / "full.npy")], check=True)
+        resumed = np.load(tmp / "resumed.npy")
+        full = np.load(tmp / "full.npy")
+        if not np.array_equal(resumed, full):
+            print("FAIL: resumed scores are not bit-identical to the "
+                  "uninterrupted run")
+            return 1
+        print(f"PASS: killed -9 between epochs, resumed from "
+              f"{survivors[-1].name}, scores bit-identical "
+              f"({resumed.shape[0]}x{resumed.shape[1]})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

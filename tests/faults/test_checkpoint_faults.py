@@ -1,0 +1,181 @@
+"""Fault injection against the checkpoint container and manager.
+
+Every test damages a checkpoint some specific way — truncation at
+arbitrary byte offsets, bit flips, crashed renames, files from a future
+schema — and asserts the recovery contract: a typed
+``CheckpointCorruptError`` (never a raw ``BadZipFile``/``KeyError``),
+quarantine instead of re-tripping, and fallback to the newest older
+checkpoint that still verifies.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import checkpoint as ckpt
+from repro.core.checkpoint import (CheckpointCorruptError, CheckpointManager,
+                                   read_checkpoint, write_checkpoint)
+from repro.obs import registry
+
+
+@pytest.fixture()
+def state():
+    arrays = {"w": np.arange(12, dtype=np.float32).reshape(3, 4),
+              "step": np.asarray([7], dtype=np.int64)}
+    meta = {"kind": "base", "prompt": "soft", "epoch": 3, "seed": 0}
+    return arrays, meta
+
+
+class TestContainerFormat:
+    def test_roundtrip(self, state, tmp_path):
+        arrays, meta = state
+        path = write_checkpoint(tmp_path / "a.ckpt", arrays, meta)
+        restored, restored_meta = read_checkpoint(path)
+        assert restored_meta == meta
+        assert set(restored) == set(arrays)
+        for key in arrays:
+            np.testing.assert_array_equal(restored[key], arrays[key])
+
+    def test_missing_file_is_not_corruption(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_checkpoint(tmp_path / "never-written.ckpt")
+
+    def test_truncation_at_any_byte_is_detected(self, state, tmp_path):
+        """Cutting the file at *every* region — inside the magic, the
+        header length, the header JSON, the payload — must surface as
+        the one typed corruption error."""
+        arrays, meta = state
+        path = write_checkpoint(tmp_path / "a.ckpt", arrays, meta)
+        blob = path.read_bytes()
+        cuts = set(range(0, len(blob), max(1, len(blob) // 23)))
+        cuts.update([0, 1, len(ckpt.CHECKPOINT_MAGIC),
+                     len(ckpt.CHECKPOINT_MAGIC) + 3, len(blob) - 1])
+        victim = tmp_path / "cut.ckpt"
+        for cut in sorted(cuts):
+            victim.write_bytes(blob[:cut])
+            with pytest.raises(CheckpointCorruptError):
+                read_checkpoint(victim)
+
+    def test_payload_bitflip_fails_digest(self, state, tmp_path):
+        arrays, meta = state
+        path = write_checkpoint(tmp_path / "a.ckpt", arrays, meta)
+        blob = bytearray(path.read_bytes())
+        blob[-20] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(CheckpointCorruptError, match="digest"):
+            read_checkpoint(path)
+
+    def test_foreign_bytes_rejected(self, state, tmp_path):
+        path = tmp_path / "noise.ckpt"
+        path.write_bytes(b"definitely not a checkpoint, but long enough")
+        with pytest.raises(CheckpointCorruptError, match="magic"):
+            read_checkpoint(path)
+
+    def test_future_schema_rejected(self, state, tmp_path, monkeypatch):
+        arrays, meta = state
+        monkeypatch.setattr(ckpt, "SCHEMA_VERSION", ckpt.SCHEMA_VERSION + 1)
+        path = write_checkpoint(tmp_path / "future.ckpt", arrays, meta)
+        monkeypatch.undo()
+        with pytest.raises(CheckpointCorruptError, match="schema"):
+            read_checkpoint(path)
+
+    def test_corruption_is_counted(self, state, tmp_path):
+        arrays, meta = state
+        path = write_checkpoint(tmp_path / "a.ckpt", arrays, meta)
+        path.write_bytes(path.read_bytes()[:10])
+        before = registry().counter("ckpt.corrupt").value
+        with pytest.raises(CheckpointCorruptError):
+            read_checkpoint(path)
+        assert registry().counter("ckpt.corrupt").value == before + 1
+
+
+class TestCrashedWrites:
+    def test_failed_rename_preserves_previous_checkpoint(self, state,
+                                                         tmp_path,
+                                                         monkeypatch):
+        """A crash at the rename step (the atomicity boundary) must
+        leave the previous checkpoint byte-for-byte intact and no temp
+        litter behind."""
+        arrays, meta = state
+        path = write_checkpoint(tmp_path / "a.ckpt", arrays, meta)
+        good = path.read_bytes()
+
+        def broken_replace(src, dst):
+            raise OSError("simulated crash between write and rename")
+
+        monkeypatch.setattr(os, "replace", broken_replace)
+        with pytest.raises(OSError):
+            write_checkpoint(path, {"w": np.zeros(3)}, {"epoch": 99})
+        monkeypatch.undo()
+        assert path.read_bytes() == good
+        assert not list(tmp_path.glob("*.tmp-*"))
+        _, restored_meta = read_checkpoint(path)
+        assert restored_meta["epoch"] == meta["epoch"]
+
+    def test_transient_rename_failure_is_retried(self, state, tmp_path,
+                                                 monkeypatch):
+        arrays, meta = state
+        real_replace = os.replace
+        failures = {"left": 2}
+
+        def flaky_replace(src, dst):
+            if failures["left"] > 0:
+                failures["left"] -= 1
+                raise OSError("transient")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", flaky_replace)
+        path = write_checkpoint(tmp_path / "flaky.ckpt", arrays, meta)
+        monkeypatch.undo()
+        assert failures["left"] == 0
+        _, restored_meta = read_checkpoint(path)
+        assert restored_meta == meta
+
+
+class TestCheckpointManager:
+    def test_latest_skips_and_quarantines_corrupt(self, state, tmp_path):
+        arrays, meta = state
+        manager = CheckpointManager(tmp_path)
+        manager.save(0, arrays, dict(meta, epoch=1))
+        newest = manager.save(1, arrays, dict(meta, epoch=2))
+        newest.write_bytes(newest.read_bytes()[: 40])
+        found = manager.latest()
+        assert found is not None
+        restored_arrays, restored_meta, path = found
+        assert restored_meta["epoch"] == 1
+        assert path == manager.path_for(0)
+        # the damaged file was moved aside, not left to re-trip readers
+        assert not newest.exists()
+        assert list(tmp_path.glob("*.corrupt"))
+
+    def test_all_corrupt_means_none(self, state, tmp_path):
+        arrays, meta = state
+        manager = CheckpointManager(tmp_path)
+        for epoch in range(2):
+            manager.save(epoch, arrays, meta).write_bytes(b"junk")
+        assert manager.latest() is None
+        assert len(list(tmp_path.glob("*.corrupt*"))) == 2
+
+    def test_empty_or_missing_directory(self, tmp_path):
+        assert CheckpointManager(tmp_path).latest() is None
+        assert CheckpointManager(tmp_path / "nope").latest() is None
+
+    def test_prune_keeps_newest(self, state, tmp_path):
+        arrays, meta = state
+        manager = CheckpointManager(tmp_path, keep=2)
+        for epoch in range(5):
+            manager.save(epoch, arrays, dict(meta, epoch=epoch + 1))
+        remaining = manager.checkpoints()
+        assert remaining == [manager.path_for(3), manager.path_for(4)]
+
+    def test_cadence(self, tmp_path):
+        manager = CheckpointManager(tmp_path, every=3)
+        saved = [epoch for epoch in range(9) if manager.should_save(epoch)]
+        assert saved == [2, 5, 8]
+
+    def test_invalid_knobs_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointManager(tmp_path, every=0)
+        with pytest.raises(ValueError):
+            CheckpointManager(tmp_path, keep=0)

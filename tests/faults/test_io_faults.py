@@ -1,0 +1,185 @@
+"""Fault injection against the shared I/O layer and its users.
+
+Covers the :mod:`repro.iosafe` primitives directly, then the two disk
+consumers that ride on them: the zoo's bundle cache (quarantine +
+rebuild) and matcher persistence (typed corruption errors, atomic
+saves, loud failures on incomplete archives).
+"""
+
+import numpy as np
+import pytest
+
+from repro.clip import zoo
+from repro.clip.pretrain import PretrainConfig
+from repro.core.matcher import CrossEM, CrossEMConfig
+from repro.core.persistence import load_matcher, save_matcher
+from repro.iosafe import (CorruptArtifactError, atomic_write_bytes,
+                          quarantine, retry_io)
+from repro.obs import registry
+
+
+class TestRetryIO:
+    def test_recovers_after_transient_failures(self):
+        calls = {"n": 0}
+        delays = []
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError("transient")
+            return 42
+
+        assert retry_io(flaky, sleep=delays.append) == 42
+        assert calls["n"] == 3
+        assert delays == [0.05, 0.1]  # exponential backoff
+
+    def test_gives_up_after_attempts(self):
+        calls = {"n": 0}
+
+        def always_broken():
+            calls["n"] += 1
+            raise OSError("persistent")
+
+        with pytest.raises(OSError, match="persistent"):
+            retry_io(always_broken, attempts=4, sleep=lambda _: None)
+        assert calls["n"] == 4
+
+    def test_missing_file_is_not_retried(self):
+        calls = {"n": 0}
+
+        def missing():
+            calls["n"] += 1
+            raise FileNotFoundError("gone")
+
+        with pytest.raises(FileNotFoundError):
+            retry_io(missing, sleep=lambda _: None)
+        assert calls["n"] == 1
+
+    def test_retries_are_counted(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 2:
+                raise OSError("transient")
+            return "ok"
+
+        before = registry().counter("io.retry").value
+        retry_io(flaky, sleep=lambda _: None)
+        assert registry().counter("io.retry").value == before + 1
+
+
+class TestAtomicWrite:
+    def test_writes_and_replaces(self, tmp_path):
+        path = tmp_path / "artifact.bin"
+        atomic_write_bytes(path, b"v1")
+        atomic_write_bytes(path, b"v2")
+        assert path.read_bytes() == b"v2"
+        assert not list(tmp_path.glob("*.tmp-*"))
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "a" / "b" / "artifact.bin"
+        atomic_write_bytes(path, b"deep")
+        assert path.read_bytes() == b"deep"
+
+
+class TestQuarantine:
+    def test_moves_bytes_aside(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        path.write_bytes(b"junk")
+        moved = quarantine(path)
+        assert not path.exists()
+        assert moved is not None and moved.read_bytes() == b"junk"
+        assert moved.name.endswith(".corrupt")
+
+    def test_repeated_quarantines_do_not_collide(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        names = set()
+        for round_ in range(3):
+            path.write_bytes(b"junk%d" % round_)
+            names.add(quarantine(path).name)
+        assert len(names) == 3
+
+
+class TestZooCacheFaults:
+    @pytest.fixture()
+    def config(self):
+        return PretrainConfig(epochs=1, batch_size=8, captions_per_concept=1,
+                              seed=44)
+
+    def test_truncated_cache_is_quarantined_not_fatal(self, config, tmp_path,
+                                                      monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        zoo.clear_memory_cache()
+        first = zoo.get_pretrained_bundle(kind="bird", num_concepts=5,
+                                          seed=44, config=config)
+        [cache_file] = list(tmp_path.glob("bundle-*.npz"))
+        payload = cache_file.read_bytes()
+        cache_file.write_bytes(payload[: len(payload) // 2])
+        zoo.clear_memory_cache()
+        rebuilt = zoo.get_pretrained_bundle(kind="bird", num_concepts=5,
+                                            seed=44, config=config)
+        # the bad bytes moved aside for post-mortem, fresh cache in place
+        assert list(tmp_path.glob("bundle-*.npz.corrupt*"))
+        assert cache_file.exists()
+        np.testing.assert_allclose(
+            rebuilt.clip.state_dict()["logit_scale"],
+            first.clip.state_dict()["logit_scale"], atol=1e-6)
+        zoo.clear_memory_cache()
+
+    def test_cache_write_has_no_temp_litter(self, config, tmp_path,
+                                            monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        zoo.clear_memory_cache()
+        zoo.get_pretrained_bundle(kind="bird", num_concepts=5, seed=44,
+                                  config=config)
+        assert not list(tmp_path.glob("*.tmp-*"))
+        zoo.clear_memory_cache()
+
+
+class TestPersistenceFaults:
+    @pytest.fixture()
+    def fitted(self, tiny_bundle, tiny_dataset):
+        matcher = CrossEM(tiny_bundle, CrossEMConfig(prompt="hard", epochs=0))
+        matcher.fit(tiny_dataset.graph, tiny_dataset.images,
+                    tiny_dataset.entity_vertices)
+        return matcher
+
+    def test_truncated_archive_raises_typed_error(self, fitted, tiny_bundle,
+                                                  tiny_dataset, tmp_path):
+        path = save_matcher(fitted, tmp_path / "m.npz")
+        path.write_bytes(path.read_bytes()[: 64])
+        fresh = CrossEM(tiny_bundle, CrossEMConfig(prompt="hard", epochs=0))
+        with pytest.raises(CorruptArtifactError):
+            load_matcher(path, tiny_bundle, tiny_dataset.graph,
+                         tiny_dataset.images, fresh)
+
+    def test_garbage_archive_raises_typed_error(self, tiny_bundle,
+                                                tiny_dataset, tmp_path):
+        path = tmp_path / "noise.npz"
+        path.write_bytes(b"not an archive at all")
+        fresh = CrossEM(tiny_bundle, CrossEMConfig(prompt="hard", epochs=0))
+        with pytest.raises(CorruptArtifactError):
+            load_matcher(path, tiny_bundle, tiny_dataset.graph,
+                         tiny_dataset.images, fresh)
+
+    def test_missing_archive_stays_file_not_found(self, tiny_bundle,
+                                                  tiny_dataset, tmp_path):
+        fresh = CrossEM(tiny_bundle, CrossEMConfig(prompt="hard", epochs=0))
+        with pytest.raises(FileNotFoundError):
+            load_matcher(tmp_path / "never.npz", tiny_bundle,
+                         tiny_dataset.graph, tiny_dataset.images, fresh)
+
+    def test_save_leaves_no_partial_archive_on_crash(self, fitted, tmp_path,
+                                                     monkeypatch):
+        import os
+
+        def broken_replace(src, dst):
+            raise OSError("simulated crash")
+
+        monkeypatch.setattr(os, "replace", broken_replace)
+        with pytest.raises(OSError):
+            save_matcher(fitted, tmp_path / "m.npz")
+        monkeypatch.undo()
+        assert not (tmp_path / "m.npz").exists()
+        assert not list(tmp_path.glob("*.tmp-*"))

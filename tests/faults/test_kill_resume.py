@@ -1,0 +1,157 @@
+"""Kill/resume equivalence: the acceptance criterion of the robustness
+layer.
+
+A fit killed between epochs and resumed from its last checkpoint must
+produce a ``score()`` matrix *bit-identical* to an uninterrupted run
+with the same seed — assertions here use ``assert_array_equal``, not an
+``atol``.  Resume exactness rests on three restored pieces: the tuned
+parameters, the AdamW moments + step counter, and the training RNG's
+bit-generator state.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import CheckpointMismatchError
+from repro.core.crossem_plus import CrossEMPlus, CrossEMPlusConfig
+from repro.core.matcher import CrossEM, CrossEMConfig
+
+SOFT = dict(prompt="soft", epochs=4, lr=1e-3, seed=3)
+
+
+def _fit(matcher, dataset, **kwargs):
+    return matcher.fit(dataset.graph, dataset.images,
+                       dataset.entity_vertices, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def uninterrupted(tiny_bundle, tiny_dataset):
+    """The golden run: 4 soft epochs straight through."""
+    matcher = _fit(CrossEM(tiny_bundle, CrossEMConfig(**SOFT)), tiny_dataset)
+    return matcher.score(), list(matcher.epoch_losses)
+
+
+class TestKillResume:
+    def test_kill_between_epochs_resumes_bit_identical(
+            self, tiny_bundle, tiny_dataset, tmp_path, uninterrupted):
+        """Process dies after epoch 2 (simulated by a 2-epoch config
+        writing checkpoints); a fresh process resumes to epoch 4."""
+        killed = CrossEM(tiny_bundle, CrossEMConfig(**dict(SOFT, epochs=2)))
+        _fit(killed, tiny_dataset, checkpoint_dir=tmp_path)
+        assert list(tmp_path.glob("ckpt-*.ckpt"))
+
+        resumed = _fit(CrossEM(tiny_bundle, CrossEMConfig(**SOFT)),
+                       tiny_dataset, resume_from=tmp_path)
+        expected_scores, expected_losses = uninterrupted
+        np.testing.assert_array_equal(resumed.score(), expected_scores)
+        assert resumed.epoch_losses == expected_losses
+
+    def test_kill_mid_epoch_resumes_from_epoch_boundary(
+            self, tiny_bundle, tiny_dataset, tmp_path, uninterrupted,
+            monkeypatch):
+        """An exception in the middle of epoch 3 (after checkpoints for
+        epochs 1-2 exist) loses only that epoch's partial work."""
+        victim = CrossEM(tiny_bundle, CrossEMConfig(**SOFT))
+        original = CrossEM._refresh_pseudo_labels
+        calls = {"n": 0}
+
+        def dying_refresh(self):
+            calls["n"] += 1
+            if calls["n"] == 3:  # third epoch begins -> kill
+                raise RuntimeError("simulated kill -9")
+            return original(self)
+
+        monkeypatch.setattr(CrossEM, "_refresh_pseudo_labels", dying_refresh)
+        with pytest.raises(RuntimeError, match="simulated kill"):
+            _fit(victim, tiny_dataset, checkpoint_dir=tmp_path)
+        monkeypatch.undo()
+
+        resumed = _fit(CrossEM(tiny_bundle, CrossEMConfig(**SOFT)),
+                       tiny_dataset, resume_from=tmp_path)
+        expected_scores, _ = uninterrupted
+        np.testing.assert_array_equal(resumed.score(), expected_scores)
+
+    def test_corrupt_newest_checkpoint_falls_back_bit_identical(
+            self, tiny_bundle, tiny_dataset, tmp_path, uninterrupted):
+        """Truncating the newest checkpoint forces resume from the one
+        before it — re-running one extra epoch, same final state."""
+        killed = CrossEM(tiny_bundle, CrossEMConfig(**dict(SOFT, epochs=3)))
+        _fit(killed, tiny_dataset, checkpoint_dir=tmp_path)
+        newest = sorted(tmp_path.glob("ckpt-*.ckpt"))[-1]
+        newest.write_bytes(newest.read_bytes()[: 100])
+
+        resumed = _fit(CrossEM(tiny_bundle, CrossEMConfig(**SOFT)),
+                       tiny_dataset, resume_from=tmp_path)
+        expected_scores, _ = uninterrupted
+        np.testing.assert_array_equal(resumed.score(), expected_scores)
+        assert list(tmp_path.glob("*.corrupt"))
+
+    def test_resume_from_empty_directory_trains_fresh(
+            self, tiny_bundle, tiny_dataset, tmp_path, uninterrupted):
+        """Crash-retry loops pass the same flags on the first run: an
+        empty checkpoint directory must mean 'train from scratch', not
+        an error."""
+        matcher = _fit(CrossEM(tiny_bundle, CrossEMConfig(**SOFT)),
+                       tiny_dataset, resume_from=tmp_path,
+                       checkpoint_dir=tmp_path)
+        expected_scores, _ = uninterrupted
+        np.testing.assert_array_equal(matcher.score(), expected_scores)
+
+    def test_checkpoint_cadence_still_exact(self, tiny_bundle, tiny_dataset,
+                                            tmp_path, uninterrupted):
+        """checkpoint_every=2 writes fewer snapshots (plus the final
+        epoch) but resume stays bit-identical."""
+        killed = CrossEM(tiny_bundle, CrossEMConfig(**dict(SOFT, epochs=3)))
+        _fit(killed, tiny_dataset, checkpoint_dir=tmp_path,
+             checkpoint_every=2)
+        # epochs 0..2 with cadence 2 -> snapshots after epoch 2 (0-based
+        # epoch 1) and the forced final one (0-based epoch 2)
+        assert len(list(tmp_path.glob("ckpt-*.ckpt"))) == 2
+        resumed = _fit(CrossEM(tiny_bundle, CrossEMConfig(**SOFT)),
+                       tiny_dataset, resume_from=tmp_path)
+        expected_scores, _ = uninterrupted
+        np.testing.assert_array_equal(resumed.score(), expected_scores)
+
+
+class TestResumeValidation:
+    def test_seed_mismatch_rejected(self, tiny_bundle, tiny_dataset,
+                                    tmp_path):
+        killed = CrossEM(tiny_bundle, CrossEMConfig(**dict(SOFT, epochs=1)))
+        _fit(killed, tiny_dataset, checkpoint_dir=tmp_path)
+        other = CrossEM(tiny_bundle, CrossEMConfig(**dict(SOFT, seed=99)))
+        with pytest.raises(CheckpointMismatchError, match="seed"):
+            _fit(other, tiny_dataset, resume_from=tmp_path)
+
+    def test_matcher_kind_mismatch_rejected(self, tiny_bundle, tiny_dataset,
+                                            tmp_path):
+        killed = CrossEM(tiny_bundle, CrossEMConfig(**dict(SOFT, epochs=1)))
+        _fit(killed, tiny_dataset, checkpoint_dir=tmp_path)
+        plus = CrossEMPlus(tiny_bundle, CrossEMPlusConfig(
+            epochs=2, lr=1e-3, seed=3))
+        with pytest.raises(CheckpointMismatchError, match="kind"):
+            _fit(plus, tiny_dataset, resume_from=tmp_path)
+
+    def test_explicit_missing_checkpoint_file_errors(self, tiny_bundle,
+                                                     tiny_dataset, tmp_path):
+        """A *directory* without checkpoints trains fresh, but naming a
+        specific file that does not exist is a user error."""
+        matcher = CrossEM(tiny_bundle, CrossEMConfig(**SOFT))
+        with pytest.raises(FileNotFoundError):
+            _fit(matcher, tiny_dataset,
+                 resume_from=tmp_path / "ckpt-000000.ckpt")
+
+
+class TestPlusKillResume:
+    def test_plus_resume_bit_identical(self, tiny_bundle, tiny_dataset,
+                                       tmp_path):
+        """CrossEM+ rebuilds its PCP partition plan deterministically on
+        resume; scores stay bit-identical across the kill."""
+        config = dict(epochs=3, lr=1e-3, seed=2)
+        full = _fit(CrossEMPlus(tiny_bundle, CrossEMPlusConfig(**config)),
+                    tiny_dataset)
+        killed = CrossEMPlus(tiny_bundle,
+                             CrossEMPlusConfig(**dict(config, epochs=1)))
+        _fit(killed, tiny_dataset, checkpoint_dir=tmp_path)
+        resumed = _fit(CrossEMPlus(tiny_bundle, CrossEMPlusConfig(**config)),
+                       tiny_dataset, resume_from=tmp_path)
+        np.testing.assert_array_equal(resumed.score(), full.score())

@@ -99,3 +99,25 @@ class TestCLI:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             cli.main([])
+
+
+class TestCLICheckpointing:
+    def test_checkpoint_then_resume(self, capsys, tmp_path):
+        ckpt_dir = tmp_path / "ckpts"
+        assert cli.main(["match", "cub", "--method", "soft", "--epochs", "1",
+                         "--checkpoint-dir", str(ckpt_dir)]) == 0
+        assert list(ckpt_dir.glob("ckpt-*.ckpt"))
+        assert cli.main(["match", "cub", "--method", "soft", "--epochs", "2",
+                         "--checkpoint-dir", str(ckpt_dir), "--resume"]) == 0
+        assert "H@1=" in capsys.readouterr().out
+
+    def test_resume_without_checkpoint_dir_rejected(self, capsys):
+        assert cli.main(["match", "cub", "--method", "soft", "--epochs", "1",
+                         "--resume"]) == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_resume_with_empty_dir_trains_fresh(self, capsys, tmp_path):
+        assert cli.main(["match", "cub", "--method", "soft", "--epochs", "1",
+                         "--checkpoint-dir", str(tmp_path / "empty"),
+                         "--resume"]) == 0
+        assert "H@1=" in capsys.readouterr().out
