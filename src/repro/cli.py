@@ -1,17 +1,24 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands cover the common workflows without writing code:
+Four commands cover the common workflows without writing code:
 
 * ``stats`` — print the Table-I-style statistics of a benchmark.
 * ``match`` — fit a matcher on a benchmark and report H@k / MRR.
+* ``serve`` — fit a matcher, then answer match queries as a resilient
+  JSON-lines service on stdin/stdout (deadlines, circuit breakers,
+  load shedding, graceful degradation — README "Serving").
 * ``clean`` — run the data-cleaning detectors over a benchmark's
   repository with injected corruption (demo of the future-work module).
 
 Every command accepts the benchmark positionally or via ``--benchmark``.
-``match`` additionally exposes the telemetry layer: ``--log-level``
-overrides ``REPRO_LOG_LEVEL`` and ``--metrics-out PATH`` writes the
-run's metrics registry plus span profile as JSONL
+``match`` and ``serve`` additionally expose the telemetry layer:
+``--log-level`` overrides ``REPRO_LOG_LEVEL`` and ``--metrics-out PATH``
+writes the run's metrics registry plus span profile as JSONL
 (:mod:`repro.obs.export` documents the schema).
+
+Numeric options are validated at parse time (fractions in their open
+interval, counts at least 1) so a typo is an argparse error naming the
+flag, not a stack trace from deep inside training.
 """
 
 from __future__ import annotations
@@ -24,6 +31,61 @@ __all__ = ["main"]
 
 _BENCHMARKS = ("cub", "sun", "fb2k", "fb6k", "fb10k")
 _LOG_LEVELS = ("debug", "info", "warning", "error", "off")
+
+
+# -- parse-time validators --------------------------------------------------
+def _open_fraction(text: str) -> float:
+    """A float strictly inside (0, 1)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if not 0.0 < value < 1.0:
+        raise argparse.ArgumentTypeError(
+            f"must be strictly between 0 and 1, got {text}")
+    return value
+
+
+def _positive_int(text: str) -> int:
+    """An integer >= 1."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be at least 1, got {text}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """A float > 0."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {text}")
+    return value
+
+
+def _non_negative_float(text: str) -> float:
+    """A float >= 0."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be non-negative, got {text}")
+    return value
+
+
+def _rate(text: str) -> float:
+    """A float in (0, 1] (a failure-rate threshold)."""
+    value = _positive_float(text)
+    if value > 1.0:
+        raise argparse.ArgumentTypeError(f"must be at most 1, got {text}")
+    return value
 
 
 def _load(name: str, seed: int):
@@ -45,9 +107,22 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_match(args: argparse.Namespace) -> int:
+def _make_matcher(args: argparse.Namespace, bundle):
+    """Build the (unfitted) matcher a command asked for."""
     from .core import (CrossEM, CrossEMConfig, CrossEMPlus,
                        CrossEMPlusConfig)
+
+    aggregator = "sage" if args.benchmark.startswith("fb") else "gnn"
+    if args.method == "plus":
+        return CrossEMPlus(bundle, CrossEMPlusConfig(
+            epochs=args.epochs, lr=args.lr, aggregator=aggregator,
+            seed=args.seed))
+    return CrossEM(bundle, CrossEMConfig(
+        prompt=args.method, epochs=args.epochs, lr=args.lr,
+        aggregator=aggregator, seed=args.seed))
+
+
+def _cmd_match(args: argparse.Namespace) -> int:
     from .datasets import train_test_split
     from .obs import (configure_logging, export_jsonl, registry,
                       reset_spans)
@@ -66,15 +141,7 @@ def _cmd_match(args: argparse.Namespace) -> int:
 
     bundle, dataset = _load(args.benchmark, args.seed)
     split = train_test_split(dataset, args.test_fraction, seed=args.seed)
-    aggregator = "sage" if args.benchmark.startswith("fb") else "gnn"
-    if args.method == "plus":
-        matcher = CrossEMPlus(bundle, CrossEMPlusConfig(
-            epochs=args.epochs, lr=args.lr, aggregator=aggregator,
-            seed=args.seed))
-    else:
-        matcher = CrossEM(bundle, CrossEMConfig(
-            prompt=args.method, epochs=args.epochs, lr=args.lr,
-            aggregator=aggregator, seed=args.seed))
+    matcher = _make_matcher(args, bundle)
     matcher.fit(dataset.graph, dataset.images, dataset.entity_vertices,
                 checkpoint_dir=args.checkpoint_dir,
                 checkpoint_every=args.checkpoint_every,
@@ -101,6 +168,47 @@ def _cmd_match(args: argparse.Namespace) -> int:
                                   "epochs": args.epochs,
                                   "seed": args.seed})
         print(f"wrote {rows} metric rows to {args.metrics_out}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .obs import (configure_logging, export_jsonl, registry,
+                      reset_spans)
+    from .serve import MatchService, ServeConfig, serve_loop
+
+    if args.log_level:
+        configure_logging(args.log_level)
+    reg = registry()
+    reg.reset()
+    reset_spans()
+
+    bundle, dataset = _load(args.benchmark, args.seed)
+    matcher = _make_matcher(args, bundle)
+    matcher.fit(dataset.graph, dataset.images, dataset.entity_vertices)
+    config = ServeConfig(
+        capacity=args.capacity, workers=args.workers,
+        default_budget_ms=args.default_budget_ms,
+        top_k_default=args.top_k, full_floor_ms=args.full_floor_ms,
+        stale_capacity=args.stale_capacity,
+        breaker_window=args.breaker_window,
+        breaker_failure_threshold=args.breaker_threshold,
+        breaker_min_calls=args.breaker_min_calls,
+        breaker_cooldown_ms=args.breaker_cooldown_ms)
+    service = MatchService(matcher, config=config).warmup()
+    # Diagnostics go to stderr; stdout carries only response JSONL.
+    print(f"serving {dataset.name} / {args.method}: "
+          f"{len(matcher.vertex_ids)} vertices, {len(matcher.images)} "
+          f"images — one JSON request per stdin line", file=sys.stderr)
+    served = serve_loop(service, sys.stdin, sys.stdout)
+    print(f"served {served} responses", file=sys.stderr)
+    if args.metrics_out:
+        rows = export_jsonl(args.metrics_out,
+                            meta={"benchmark": args.benchmark,
+                                  "method": args.method,
+                                  "command": "serve",
+                                  "seed": args.seed})
+        print(f"wrote {rows} metric rows to {args.metrics_out}",
+              file=sys.stderr)
     return 0
 
 
@@ -151,14 +259,14 @@ def build_parser() -> argparse.ArgumentParser:
     _add_benchmark_argument(match)
     match.add_argument("--method", default="plus",
                        choices=("baseline", "hard", "soft", "plus"))
-    match.add_argument("--epochs", type=int, default=10)
+    match.add_argument("--epochs", type=_positive_int, default=10)
     match.add_argument("--lr", type=float, default=1e-3)
-    match.add_argument("--test-fraction", type=float, default=0.5)
+    match.add_argument("--test-fraction", type=_open_fraction, default=0.5)
     match.add_argument("--save", default=None,
                        help="path to save the tuned matcher (.npz)")
     match.add_argument("--checkpoint-dir", default=None, metavar="DIR",
                        help="write crash-safe training checkpoints here")
-    match.add_argument("--checkpoint-every", type=int, default=1,
+    match.add_argument("--checkpoint-every", type=_positive_int, default=1,
                        metavar="K", help="checkpoint cadence in epochs")
     match.add_argument("--resume", action="store_true",
                        help="resume from the newest valid checkpoint in "
@@ -168,6 +276,44 @@ def build_parser() -> argparse.ArgumentParser:
     match.add_argument("--metrics-out", default=None, metavar="PATH",
                        help="write metrics + span profile as JSONL")
     match.set_defaults(func=_cmd_match)
+
+    serve = commands.add_parser(
+        "serve", help="answer match queries as a JSON-lines service")
+    _add_benchmark_argument(serve)
+    serve.add_argument("--method", default="plus",
+                       choices=("baseline", "hard", "soft", "plus"))
+    serve.add_argument("--epochs", type=_positive_int, default=1,
+                       help="training epochs before serving starts")
+    serve.add_argument("--lr", type=float, default=1e-3)
+    serve.add_argument("--top-k", type=_positive_int, default=1,
+                       help="matches returned when a request names none")
+    serve.add_argument("--capacity", type=_positive_int, default=16,
+                       help="work-queue slots before requests are shed")
+    serve.add_argument("--workers", type=_positive_int, default=1,
+                       help="worker threads draining the queue")
+    serve.add_argument("--default-budget-ms", type=_positive_float,
+                       default=None, metavar="MS",
+                       help="deadline applied to requests without one")
+    serve.add_argument("--full-floor-ms", type=_non_negative_float,
+                       default=0.0, metavar="MS",
+                       help="skip the full tier when less budget remains")
+    serve.add_argument("--stale-capacity", type=_positive_int, default=1024,
+                       help="per-vertex stale results kept for fallback")
+    serve.add_argument("--breaker-window", type=_positive_int, default=8,
+                       help="circuit-breaker sliding window (calls)")
+    serve.add_argument("--breaker-threshold", type=_rate, default=0.5,
+                       metavar="RATE",
+                       help="failure rate in the window that opens it")
+    serve.add_argument("--breaker-min-calls", type=_positive_int, default=3,
+                       help="calls in the window before it can open")
+    serve.add_argument("--breaker-cooldown-ms", type=_positive_float,
+                       default=2000.0, metavar="MS",
+                       help="open time before a half-open probe")
+    serve.add_argument("--log-level", default=None, choices=_LOG_LEVELS,
+                       help="override REPRO_LOG_LEVEL for this run")
+    serve.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write metrics + span profile as JSONL on exit")
+    serve.set_defaults(func=_cmd_serve)
 
     clean = commands.add_parser("clean", help="run the cleaning detectors")
     _add_benchmark_argument(clean)

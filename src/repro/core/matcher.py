@@ -11,10 +11,13 @@ cost that motivates CrossEM+ (§IV).
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
+import threading
 import warnings
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import (Callable, Dict, Iterator, List, Optional, Sequence, Set,
+                    Tuple, Union)
 
 import numpy as np
 
@@ -107,6 +110,36 @@ class CrossEM:
         self._pseudo_labels: Dict[int, int] = {}
         self.efficiency: Optional[EfficiencyReport] = None
         self.epoch_losses: List[float] = []
+        # Per-thread stage hook (see encode_hook): thread-local so
+        # concurrent serve workers sharing one matcher cannot see each
+        # other's deadlines.
+        self._hook_local = threading.local()
+
+    # -- stage hooks --------------------------------------------------------
+    @contextlib.contextmanager
+    def encode_hook(self, hook: Callable[[str], None]) -> Iterator[None]:
+        """Install a per-thread hook called at encode/score stage
+        boundaries with the stage name.
+
+        The serving layer uses this for deadline propagation: the hook
+        is ``Deadline.check``, so a request's budget is re-examined
+        between stages (and between per-chunk encodes) instead of only
+        when the whole call finishes.  Any exception the hook raises
+        aborts the stage and propagates to the caller.  The hook is
+        thread-local and restored on exit, so nested/concurrent use is
+        safe.
+        """
+        previous = getattr(self._hook_local, "hook", None)
+        self._hook_local.hook = hook
+        try:
+            yield
+        finally:
+            self._hook_local.hook = previous
+
+    def _stage(self, name: str) -> None:
+        hook = getattr(self._hook_local, "hook", None)
+        if hook is not None:
+            hook(name)
 
     # -- prompt handling ----------------------------------------------------
     def _prepare_prompts(self) -> None:
@@ -169,6 +202,7 @@ class CrossEM:
     def encode_vertices(self, vertex_ids: Sequence[int]) -> nn.Tensor:
         """Prompted text embeddings for ``vertex_ids`` (grad-enabled for
         the soft prompt; served from the frozen-prompt cache otherwise)."""
+        self._stage("encode_text")
         if self.config.prompt == "soft":
             return self.soft_prompts(vertex_ids)
         if self._prompt_token_ids is not None:
@@ -191,6 +225,7 @@ class CrossEM:
         fit and sliced afterwards; the first call fills the cache via
         the shared chunked (optionally thread-pooled) encode path.
         """
+        self._stage("encode_image")
         if self._image_embeds is None:
             with span("encode/image_cache"), nn.no_grad():
                 self._image_embeds = chunked_encode(
@@ -530,11 +565,14 @@ class CrossEM:
                           stacklevel=2)
             vertex_batch = image_batch
         self._require_fitted()
+        self._stage("score")
         vertex_ids = list(vertex_ids if vertex_ids is not None else self.vertex_ids)
         if self.config.prompt != "soft" and self._prompt_token_ids is not None:
             rows = np.asarray([self._vertex_pos[v] for v in vertex_ids])
             text = self._cached_text_matrix()[rows]
         else:
+            # encode_vertices fires the per-thread stage hook before
+            # every chunk, so a deadline is re-checked per chunk here.
             with nn.no_grad():
                 text = np.concatenate(
                     [self.encode_vertices(vertex_ids[s:s + vertex_batch]).numpy()

@@ -26,7 +26,9 @@ it without pulling in the matcher stack.
 
 from __future__ import annotations
 
+import itertools
 import os
+import random
 import time
 from pathlib import Path
 from typing import Callable, Optional, Tuple, Type, TypeVar, Union
@@ -39,6 +41,13 @@ __all__ = ["CorruptArtifactError", "retry_io", "atomic_write_bytes",
 _log = get_logger("repro.iosafe")
 
 T = TypeVar("T")
+
+#: process-wide jitter source; tests inject their own seeded Random
+_jitter_rng = random.Random()
+
+#: distinguishes concurrent writers *within* one process — the pid alone
+#: collides when two threads atomically write the same path at once
+_tmp_counter = itertools.count()
 
 
 class CorruptArtifactError(RuntimeError):
@@ -54,28 +63,59 @@ def retry_io(fn: Callable[[], T], *, attempts: int = 3,
              base_delay: float = 0.05,
              retry_on: Tuple[Type[BaseException], ...] = (OSError,),
              sleep: Callable[[float], None] = time.sleep,
-             name: str = "io") -> T:
-    """Call ``fn`` with bounded exponential backoff on transient errors.
+             name: str = "io", jitter: bool = True,
+             max_elapsed: Optional[float] = None,
+             clock: Callable[[], float] = time.monotonic,
+             rng: Optional[random.Random] = None) -> T:
+    """Call ``fn`` with bounded, jittered exponential backoff on
+    transient errors.
 
     ``FileNotFoundError`` is never retried (a missing file does not
-    appear by waiting); everything else in ``retry_on`` is retried
-    ``attempts - 1`` times with delays ``base_delay * 2**i``, then the
-    last exception propagates.  Each retry increments the ``io.retry``
-    counter so flaky storage is visible in exported metrics.
+    appear by waiting); everything else in ``retry_on`` is retried up to
+    ``attempts - 1`` times, then the last exception propagates.  Each
+    retry increments the ``io.retry`` counter so flaky storage is
+    visible in exported metrics.
+
+    The backoff before retry ``i`` is drawn uniformly from
+    ``[0, base_delay * 2**i]`` (*full jitter*) so a herd of processes
+    hitting the same flaky store does not retry in lock-step; pass
+    ``jitter=False`` for the deterministic cap itself, or ``rng`` for a
+    seeded source.
+
+    ``max_elapsed`` caps the *total* time (work + backoff) this call may
+    consume: if the next sleep would overrun it, the last exception
+    propagates immediately instead.  This is what lets retries compose
+    with serve deadlines — ``retry_io(fn,
+    max_elapsed=deadline.remaining())`` can never overshoot the
+    request's budget by more than one attempt of work.
     """
     if attempts < 1:
         raise ValueError("attempts must be at least 1")
+    if max_elapsed is not None and max_elapsed < 0:
+        raise ValueError("max_elapsed must be non-negative")
+    rng = rng if rng is not None else _jitter_rng
+    started = clock()
     for attempt in range(attempts):
         try:
             return fn()
         except retry_on as exc:
             if isinstance(exc, FileNotFoundError) or attempt == attempts - 1:
                 raise
+            delay = base_delay * (2 ** attempt)
+            if jitter:
+                delay = rng.uniform(0.0, delay)
+            if max_elapsed is not None and \
+                    (clock() - started) + delay > max_elapsed:
+                _log.warning("retry budget exhausted, giving up", op=name,
+                             attempt=attempt + 1,
+                             max_elapsed=max_elapsed,
+                             error=type(exc).__name__)
+                raise
             registry().counter("io.retry").inc()
             _log.warning("transient I/O failure, retrying", op=name,
                          attempt=attempt + 1, attempts=attempts,
-                         error=type(exc).__name__)
-            sleep(base_delay * (2 ** attempt))
+                         delay=delay, error=type(exc).__name__)
+            sleep(delay)
     raise AssertionError("unreachable")
 
 
@@ -104,11 +144,17 @@ def atomic_write_bytes(path: Union[str, Path], data: bytes) -> Path:
     A crash at any point leaves either the previous version of ``path``
     or the complete new one — never a truncated mix.  The temp file is
     created in the same directory (``os.replace`` must not cross
-    filesystems) and cleaned up on failure.
+    filesystems) and cleaned up on failure.  Its name is unique per
+    *call*, not just per process: two threads publishing the same path
+    concurrently each write their own temp file and race only at the
+    atomic rename, so the survivor is one complete version, never an
+    interleaving (single writer wins, the loser's bytes are fully
+    replaced).
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    tmp = path.with_name(
+        f"{path.name}.tmp-{os.getpid()}-{next(_tmp_counter)}")
     try:
         with open(tmp, "wb") as fh:
             fh.write(data)

@@ -11,9 +11,10 @@ keyed by dotted name::
     registry().gauge("train.pairs_per_sec").set(rate)
     registry().histogram("pcp.partition_images").observe(len(images))
 
-Counters and histograms take a per-instrument lock so concurrent
-writers (e.g. data-parallel workers) never lose increments; gauges are
-last-write-wins by design.  ``snapshot()`` returns plain dicts in the
+Every instrument takes a per-instrument lock so concurrent writers
+(e.g. data-parallel workers, serve worker pools) never lose updates;
+``Gauge.set`` stays last-write-wins while ``Gauge.inc``/``dec`` adjust
+atomically (queue depths).  ``snapshot()`` returns plain dicts in the
 same schema the JSONL exporter writes, so tests can assert on either.
 """
 
@@ -52,16 +53,30 @@ class Counter:
 
 
 class Gauge:
-    """A point-in-time value; last write wins."""
+    """A point-in-time value that can move both ways.
 
-    __slots__ = ("name", "_value")
+    ``set`` is last-write-wins; ``inc``/``dec`` are atomic adjustments
+    for values maintained from several threads (queue depth, in-flight
+    requests, breaker state transitions).
+    """
+
+    __slots__ = ("name", "_value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self._value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self._value = float(value)
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += float(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
 
     @property
     def value(self) -> float:

@@ -1,0 +1,95 @@
+"""Admission control: a bounded work queue that sheds load.
+
+The serve loop's reader thread enqueues requests here and worker
+threads drain them.  The queue is deliberately *bounded*: when it is
+full, :meth:`BoundedQueue.put` raises a typed
+:class:`~repro.serve.errors.Overloaded` immediately instead of queueing
+unboundedly — the client gets a fast, honest rejection it can back off
+on, and a stuck worker cannot grow an infinite backlog of requests that
+would all blow their deadlines anyway.
+
+Queue depth and capacity are exported as gauges
+(``serve.queue.depth`` / ``serve.queue.capacity``) and every shed
+request increments ``serve.queue.shed_total``, so an overload burst is
+visible in the metrics JSONL after the fact.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Optional
+
+from ..obs import get_logger, registry
+from .errors import Overloaded
+
+__all__ = ["BoundedQueue"]
+
+_log = get_logger("repro.serve.admission")
+
+
+class BoundedQueue:
+    """Thread-safe FIFO with a hard capacity and load-shedding ``put``.
+
+    ``get`` blocks until an item is available or the queue is closed
+    *and* drained, in which case it returns ``None`` — the worker
+    shutdown signal, so no sentinel objects travel through the queue.
+    """
+
+    def __init__(self, capacity: int, *, name: str = "serve.queue") -> None:
+        if capacity < 1:
+            raise ValueError("queue capacity must be at least 1")
+        self.capacity = capacity
+        self.name = name
+        self._items: deque = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+        reg = registry()
+        reg.gauge(f"{name}.capacity").set(capacity)
+        self._depth_gauge = reg.gauge(f"{name}.depth")
+        self._depth_gauge.set(0)
+        self._shed_counter = reg.counter(f"{name}.shed_total")
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def depth(self) -> int:
+        return len(self)
+
+    def put(self, item: Any) -> None:
+        """Enqueue ``item`` or raise :class:`Overloaded` if full."""
+        with self._not_empty:
+            if self._closed:
+                raise RuntimeError(f"queue {self.name!r} is closed")
+            if len(self._items) >= self.capacity:
+                self._shed_counter.inc()
+                _log.warning("request shed", queue=self.name,
+                             depth=len(self._items), capacity=self.capacity)
+                raise Overloaded(depth=len(self._items),
+                                 capacity=self.capacity)
+            self._items.append(item)
+            self._depth_gauge.set(len(self._items))
+            self._not_empty.notify()
+
+    def get(self) -> Optional[Any]:
+        """Dequeue the oldest item, blocking while the queue is empty.
+
+        Returns ``None`` once the queue is closed and fully drained.
+        """
+        with self._not_empty:
+            while not self._items and not self._closed:
+                self._not_empty.wait()
+            if not self._items:
+                return None  # closed and drained
+            item = self._items.popleft()
+            self._depth_gauge.set(len(self._items))
+            return item
+
+    def close(self) -> None:
+        """Stop accepting work; blocked ``get`` calls drain then end."""
+        with self._not_empty:
+            self._closed = True
+            self._not_empty.notify_all()

@@ -1,0 +1,192 @@
+"""Circuit breaker around a failure-prone backend (encoder) call.
+
+The classic three-state machine:
+
+* **closed** — calls pass through; outcomes land in a sliding window.
+  When the window holds at least ``min_calls`` outcomes and the failure
+  rate reaches ``failure_threshold``, the breaker opens.
+* **open** — calls are rejected immediately with
+  :class:`~repro.serve.errors.BreakerOpen` (no backend work, no pile-up
+  behind a dead encoder).  After ``cooldown`` seconds the next call is
+  allowed through as a probe.
+* **half-open** — exactly one probe call runs at a time; its success
+  closes the breaker (window cleared), its failure re-opens it and the
+  cooldown restarts.
+
+Every transition is recorded in the :mod:`repro.obs` metrics registry:
+``serve.breaker.<name>.state`` is a gauge holding the state code
+(0 = closed, 1 = half-open, 2 = open) so exported metrics show *when*
+a backend was considered dead, and counters track successes, failures,
+rejections and total opens.
+
+The clock is injectable for deterministic tests; all methods are
+thread-safe (the serve worker pool shares one breaker per backend).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Optional, TypeVar
+
+from ..obs import get_logger, registry
+from .errors import BreakerOpen
+
+__all__ = ["CircuitBreaker", "STATE_CLOSED", "STATE_HALF_OPEN", "STATE_OPEN"]
+
+_log = get_logger("repro.serve.breaker")
+
+T = TypeVar("T")
+
+STATE_CLOSED = "closed"
+STATE_HALF_OPEN = "half_open"
+STATE_OPEN = "open"
+
+#: gauge encoding — chosen so "bigger is worse" in dashboards
+STATE_CODES = {STATE_CLOSED: 0, STATE_HALF_OPEN: 1, STATE_OPEN: 2}
+
+
+class CircuitBreaker:
+    """Failure-rate circuit breaker with a sliding outcome window."""
+
+    def __init__(self, name: str, *, window: int = 8,
+                 failure_threshold: float = 0.5, min_calls: int = 3,
+                 cooldown: float = 1.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        if not 0.0 < failure_threshold <= 1.0:
+            raise ValueError("failure_threshold must be in (0, 1]")
+        if min_calls < 1:
+            raise ValueError("min_calls must be at least 1")
+        if cooldown <= 0:
+            raise ValueError("cooldown must be positive")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.min_calls = min_calls
+        self.cooldown = cooldown
+        self._clock = clock
+        self._outcomes: deque = deque(maxlen=window)  # True = failure
+        self._state = STATE_CLOSED
+        self._opened_at: Optional[float] = None
+        self._probe_in_flight = False
+        self._lock = threading.RLock()
+        self._set_state_gauge()
+
+    # -- metrics -----------------------------------------------------------
+    def _metric(self, suffix: str) -> str:
+        return f"serve.breaker.{self.name}.{suffix}"
+
+    def _set_state_gauge(self) -> None:
+        registry().gauge(self._metric("state")).set(STATE_CODES[self._state])
+
+    def _transition(self, state: str) -> None:
+        if state == self._state:
+            return
+        _log.warning("breaker transition", breaker=self.name,
+                     from_state=self._state, to_state=state)
+        self._state = state
+        self._set_state_gauge()
+        if state == STATE_OPEN:
+            registry().counter(self._metric("open_total")).inc()
+
+    # -- state machine -----------------------------------------------------
+    def _maybe_half_open(self) -> None:
+        """open -> half-open once the cooldown has elapsed (lock held)."""
+        if self._state == STATE_OPEN and \
+                self._clock() - self._opened_at >= self.cooldown:
+            self._transition(STATE_HALF_OPEN)
+            self._probe_in_flight = False
+
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def allows_call(self) -> bool:
+        """Would a call be admitted right now?  (Non-binding — used by
+        the degradation policy to skip a tier without burning the
+        half-open probe slot.)"""
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == STATE_CLOSED:
+                return True
+            if self._state == STATE_HALF_OPEN:
+                return not self._probe_in_flight
+            return False
+
+    def _before_call(self) -> None:
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == STATE_CLOSED:
+                return
+            if self._state == STATE_HALF_OPEN and not self._probe_in_flight:
+                self._probe_in_flight = True
+                return
+            registry().counter(self._metric("rejected_total")).inc()
+            retry_after = None
+            if self._state == STATE_OPEN:
+                retry_after = max(
+                    0.0, self.cooldown - (self._clock() - self._opened_at))
+            raise BreakerOpen(self.name, retry_after=retry_after)
+
+    def record_success(self) -> None:
+        with self._lock:
+            registry().counter(self._metric("successes_total")).inc()
+            if self._state == STATE_HALF_OPEN:
+                # The probe came back healthy: full reset.
+                self._probe_in_flight = False
+                self._outcomes.clear()
+                self._transition(STATE_CLOSED)
+            elif self._state == STATE_CLOSED:
+                self._outcomes.append(False)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            registry().counter(self._metric("failures_total")).inc()
+            if self._state == STATE_HALF_OPEN:
+                # The probe failed: back to open, cooldown restarts.
+                self._probe_in_flight = False
+                self._opened_at = self._clock()
+                self._transition(STATE_OPEN)
+                return
+            if self._state != STATE_CLOSED:
+                return
+            self._outcomes.append(True)
+            if len(self._outcomes) >= self.min_calls:
+                rate = sum(self._outcomes) / len(self._outcomes)
+                if rate >= self.failure_threshold:
+                    self._opened_at = self._clock()
+                    self._transition(STATE_OPEN)
+
+    def force_open(self) -> None:
+        """Administratively open the breaker (ops toggle / tests)."""
+        with self._lock:
+            self._opened_at = self._clock()
+            self._transition(STATE_OPEN)
+
+    def reset(self) -> None:
+        """Administratively close the breaker and clear its window."""
+        with self._lock:
+            self._outcomes.clear()
+            self._probe_in_flight = False
+            self._opened_at = None
+            self._transition(STATE_CLOSED)
+
+    def call(self, fn: Callable[[], T]) -> T:
+        """Run ``fn`` through the breaker.
+
+        Raises :class:`BreakerOpen` without calling ``fn`` when the
+        breaker is open (or its half-open probe slot is taken).  Any
+        exception from ``fn`` counts as a failure and propagates;
+        a normal return counts as a success.
+        """
+        self._before_call()
+        try:
+            result = fn()
+        except BaseException:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result

@@ -1,0 +1,80 @@
+"""The graceful-degradation ladder for match queries.
+
+Three tiers, from best answer to best-effort answer:
+
+* ``full`` — the fitted matcher's own scoring path (for CrossEM+ this
+  is the tuned soft-prompt text encode).  Costly and, under an
+  unhealthy encoder, slow or failing.
+* ``cached`` — scoring against the *discrete-prompt* embedding matrix
+  (PR 2's prompt cache): a pure matrix slice + GEMM with no encoder
+  call, bit-identical to what a standalone hard-prompt matcher would
+  return.  Cheaper and immune to encoder failure, at the accuracy of
+  untuned hard prompts.
+* ``stale`` — the last successful response this service produced for
+  the same vertex, served from an in-memory LRU.  Possibly out of
+  date, but instant and always deadline-safe.
+
+:class:`DegradationPolicy` decides *where to start*: breaker open or
+not enough budget left for a full encode means starting at ``cached``.
+The service additionally falls *down* the ladder when a tier fails at
+runtime, with one asymmetry: a :class:`DeadlineExceeded` skips straight
+to ``stale``, because once the budget is blown only a free tier is
+honest to run.  Every degraded response is tagged with its tier and
+reason, and counted per tier in the metrics registry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+from .breaker import CircuitBreaker
+from .deadline import Deadline
+
+__all__ = ["TIER_FULL", "TIER_CACHED", "TIER_STALE", "LADDER",
+           "DegradeDecision", "DegradationPolicy"]
+
+TIER_FULL = "full"
+TIER_CACHED = "cached"
+TIER_STALE = "stale"
+LADDER: Tuple[str, ...] = (TIER_FULL, TIER_CACHED, TIER_STALE)
+
+REASON_BREAKER_OPEN = "breaker_open"
+REASON_DEADLINE = "deadline_pressure"
+
+
+@dataclasses.dataclass(frozen=True)
+class DegradeDecision:
+    """Which tiers to attempt, in order, and why any were skipped."""
+
+    tiers: Tuple[str, ...]
+    reason: Optional[str] = None  # None -> nothing was skipped up front
+
+    @property
+    def degraded(self) -> bool:
+        return self.tiers[0] != TIER_FULL
+
+
+class DegradationPolicy:
+    """Chooses the entry tier for one request.
+
+    ``full_floor`` (seconds) is the minimum remaining budget worth
+    spending on a full encode: below it the policy starts at ``cached``
+    rather than beginning work that is doomed to blow the deadline.
+    """
+
+    def __init__(self, breaker: CircuitBreaker, *,
+                 full_floor: float = 0.0) -> None:
+        if full_floor < 0:
+            raise ValueError("full_floor must be non-negative")
+        self.breaker = breaker
+        self.full_floor = full_floor
+
+    def plan(self, deadline: Deadline) -> DegradeDecision:
+        if not self.breaker.allows_call():
+            return DegradeDecision((TIER_CACHED, TIER_STALE),
+                                   REASON_BREAKER_OPEN)
+        if deadline.bounded and deadline.remaining() < self.full_floor:
+            return DegradeDecision((TIER_CACHED, TIER_STALE),
+                                   REASON_DEADLINE)
+        return DegradeDecision(LADDER)

@@ -1,0 +1,88 @@
+"""Typed failures of the online query path.
+
+Every way a request can fail maps to exactly one exception class, and
+every class carries a stable ``code`` that becomes the ``error.type``
+field of the JSON error response.  Handlers switch on the class (or the
+code), never on message strings, so the failure taxonomy is part of the
+serving API:
+
+* :class:`BadRequest` — the request itself is malformed (unknown
+  vertex, wrong field type).  Retrying it verbatim will never help.
+* :class:`DeadlineExceeded` — the per-request budget ran out mid-stage.
+  The request was well-formed; a retry with a larger budget may work.
+* :class:`Overloaded` — admission control shed the request because the
+  work queue was full.  Retrying after backoff is appropriate.
+* :class:`BreakerOpen` — a circuit breaker is refusing calls to a
+  failing backend; the degradation ladder normally absorbs this before
+  it reaches a client.
+
+All inherit :class:`ServeError`, so "any expected serving failure" is
+one ``except`` clause while genuinely unexpected bugs stay loud.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["ServeError", "BadRequest", "DeadlineExceeded", "Overloaded",
+           "BreakerOpen"]
+
+
+class ServeError(RuntimeError):
+    """Base class of every expected per-request serving failure."""
+
+    code = "serve_error"
+
+
+class BadRequest(ServeError):
+    """The request is structurally invalid; it can never succeed."""
+
+    code = "bad_request"
+
+
+class DeadlineExceeded(ServeError):
+    """A stage observed that the request's time budget is exhausted.
+
+    ``stage`` names the pipeline stage that noticed (granularity of the
+    deadline guarantee: a request returns within budget plus at most one
+    stage).  ``budget`` and ``elapsed`` are seconds.
+    """
+
+    code = "deadline_exceeded"
+
+    def __init__(self, stage: str, budget: float, elapsed: float) -> None:
+        super().__init__(
+            f"deadline exceeded in stage {stage!r}: "
+            f"elapsed {elapsed * 1e3:.1f}ms of {budget * 1e3:.1f}ms budget")
+        self.stage = stage
+        self.budget = budget
+        self.elapsed = elapsed
+
+
+class Overloaded(ServeError):
+    """Admission control rejected the request instead of queueing it."""
+
+    code = "overloaded"
+
+    def __init__(self, depth: int, capacity: int) -> None:
+        super().__init__(f"work queue full ({depth}/{capacity}); "
+                         f"request shed")
+        self.depth = depth
+        self.capacity = capacity
+
+
+class BreakerOpen(ServeError):
+    """A circuit breaker is open; the wrapped backend is not called.
+
+    ``retry_after`` is the remaining cooldown in seconds (``None`` when
+    the breaker is half-open and its single probe slot is taken).
+    """
+
+    code = "breaker_open"
+
+    def __init__(self, name: str, retry_after: Optional[float] = None) -> None:
+        detail = (f"; retry after {retry_after:.3f}s"
+                  if retry_after is not None else "")
+        super().__init__(f"circuit breaker {name!r} is open{detail}")
+        self.name = name
+        self.retry_after = retry_after

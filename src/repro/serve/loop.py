@@ -1,0 +1,73 @@
+"""The JSON-lines request loop behind ``repro serve``.
+
+One request per input line, one response per output line — stdin/stdout
+framing with no network dependency, so the whole resilient path stays
+exercisable in CI with nothing but pipes.  Responses carry the
+request's ``id`` and may arrive out of submission order (workers and
+shed rejections interleave); clients correlate by ``id``, exactly as
+they would against a real RPC service.
+
+A line that is not valid JSON yields a structured ``bad_request``
+response (with ``id: null``, since no id could be read) and the loop
+keeps serving — input corruption is a per-request failure, never a
+process failure.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import IO, Iterable, Union
+
+from ..obs import get_logger, registry
+from .service import MatchService
+
+__all__ = ["serve_loop"]
+
+_log = get_logger("repro.serve.loop")
+
+
+def serve_loop(service: MatchService, source: Iterable[str],
+               sink: IO[str]) -> int:
+    """Serve JSON-lines requests from ``source`` into ``sink``.
+
+    Starts the service's worker pool, feeds it every non-blank line,
+    emits one JSON response line per request (shed and parse failures
+    answered inline by the reader), and shuts the pool down at EOF.
+    Returns the number of responses written.
+    """
+    emit_lock = threading.Lock()
+    written = [0]
+
+    def emit(response: dict) -> None:
+        line = json.dumps(response, separators=(",", ":"))
+        with emit_lock:
+            sink.write(line + "\n")
+            sink.flush()
+            written[0] += 1
+
+    service.start(emit)
+    try:
+        for raw in source:
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                request: Union[dict, object] = json.loads(line)
+            except ValueError as exc:
+                _log.warning("undecodable request line", error=str(exc))
+                reg = registry()
+                reg.counter("serve.requests_total").inc()
+                reg.counter("serve.error_total").inc()
+                reg.counter("serve.error.bad_request").inc()
+                emit({"id": None, "ok": False,
+                      "error": {"type": "bad_request",
+                                "message": f"invalid JSON: {exc}"},
+                      "elapsed_ms": 0.0})
+                continue
+            rejection = service.submit(request)
+            if rejection is not None:
+                emit(rejection)
+    finally:
+        service.shutdown()
+    return written[0]

@@ -1,0 +1,417 @@
+"""The fault-tolerant match query service.
+
+:class:`MatchService` wraps one *fitted* matcher and answers single-
+vertex match queries with production failure semantics:
+
+* every request carries a :class:`~repro.serve.deadline.Deadline`
+  (from its ``budget_ms``) that encode/score stages check instead of
+  running long;
+* the per-request encode path runs through a text-backend
+  :class:`~repro.serve.breaker.CircuitBreaker` (a second breaker guards
+  the image-tower warmup), so a hung or flaky encoder stops being
+  called instead of stalling every request behind it;
+* a bounded :class:`~repro.serve.admission.BoundedQueue` sheds load
+  with typed ``Overloaded`` rejections under burst;
+* on breaker-open or deadline pressure the
+  :class:`~repro.serve.degrade.DegradationPolicy` ladder falls back
+  full → cached → stale, tagging each degraded response;
+* any per-request failure — malformed request, corrupt input, encoder
+  bug — becomes a structured error *response*; the process never dies
+  for one query.
+
+The cached tier scores against a dedicated hard-prompt
+:class:`~repro.core.matcher.CrossEM` built over the same bundle, graph
+and image repository, so a degraded response is bit-identical to what
+that fallback matcher would return standalone (the PR 2 prompt-cache
+exactness argument, see DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.matcher import CrossEM, CrossEMConfig
+from ..obs import get_logger, registry, span
+from .admission import BoundedQueue
+from .breaker import CircuitBreaker
+from .deadline import Deadline
+from .degrade import (TIER_CACHED, TIER_FULL, TIER_STALE, DegradationPolicy)
+from .errors import BadRequest, DeadlineExceeded, Overloaded, ServeError
+
+__all__ = ["ServeConfig", "MatchService"]
+
+_log = get_logger("repro.serve.service")
+
+
+@dataclasses.dataclass
+class ServeConfig:
+    """Tuning knobs of the serving layer (see README "Serving")."""
+
+    #: bounded work-queue capacity; beyond it requests are shed
+    capacity: int = 16
+    #: worker threads draining the queue
+    workers: int = 1
+    #: budget applied when a request carries none (None = unbounded)
+    default_budget_ms: Optional[float] = None
+    #: matches returned when a request does not ask for a count
+    top_k_default: int = 1
+    #: skip the full tier when less than this much budget remains
+    full_floor_ms: float = 0.0
+    #: per-vertex LRU entries kept for the stale tier
+    stale_capacity: int = 1024
+    #: circuit breaker: sliding window size (calls)
+    breaker_window: int = 8
+    #: circuit breaker: failure rate in the window that opens it
+    breaker_failure_threshold: float = 0.5
+    #: circuit breaker: minimum calls in the window before it can open
+    breaker_min_calls: int = 3
+    #: circuit breaker: how long it stays open before probing
+    breaker_cooldown_ms: float = 2000.0
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+        if self.default_budget_ms is not None and self.default_budget_ms <= 0:
+            raise ValueError("default_budget_ms must be positive")
+        if self.top_k_default < 1:
+            raise ValueError("top_k_default must be at least 1")
+        if self.full_floor_ms < 0:
+            raise ValueError("full_floor_ms must be non-negative")
+        if self.stale_capacity < 1:
+            raise ValueError("stale_capacity must be at least 1")
+
+
+@dataclasses.dataclass(frozen=True)
+class _Query:
+    """A validated request."""
+
+    vertex: int
+    top_k: int
+    budget: Optional[float]  # seconds
+
+
+class MatchService:
+    """Answers match queries over a fitted matcher, with failure
+    isolation.  See the module docstring for the failure model."""
+
+    def __init__(self, matcher: CrossEM, *,
+                 config: Optional[ServeConfig] = None,
+                 fallback: Optional[CrossEM] = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if matcher.graph is None:
+            raise ValueError("MatchService needs a fitted matcher "
+                             "(call CrossEM.fit first)")
+        self.matcher = matcher
+        self.config = config or ServeConfig()
+        self._clock = clock
+        cooldown = self.config.breaker_cooldown_ms / 1000.0
+        self.text_breaker = CircuitBreaker(
+            "text", window=self.config.breaker_window,
+            failure_threshold=self.config.breaker_failure_threshold,
+            min_calls=self.config.breaker_min_calls,
+            cooldown=cooldown, clock=clock)
+        self.vision_breaker = CircuitBreaker(
+            "vision", window=self.config.breaker_window,
+            failure_threshold=self.config.breaker_failure_threshold,
+            min_calls=self.config.breaker_min_calls,
+            cooldown=cooldown, clock=clock)
+        self.policy = DegradationPolicy(
+            self.text_breaker, full_floor=self.config.full_floor_ms / 1000.0)
+        self.queue = BoundedQueue(self.config.capacity)
+        self.fallback = fallback if fallback is not None \
+            else self._build_fallback()
+        self._vertex_set = set(matcher.vertex_ids)
+        self._image_ids = [img.image_id for img in matcher.images]
+        self._stale: "OrderedDict[int, Tuple[np.ndarray, str]]" = OrderedDict()
+        self._stale_lock = threading.Lock()
+        self._emit: Optional[Callable[[dict], None]] = None
+        self._threads: List[threading.Thread] = []
+        self._started = False
+        self._warm = False
+
+    # -- construction ------------------------------------------------------
+    def _build_fallback(self) -> CrossEM:
+        """A hard-prompt matcher over the same data: the cached tier.
+
+        Discrete prompts have no trainable parameters, so the fit below
+        never trains — it only builds the prompt-cache structures whose
+        embedding matrix the cached tier slices (DESIGN.md §6 is the
+        exactness argument).  A matcher that is itself discrete serves
+        as its own fallback: its full tier already is the cache.
+        """
+        if self.matcher.config.prompt != "soft":
+            return self.matcher
+        config = CrossEMConfig(
+            prompt="hard", d=self.matcher.config.d, epochs=0,
+            seed=self.matcher.config.seed,
+            aggregator=self.matcher.config.aggregator)
+        fallback = CrossEM(self.matcher.bundle, config)
+        fallback.fit(self.matcher.graph, self.matcher.images,
+                     self.matcher.vertex_ids)
+        return fallback
+
+    def warmup(self) -> "MatchService":
+        """Populate every embedding cache so the per-request path never
+        triggers a bulk encode.  Encoder work runs through the breakers:
+        a backend that cannot even warm up fails the service *here*,
+        loudly, not one request at a time."""
+        if self._warm:
+            return self
+        with span("serve/warmup"):
+            matcher, fallback = self.matcher, self.fallback
+            probe = matcher.vertex_ids[0]
+            self.vision_breaker.call(
+                lambda: matcher._encode_images(range(len(matcher.images))))
+            self.text_breaker.call(lambda: matcher.score([probe]))
+            if fallback is not matcher:
+                fallback._encode_images(range(len(fallback.images)))
+                fallback.score([fallback.vertex_ids[0]])
+        self._warm = True
+        return self
+
+    # -- request validation ------------------------------------------------
+    def _parse(self, request: Any) -> _Query:
+        if not isinstance(request, dict):
+            raise BadRequest("request must be a JSON object")
+        vertex = request.get("vertex")
+        if isinstance(vertex, bool) or not isinstance(vertex, int):
+            raise BadRequest("field 'vertex' must be an integer vertex id")
+        if vertex not in self._vertex_set:
+            raise BadRequest(f"unknown vertex {vertex}")
+        top_k = request.get("top_k", self.config.top_k_default)
+        if isinstance(top_k, bool) or not isinstance(top_k, int) or top_k < 1:
+            raise BadRequest("field 'top_k' must be a positive integer")
+        budget_ms = request.get("budget_ms", self.config.default_budget_ms)
+        budget = None
+        if budget_ms is not None:
+            if isinstance(budget_ms, bool) or \
+                    not isinstance(budget_ms, (int, float)) or budget_ms <= 0:
+                raise BadRequest("field 'budget_ms' must be a positive "
+                                 "number of milliseconds")
+            budget = float(budget_ms) / 1000.0
+        return _Query(vertex=vertex, top_k=top_k, budget=budget)
+
+    # -- scoring tiers -----------------------------------------------------
+    def _score_full(self, vertex: int, deadline: Deadline) -> np.ndarray:
+        # The pre-flight check sits *outside* the breaker: a request
+        # whose budget is already dead is not evidence against the
+        # encoder.  Inside, the matcher's stage hooks check the same
+        # deadline between encode stages, so a hung encoder surfaces as
+        # DeadlineExceeded — which the breaker does count.
+        deadline.check("score_full")
+
+        def run() -> np.ndarray:
+            with self.matcher.encode_hook(deadline.check):
+                scores = self.matcher.score([vertex])
+            deadline.check("score_full")
+            return scores[0]
+
+        return self.text_breaker.call(run)
+
+    def _score_cached(self, vertex: int) -> np.ndarray:
+        # Pure cache: slices the discrete-prompt embedding matrix and
+        # one GEMM row — no encoder call, nothing for a breaker to trip.
+        return self.fallback.score([vertex])[0]
+
+    def _stale_put(self, vertex: int, scores: np.ndarray, tier: str) -> None:
+        with self._stale_lock:
+            self._stale[vertex] = (scores, tier)
+            self._stale.move_to_end(vertex)
+            while len(self._stale) > self.config.stale_capacity:
+                self._stale.popitem(last=False)
+
+    def _stale_get(self, vertex: int) -> Optional[Tuple[np.ndarray, str]]:
+        with self._stale_lock:
+            entry = self._stale.get(vertex)
+            if entry is not None:
+                self._stale.move_to_end(vertex)
+            return entry
+
+    def _top_matches(self, scores: np.ndarray, top_k: int) -> List[dict]:
+        k = min(top_k, scores.shape[0])
+        if k == scores.shape[0]:
+            rows = np.arange(scores.shape[0])
+        else:
+            rows = np.argpartition(-scores, k - 1)[:k]
+        order = sorted(rows.tolist(),
+                       key=lambda i: (-float(scores[i]), i))
+        return [{"image": int(self._image_ids[i]),
+                 "score": float(scores[i])} for i in order]
+
+    # -- the ladder --------------------------------------------------------
+    def _execute(self, query: _Query,
+                 deadline: Deadline) -> Tuple[List[dict], str, Optional[str]]:
+        """Walk the degradation ladder; returns (matches, tier, reason).
+
+        ``reason`` is ``None`` for an undegraded full-tier answer,
+        otherwise why the service fell below full.  A DeadlineExceeded
+        mid-ladder skips straight to the stale tier — once the budget is
+        blown, only a free tier is honest to run.
+        """
+        reg = registry()
+        decision = self.policy.plan(deadline)
+        reason = decision.reason
+        pending = list(decision.tiers)
+        last_error: Optional[BaseException] = None
+        while pending:
+            tier = pending.pop(0)
+            try:
+                if tier == TIER_FULL:
+                    scores = self._score_full(query.vertex, deadline)
+                elif tier == TIER_CACHED:
+                    deadline.check("score_cached")
+                    scores = self._score_cached(query.vertex)
+                else:
+                    entry = self._stale_get(query.vertex)
+                    if entry is None:
+                        break  # nothing stale: surface the real failure
+                    scores = entry[0]
+            except DeadlineExceeded as exc:
+                last_error = exc
+                reason = reason or exc.code
+                reg.counter("serve.deadline_exceeded_total").inc()
+                pending = [t for t in pending if t == TIER_STALE]
+                continue
+            except ServeError as exc:
+                last_error = exc
+                reason = reason or exc.code
+                continue
+            except Exception as exc:  # flaky backend: fall down a tier
+                last_error = exc
+                reason = reason or "backend_error"
+                _log.warning("tier failed", tier=tier, vertex=query.vertex,
+                             error=f"{type(exc).__name__}: {exc}")
+                continue
+            if tier != TIER_STALE:
+                self._stale_put(query.vertex, scores, tier)
+            return (self._top_matches(scores, query.top_k), tier,
+                    reason if tier != TIER_FULL else None)
+        if last_error is None:  # stale-only plan with an empty cache
+            last_error = ServeError("no serving tier could answer")
+        raise last_error
+
+    # -- request lifecycle -------------------------------------------------
+    def handle(self, request: Any) -> dict:
+        """Process one request synchronously; always returns a response
+        dict, never raises (per-request isolation)."""
+        reg = registry()
+        reg.counter("serve.requests_total").inc()
+        started = self._clock()
+        request_id = request.get("id") if isinstance(request, dict) else None
+        try:
+            self.warmup()
+        except Exception as exc:  # a backend too sick to even warm up
+            reg.counter("serve.internal_errors_total").inc()
+            _log.error("warmup failed",
+                       error=f"{type(exc).__name__}: {exc}")
+            return self._error_response(
+                request_id, "internal",
+                f"warmup failed: {type(exc).__name__}: {exc}", started)
+        try:
+            query = self._parse(request)
+        except BadRequest as exc:
+            return self._error_response(request_id, exc.code, str(exc),
+                                        started)
+        deadline = Deadline(query.budget, clock=self._clock)
+        try:
+            matches, tier, reason = self._execute(query, deadline)
+        except ServeError as exc:
+            return self._error_response(request_id, exc.code, str(exc),
+                                        started)
+        except Exception as exc:
+            # Unexpected bug while answering: isolate it to this request.
+            reg.counter("serve.internal_errors_total").inc()
+            _log.error("internal error answering request",
+                       vertex=query.vertex,
+                       error=f"{type(exc).__name__}: {exc}")
+            return self._error_response(
+                request_id, "internal",
+                f"{type(exc).__name__}: {exc}", started)
+        elapsed_ms = (self._clock() - started) * 1e3
+        degraded = tier != TIER_FULL
+        reg.counter("serve.ok_total").inc()
+        reg.counter(f"serve.tier.{tier}").inc()
+        if degraded:
+            reg.counter("serve.degraded_total").inc()
+        reg.histogram("serve.request_ms").observe(elapsed_ms)
+        response = {"id": request_id, "ok": True, "vertex": query.vertex,
+                    "tier": tier, "degraded": degraded, "matches": matches,
+                    "elapsed_ms": round(elapsed_ms, 3)}
+        if degraded and reason is not None:
+            response["reason"] = reason
+        return response
+
+    def _error_response(self, request_id: Any, code: str, message: str,
+                        started: float) -> dict:
+        elapsed_ms = (self._clock() - started) * 1e3
+        reg = registry()
+        reg.counter("serve.error_total").inc()
+        reg.counter(f"serve.error.{code}").inc()
+        reg.histogram("serve.request_ms").observe(elapsed_ms)
+        return {"id": request_id, "ok": False,
+                "error": {"type": code, "message": message},
+                "elapsed_ms": round(elapsed_ms, 3)}
+
+    # -- threaded mode -----------------------------------------------------
+    def start(self, emit: Callable[[dict], None]) -> None:
+        """Warm the caches and start the worker pool; ``emit`` receives
+        every response produced by a worker (it must be thread-safe)."""
+        if self._started:
+            raise RuntimeError("service already started")
+        self.warmup()
+        self._emit = emit
+        for i in range(self.config.workers):
+            thread = threading.Thread(target=self._worker_main,
+                                      name=f"serve-worker-{i}", daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        self._started = True
+
+    def submit(self, request: Any) -> Optional[dict]:
+        """Admit ``request`` to the work queue.
+
+        Returns ``None`` when enqueued (the response will reach ``emit``
+        later) or an immediate ``overloaded`` error response when
+        admission control sheds the request.
+        """
+        try:
+            self.queue.put(request)
+            return None
+        except Overloaded as exc:
+            registry().counter("serve.requests_total").inc()
+            request_id = request.get("id") if isinstance(request, dict) \
+                else None
+            return self._error_response(request_id, exc.code, str(exc),
+                                        self._clock())
+
+    def _worker_main(self) -> None:
+        while True:
+            item = self.queue.get()
+            if item is None:
+                return
+            try:
+                response = self.handle(item)
+            except BaseException as exc:  # handle() should never raise
+                response = {"id": None, "ok": False,
+                            "error": {"type": "internal",
+                                      "message": f"{type(exc).__name__}: "
+                                                 f"{exc}"},
+                            "elapsed_ms": 0.0}
+            if self._emit is not None:
+                self._emit(response)
+
+    def shutdown(self, timeout: float = 30.0) -> None:
+        """Drain the queue, stop the workers, and join them."""
+        self.queue.close()
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._threads = []
+        self._started = False

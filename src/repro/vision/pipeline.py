@@ -16,7 +16,7 @@ what tests and benchmarks run unless explicitly configured otherwise.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import FIRST_EXCEPTION, ThreadPoolExecutor, wait
 from typing import Callable, List, Optional
 
 import numpy as np
@@ -62,10 +62,26 @@ def chunked_encode(encode_chunk: Callable[[int, int], np.ndarray],
     reg = registry()
     with span(f"{name}/chunked"):
         if workers > 1 and len(starts) > 1:
+            # Futures + wait(FIRST_EXCEPTION) instead of pool.map: map
+            # surfaces a worker exception only when iteration reaches
+            # that chunk's position (late) and lets every queued chunk
+            # run anyway.  Here the first failure cancels everything
+            # still queued and propagates promptly.
             with ThreadPoolExecutor(max_workers=workers) as pool:
-                chunks: List[np.ndarray] = list(pool.map(
-                    lambda s: encode_chunk(s, min(s + chunk, num_items)),
-                    starts))
+                futures = [pool.submit(encode_chunk, s,
+                                       min(s + chunk, num_items))
+                           for s in starts]
+                done, pending = wait(futures, return_when=FIRST_EXCEPTION)
+                failure = next((f for f in done if f.exception() is not None),
+                               None)
+                if failure is not None:
+                    cancelled = sum(f.cancel() for f in pending)
+                    reg.counter(f"{name}.cancelled_chunks").inc(cancelled)
+                    _log.warning("encode chunk failed, cancelling rest",
+                                 name=name, cancelled=cancelled,
+                                 error=type(failure.exception()).__name__)
+                    raise failure.exception()
+                chunks: List[np.ndarray] = [f.result() for f in futures]
             reg.counter(f"{name}.pooled_chunks").inc(len(starts))
         else:
             chunks = [encode_chunk(s, min(s + chunk, num_items))

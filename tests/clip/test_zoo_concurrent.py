@@ -1,0 +1,83 @@
+"""Concurrent access to the zoo's disk cache.
+
+Two threads that miss the memory cache simultaneously both pre-train
+and both publish the same cache path.  The atomic per-call temp naming
+in ``iosafe`` guarantees a single complete winner: no interleaved
+bytes, no temp litter, and the survivor deserializes for the next
+process.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.clip import zoo
+from repro.clip.pretrain import PretrainConfig
+from repro.obs import registry
+
+
+CONFIG = PretrainConfig(epochs=1, batch_size=8, captions_per_concept=1,
+                        seed=45)
+
+
+def test_concurrent_builders_single_writer_wins(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    zoo.clear_memory_cache()
+
+    barrier = threading.Barrier(2)
+    original_build = zoo._build_bundle
+
+    def synced_build(*args, **kwargs):
+        # hold both threads at the build step so neither can publish the
+        # cache file before the other has committed to writing it too
+        barrier.wait(timeout=60)
+        return original_build(*args, **kwargs)
+
+    monkeypatch.setattr(zoo, "_build_bundle", synced_build)
+
+    results = {}
+    errors = []
+
+    def fetch(tag):
+        try:
+            results[tag] = zoo.get_pretrained_bundle(
+                kind="bird", num_concepts=5, seed=45, config=CONFIG)
+        except Exception as exc:  # pragma: no cover - failure detail
+            errors.append(exc)
+
+    threads = [threading.Thread(target=fetch, args=(tag,))
+               for tag in ("a", "b")]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    assert not any(thread.is_alive() for thread in threads)
+
+    assert errors == []
+    assert set(results) == {"a", "b"}
+    # same seed, so the loser's lost bytes were identical anyway — both
+    # callers hold an equivalent bundle
+    np.testing.assert_allclose(
+        results["a"].clip.state_dict()["logit_scale"],
+        results["b"].clip.state_dict()["logit_scale"])
+
+    # exactly one complete cache file, no temp litter, nothing corrupt
+    cache_files = list(tmp_path.glob("bundle-*.npz"))
+    assert len(cache_files) == 1
+    assert not list(tmp_path.glob("*.tmp-*"))
+    assert not list(tmp_path.glob("*.corrupt*"))
+
+    # the winner's file is a valid archive: a fresh process reloads it
+    # instead of rebuilding
+    monkeypatch.setattr(zoo, "_build_bundle", original_build)
+    zoo.clear_memory_cache()
+    hits_before = registry().counter("cache.hit").value
+    reloaded = zoo.get_pretrained_bundle(kind="bird", num_concepts=5,
+                                         seed=45, config=CONFIG)
+    assert registry().counter("cache.hit").value == hits_before + 1
+    np.testing.assert_allclose(
+        reloaded.clip.state_dict()["logit_scale"],
+        results["a"].clip.state_dict()["logit_scale"], atol=1e-6)
+    zoo.clear_memory_cache()

@@ -6,6 +6,9 @@ rebuild) and matcher persistence (typed corruption errors, atomic
 saves, loud failures on incomplete archives).
 """
 
+import random
+import threading
+
 import numpy as np
 import pytest
 
@@ -29,9 +32,68 @@ class TestRetryIO:
                 raise OSError("transient")
             return 42
 
-        assert retry_io(flaky, sleep=delays.append) == 42
+        assert retry_io(flaky, sleep=delays.append, jitter=False) == 42
         assert calls["n"] == 3
         assert delays == [0.05, 0.1]  # exponential backoff
+
+    def test_full_jitter_draws_within_the_backoff_cap(self):
+        calls = {"n": 0}
+        delays = []
+
+        def flaky():
+            calls["n"] += 1
+            raise OSError("transient")
+
+        with pytest.raises(OSError):
+            retry_io(flaky, attempts=5, base_delay=0.05,
+                     sleep=delays.append, rng=random.Random(7))
+        assert len(delays) == 4
+        for attempt, delay in enumerate(delays):
+            assert 0.0 <= delay <= 0.05 * (2 ** attempt)
+        # a seeded rng makes the draws reproducible
+        repeat = []
+        calls["n"] = 0
+        with pytest.raises(OSError):
+            retry_io(flaky, attempts=5, base_delay=0.05,
+                     sleep=repeat.append, rng=random.Random(7))
+        assert repeat == delays
+
+    def test_max_elapsed_caps_total_retry_time(self):
+        clock = {"now": 0.0}
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            raise OSError("still broken")
+
+        def sleep(delay):
+            clock["now"] += delay
+
+        # attempt 0 fails, backs off 1s (total 1.0 <= 2.5); attempt 1
+        # fails, the next 2s backoff would overrun 2.5 -> give up early
+        # instead of using all 10 attempts
+        with pytest.raises(OSError, match="still broken"):
+            retry_io(flaky, attempts=10, base_delay=1.0, jitter=False,
+                     max_elapsed=2.5, clock=lambda: clock["now"],
+                     sleep=sleep)
+        assert calls["n"] == 2
+        assert clock["now"] == pytest.approx(1.0)
+
+    def test_zero_max_elapsed_means_single_attempt(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            raise OSError("transient")
+
+        with pytest.raises(OSError):
+            retry_io(flaky, attempts=5, jitter=False, max_elapsed=0.0,
+                     clock=lambda: 0.0, sleep=lambda _: None)
+        assert calls["n"] == 1
+
+    def test_negative_max_elapsed_rejected(self):
+        with pytest.raises(ValueError):
+            retry_io(lambda: 1, max_elapsed=-1.0)
 
     def test_gives_up_after_attempts(self):
         calls = {"n": 0}
@@ -81,6 +143,33 @@ class TestAtomicWrite:
         path = tmp_path / "a" / "b" / "artifact.bin"
         atomic_write_bytes(path, b"deep")
         assert path.read_bytes() == b"deep"
+
+    def test_concurrent_writers_single_winner_no_interleaving(self,
+                                                              tmp_path):
+        # Four same-pid threads publish the same path at once: per-call
+        # temp names keep them from trampling each other's temp file, so
+        # the final bytes are exactly one thread's payload, never a mix.
+        path = tmp_path / "artifact.bin"
+        payloads = [bytes([i]) * 200_000 for i in range(4)]
+        barrier = threading.Barrier(4)
+        errors = []
+
+        def write(payload):
+            try:
+                barrier.wait(timeout=10)
+                atomic_write_bytes(path, payload)
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=write, args=(p,))
+                   for p in payloads]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert errors == []
+        assert path.read_bytes() in payloads  # one complete version
+        assert not list(tmp_path.glob("*.tmp-*"))  # no temp litter
 
 
 class TestQuarantine:

@@ -1,5 +1,8 @@
 """CLI tests (exercised in-process against the tiny bundles)."""
 
+import io
+import json
+
 import numpy as np
 import pytest
 
@@ -22,8 +25,10 @@ class TestCLI:
         assert "vertices" in out and "candidate_pairs" in out
 
     def test_match_hard(self, capsys):
+        # the hard prompt has no trainable parameters, so even with
+        # --epochs 1 this is a zero-training run
         assert cli.main(["match", "cub", "--method", "hard",
-                         "--epochs", "0"]) == 0
+                         "--epochs", "1"]) == 0
         out = capsys.readouterr().out
         assert "H@1=" in out
 
@@ -42,7 +47,7 @@ class TestCLI:
 
     def test_benchmark_flag_alias(self, capsys):
         assert cli.main(["match", "--benchmark", "cub", "--method", "hard",
-                         "--epochs", "0"]) == 0
+                         "--epochs", "1"]) == 0
         assert "H@1=" in capsys.readouterr().out
 
     def test_match_requires_some_benchmark(self):
@@ -53,7 +58,7 @@ class TestCLI:
         """--metrics-out captures efficiency + eval rows even when no
         epoch ever runs (the hard prompt has nothing to tune)."""
         path = tmp_path / "m.jsonl"
-        assert cli.main(["match", "cub", "--method", "hard", "--epochs", "0",
+        assert cli.main(["match", "cub", "--method", "hard", "--epochs", "1",
                          "--metrics-out", str(path),
                          "--log-level", "off"]) == 0
         assert "wrote" in capsys.readouterr().out
@@ -99,6 +104,77 @@ class TestCLI:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             cli.main([])
+
+
+class TestCLIValidation:
+    """Bad numeric flags die at parse time with an argparse error, not a
+    stack trace from inside training."""
+
+    @pytest.mark.parametrize("argv", [
+        ["match", "cub", "--test-fraction", "0"],
+        ["match", "cub", "--test-fraction", "1"],
+        ["match", "cub", "--test-fraction", "1.5"],
+        ["match", "cub", "--test-fraction", "-0.1"],
+        ["match", "cub", "--test-fraction", "half"],
+        ["match", "cub", "--epochs", "0"],
+        ["match", "cub", "--epochs", "-3"],
+        ["match", "cub", "--epochs", "two"],
+        ["match", "cub", "--checkpoint-every", "0"],
+        ["serve", "cub", "--epochs", "0"],
+        ["serve", "cub", "--capacity", "0"],
+        ["serve", "cub", "--workers", "0"],
+        ["serve", "cub", "--top-k", "0"],
+        ["serve", "cub", "--default-budget-ms", "0"],
+        ["serve", "cub", "--full-floor-ms", "-1"],
+        ["serve", "cub", "--breaker-threshold", "0"],
+        ["serve", "cub", "--breaker-threshold", "1.5"],
+        ["serve", "cub", "--breaker-min-calls", "0"],
+        ["serve", "cub", "--breaker-cooldown-ms", "0"],
+    ])
+    def test_rejected_at_parse_time(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(argv)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "usage:" in err
+
+    def test_boundary_values_accepted(self, capsys):
+        assert cli.main(["match", "cub", "--method", "hard", "--epochs", "1",
+                         "--test-fraction", "0.99",
+                         "--checkpoint-every", "1"]) == 0
+        assert "H@1=" in capsys.readouterr().out
+
+
+class TestCLIServe:
+    def test_serve_round_trip_over_stdio(self, capsys, monkeypatch,
+                                         tiny_dataset, tmp_path):
+        vertex = int(list(tiny_dataset.entity_vertices)[0])
+        requests = [
+            json.dumps({"id": "q1", "vertex": vertex, "top_k": 2}),
+            "not json at all",
+            json.dumps({"id": "q2", "vertex": -1}),
+        ]
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("".join(r + "\n" for r in requests)))
+        metrics = tmp_path / "serve.jsonl"
+        assert cli.main(["serve", "cub", "--method", "hard", "--epochs", "1",
+                         "--log-level", "off",
+                         "--metrics-out", str(metrics)]) == 0
+        captured = capsys.readouterr()
+        responses = [json.loads(line)
+                     for line in captured.out.splitlines() if line]
+        assert len(responses) == 3
+        by_id = {r["id"]: r for r in responses}
+        assert by_id["q1"]["ok"] is True
+        assert by_id["q1"]["tier"] == "full"
+        assert len(by_id["q1"]["matches"]) == 2
+        assert by_id[None]["error"]["type"] == "bad_request"
+        assert by_id["q2"]["error"]["type"] == "bad_request"
+        # diagnostics stay on stderr, stdout is pure response JSONL
+        assert "serving" in captured.err and "served 3 responses" in captured.err
+        rows = {row.get("name"): row for row in read_jsonl(metrics)}
+        assert rows["serve.requests_total"]["value"] == 3
+        assert rows["serve.ok_total"]["value"] == 1
 
 
 class TestCLICheckpointing:

@@ -1,0 +1,60 @@
+"""Serve-suite fixtures: a fitted soft-prompt matcher and a service
+factory with fast-tripping breaker defaults.
+
+Every test runs against a clean metrics registry (breaker state and
+queue gauges are process-wide), and services are pre-warmed in the
+factory so fault injection applied *after* construction never poisons
+warmup itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.matcher import CrossEM, CrossEMConfig
+from repro.obs import registry, reset_spans
+from repro.serve import MatchService, ServeConfig
+
+
+@pytest.fixture(autouse=True)
+def clean_metrics():
+    registry().reset()
+    reset_spans()
+    yield
+    registry().reset()
+    reset_spans()
+
+
+@pytest.fixture(scope="session")
+def fitted_soft(tiny_bundle, tiny_dataset):
+    """A briefly tuned soft-prompt matcher — the 'expensive' primary
+    whose per-request encode the serve layer must guard."""
+    matcher = CrossEM(tiny_bundle, CrossEMConfig(prompt="soft", epochs=1,
+                                                 seed=3))
+    matcher.fit(tiny_dataset.graph, tiny_dataset.images,
+                tiny_dataset.entity_vertices)
+    return matcher
+
+
+@pytest.fixture()
+def make_service(fitted_soft):
+    """Factory for pre-warmed services over the shared fitted matcher.
+
+    Keyword overrides go straight into :class:`ServeConfig`; defaults
+    trip the breaker quickly so fault tests stay fast.
+    """
+    created = []
+
+    def make(**overrides) -> MatchService:
+        settings = dict(capacity=4, workers=1, breaker_window=4,
+                        breaker_min_calls=2, breaker_failure_threshold=0.5,
+                        breaker_cooldown_ms=60_000.0)
+        settings.update(overrides)
+        service = MatchService(fitted_soft,
+                               config=ServeConfig(**settings)).warmup()
+        created.append(service)
+        return service
+
+    yield make
+    for service in created:
+        service.shutdown(timeout=5.0)

@@ -1,0 +1,67 @@
+"""Bounded work queue: shedding, draining, and depth metrics."""
+
+import threading
+
+import pytest
+
+from repro.obs import registry
+from repro.serve import BoundedQueue, Overloaded
+
+
+class TestBoundedQueue:
+    def test_fifo_order(self):
+        queue = BoundedQueue(3)
+        for item in "abc":
+            queue.put(item)
+        assert [queue.get() for _ in range(3)] == ["a", "b", "c"]
+
+    def test_sheds_when_full_with_typed_error(self):
+        queue = BoundedQueue(2)
+        queue.put(1)
+        queue.put(2)
+        with pytest.raises(Overloaded) as excinfo:
+            queue.put(3)
+        assert excinfo.value.depth == 2
+        assert excinfo.value.capacity == 2
+        assert excinfo.value.code == "overloaded"
+        assert registry().counter("serve.queue.shed_total").value == 1
+        # shedding dropped the new item, not the queued ones
+        assert queue.get() == 1
+
+    def test_depth_gauge_tracks(self):
+        queue = BoundedQueue(4)
+        gauge = registry().gauge("serve.queue.depth")
+        assert gauge.value == 0
+        queue.put("x")
+        queue.put("y")
+        assert gauge.value == 2
+        queue.get()
+        assert gauge.value == 1
+        assert registry().gauge("serve.queue.capacity").value == 4
+
+    def test_close_drains_then_signals_none(self):
+        queue = BoundedQueue(2)
+        queue.put("last")
+        queue.close()
+        assert queue.get() == "last"
+        assert queue.get() is None
+
+    def test_close_wakes_blocked_getter(self):
+        queue = BoundedQueue(1)
+        results = []
+        worker = threading.Thread(target=lambda: results.append(queue.get()))
+        worker.start()
+        queue.close()
+        worker.join(timeout=5.0)
+        assert not worker.is_alive()
+        assert results == [None]
+
+    def test_put_after_close_rejected(self):
+        queue = BoundedQueue(1)
+        queue.close()
+        with pytest.raises(RuntimeError):
+            queue.put("late")
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedQueue(0)

@@ -1,0 +1,139 @@
+"""Circuit-breaker state machine, driven by a fake clock."""
+
+import pytest
+
+from repro.obs import registry
+from repro.serve import (STATE_CLOSED, STATE_HALF_OPEN, STATE_OPEN,
+                         BreakerOpen, CircuitBreaker)
+from .test_deadline import FakeClock
+
+
+def make_breaker(clock, **overrides):
+    settings = dict(window=4, failure_threshold=0.5, min_calls=2,
+                    cooldown=10.0)
+    settings.update(overrides)
+    return CircuitBreaker("enc", clock=clock, **settings)
+
+
+def boom():
+    raise OSError("backend down")
+
+
+class TestClosedToOpen:
+    def test_starts_closed_and_passes_calls(self):
+        breaker = make_breaker(FakeClock())
+        assert breaker.state() == STATE_CLOSED
+        assert breaker.call(lambda: 41 + 1) == 42
+        assert breaker.allows_call()
+
+    def test_stays_closed_below_min_calls(self):
+        breaker = make_breaker(FakeClock(), min_calls=3)
+        for _ in range(2):
+            with pytest.raises(OSError):
+                breaker.call(boom)
+        assert breaker.state() == STATE_CLOSED
+
+    def test_opens_at_failure_threshold(self):
+        breaker = make_breaker(FakeClock())
+        for _ in range(2):
+            with pytest.raises(OSError):
+                breaker.call(boom)
+        assert breaker.state() == STATE_OPEN
+        assert registry().counter("serve.breaker.enc.open_total").value == 1
+
+    def test_successes_dilute_the_window(self):
+        breaker = make_breaker(FakeClock(), window=4, min_calls=4)
+        for _ in range(3):
+            breaker.call(lambda: "ok")
+        with pytest.raises(OSError):
+            breaker.call(boom)
+        # one failure in a window of four: 25% < 50% threshold
+        assert breaker.state() == STATE_CLOSED
+
+
+class TestOpen:
+    def test_rejects_without_calling(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(2):
+            with pytest.raises(OSError):
+                breaker.call(boom)
+        calls = []
+        with pytest.raises(BreakerOpen) as excinfo:
+            breaker.call(lambda: calls.append(1))
+        assert calls == []  # backend untouched while open
+        assert excinfo.value.retry_after == pytest.approx(10.0)
+        assert registry().counter(
+            "serve.breaker.enc.rejected_total").value == 1
+
+    def test_state_gauge_tracks_transitions(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        gauge = registry().gauge("serve.breaker.enc.state")
+        assert gauge.value == 0  # closed
+        for _ in range(2):
+            with pytest.raises(OSError):
+                breaker.call(boom)
+        assert gauge.value == 2  # open
+        clock.advance(10.0)
+        assert breaker.state() == STATE_HALF_OPEN
+        assert gauge.value == 1  # half-open
+
+
+class TestHalfOpen:
+    def trip(self, clock, **overrides):
+        breaker = make_breaker(clock, **overrides)
+        for _ in range(2):
+            with pytest.raises(OSError):
+                breaker.call(boom)
+        clock.advance(10.0)
+        return breaker
+
+    def test_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = self.trip(clock)
+        assert breaker.call(lambda: "healthy") == "healthy"
+        assert breaker.state() == STATE_CLOSED
+        # the window was cleared: one new failure cannot instantly re-open
+        with pytest.raises(OSError):
+            breaker.call(boom)
+        assert breaker.state() == STATE_CLOSED
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self):
+        clock = FakeClock()
+        breaker = self.trip(clock)
+        with pytest.raises(OSError):
+            breaker.call(boom)
+        assert breaker.state() == STATE_OPEN
+        clock.advance(9.0)  # cooldown restarted: not yet probing again
+        assert breaker.state() == STATE_OPEN
+        clock.advance(1.0)
+        assert breaker.state() == STATE_HALF_OPEN
+
+    def test_single_probe_slot(self):
+        clock = FakeClock()
+        breaker = self.trip(clock)
+        breaker._before_call()  # probe admitted and now in flight
+        with pytest.raises(BreakerOpen):
+            breaker.call(lambda: "second caller")
+        breaker.record_success()  # probe returns healthy
+        assert breaker.state() == STATE_CLOSED
+
+
+class TestAdminControls:
+    def test_force_open_and_reset(self):
+        breaker = make_breaker(FakeClock())
+        breaker.force_open()
+        assert breaker.state() == STATE_OPEN
+        assert not breaker.allows_call()
+        breaker.reset()
+        assert breaker.state() == STATE_CLOSED
+        assert breaker.call(lambda: 7) == 7
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(window=0), dict(failure_threshold=0.0),
+        dict(failure_threshold=1.5), dict(min_calls=0), dict(cooldown=0.0),
+    ])
+    def test_bad_settings_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            make_breaker(FakeClock(), **kwargs)

@@ -1,0 +1,72 @@
+"""Deadline semantics under a fully controlled clock."""
+
+import pytest
+
+from repro.serve import Deadline, DeadlineExceeded
+
+
+class FakeClock:
+    def __init__(self, start: float = 100.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestDeadline:
+    def test_counts_down_and_expires(self):
+        clock = FakeClock()
+        deadline = Deadline.after(1.0, clock=clock)
+        assert deadline.bounded
+        assert deadline.remaining() == pytest.approx(1.0)
+        deadline.check("encode")  # plenty left: no raise
+        clock.advance(0.6)
+        assert deadline.remaining() == pytest.approx(0.4)
+        assert not deadline.expired()
+        clock.advance(0.6)
+        assert deadline.expired()
+        assert deadline.remaining() == pytest.approx(-0.2)
+
+    def test_check_raises_with_stage_and_budget(self):
+        clock = FakeClock()
+        deadline = Deadline.after(0.05, clock=clock)
+        clock.advance(0.2)
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            deadline.check("encode_text")
+        exc = excinfo.value
+        assert exc.stage == "encode_text"
+        assert exc.budget == pytest.approx(0.05)
+        assert exc.elapsed == pytest.approx(0.2)
+        assert exc.code == "deadline_exceeded"
+        assert "encode_text" in str(exc)
+
+    def test_exact_boundary_is_expired(self):
+        clock = FakeClock()
+        deadline = Deadline.after(1.0, clock=clock)
+        clock.advance(1.0)
+        assert deadline.expired()
+        with pytest.raises(DeadlineExceeded):
+            deadline.check()
+
+    def test_unbounded_never_expires(self):
+        clock = FakeClock()
+        deadline = Deadline.unbounded(clock=clock)
+        clock.advance(1e9)
+        assert not deadline.bounded
+        assert not deadline.expired()
+        deadline.check("anything")
+        assert deadline.remaining() == float("inf")
+
+    def test_elapsed_tracks_creation(self):
+        clock = FakeClock()
+        deadline = Deadline.after(5.0, clock=clock)
+        clock.advance(2.5)
+        assert deadline.elapsed() == pytest.approx(2.5)
+
+    @pytest.mark.parametrize("budget", [0.0, -1.0])
+    def test_non_positive_budget_rejected(self, budget):
+        with pytest.raises(ValueError):
+            Deadline.after(budget)

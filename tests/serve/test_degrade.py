@@ -1,0 +1,52 @@
+"""Degradation policy: which tier a request starts at, and why."""
+
+from repro.serve import (LADDER, TIER_CACHED, TIER_FULL, TIER_STALE,
+                         CircuitBreaker, Deadline, DegradationPolicy)
+from .test_deadline import FakeClock
+
+
+def make_policy(clock, **kwargs):
+    breaker = CircuitBreaker("enc", window=4, failure_threshold=0.5,
+                             min_calls=2, cooldown=10.0, clock=clock)
+    return DegradationPolicy(breaker, **kwargs), breaker
+
+
+class TestDegradationPolicy:
+    def test_healthy_plan_is_the_full_ladder(self):
+        clock = FakeClock()
+        policy, _ = make_policy(clock)
+        decision = policy.plan(Deadline.after(1.0, clock=clock))
+        assert decision.tiers == LADDER
+        assert decision.reason is None
+        assert not decision.degraded
+
+    def test_breaker_open_skips_full(self):
+        clock = FakeClock()
+        policy, breaker = make_policy(clock)
+        breaker.force_open()
+        decision = policy.plan(Deadline.unbounded(clock=clock))
+        assert decision.tiers == (TIER_CACHED, TIER_STALE)
+        assert decision.reason == "breaker_open"
+        assert decision.degraded
+
+    def test_deadline_pressure_skips_full(self):
+        clock = FakeClock()
+        policy, _ = make_policy(clock, full_floor=0.2)
+        tight = Deadline.after(0.1, clock=clock)
+        decision = policy.plan(tight)
+        assert decision.tiers == (TIER_CACHED, TIER_STALE)
+        assert decision.reason == "deadline_pressure"
+
+    def test_floor_ignores_unbounded_deadlines(self):
+        clock = FakeClock()
+        policy, _ = make_policy(clock, full_floor=60.0)
+        decision = policy.plan(Deadline.unbounded(clock=clock))
+        assert decision.tiers[0] == TIER_FULL
+
+    def test_half_open_probe_slot_allows_full(self):
+        clock = FakeClock()
+        policy, breaker = make_policy(clock)
+        breaker.force_open()
+        clock.advance(10.0)  # cooldown over: half-open, one probe free
+        decision = policy.plan(Deadline.unbounded(clock=clock))
+        assert decision.tiers[0] == TIER_FULL

@@ -1,0 +1,70 @@
+"""The stdin/stdout JSON-lines loop: corrupt input never stops it."""
+
+from __future__ import annotations
+
+import io
+import json
+
+
+from repro.serve import serve_loop
+
+
+def run_loop(service, lines):
+    source = io.StringIO("".join(line + "\n" for line in lines))
+    sink = io.StringIO()
+    written = serve_loop(service, source, sink)
+    responses = [json.loads(line) for line in
+                 sink.getvalue().splitlines() if line]
+    return written, responses
+
+
+class TestServeLoop:
+    def test_round_trip_survives_corrupt_lines(self, make_service,
+                                               fitted_soft):
+        service = make_service()
+        vertex = fitted_soft.vertex_ids[0]
+        written, responses = run_loop(service, [
+            json.dumps({"id": "q1", "vertex": vertex}),
+            "",  # blank lines are skipped, not answered
+            "{this is not json",
+            json.dumps({"id": "q2", "vertex": 10 ** 9}),
+            json.dumps({"id": "q3", "vertex": vertex, "top_k": 2}),
+        ])
+        assert written == 4
+        assert len(responses) == 4
+        by_id = {r["id"]: r for r in responses}
+
+        assert by_id["q1"]["ok"] is True
+        assert by_id["q1"]["tier"] == "full"
+
+        corrupt = by_id[None]
+        assert corrupt["ok"] is False
+        assert corrupt["error"]["type"] == "bad_request"
+        assert "invalid JSON" in corrupt["error"]["message"]
+
+        assert by_id["q2"]["ok"] is False
+        assert by_id["q2"]["error"]["type"] == "bad_request"
+
+        # the loop kept answering to the very last request
+        assert by_id["q3"]["ok"] is True
+        assert len(by_id["q3"]["matches"]) == 2
+
+    def test_every_response_is_one_compact_json_line(self, make_service,
+                                                     fitted_soft):
+        service = make_service()
+        vertex = fitted_soft.vertex_ids[1]
+        source = io.StringIO(json.dumps({"id": 7, "vertex": vertex}) + "\n")
+        sink = io.StringIO()
+        serve_loop(service, source, sink)
+        payload = sink.getvalue()
+        assert payload.endswith("\n")
+        lines = payload.splitlines()
+        assert len(lines) == 1
+        assert "\n" not in lines[0]
+        assert json.loads(lines[0])["id"] == 7
+
+    def test_empty_input_serves_nothing(self, make_service):
+        service = make_service()
+        written, responses = run_loop(service, [])
+        assert written == 0
+        assert responses == []

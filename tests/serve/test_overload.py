@@ -1,0 +1,117 @@
+"""Overload burst: shedding with typed rejections and live queue metrics.
+
+The worker is pinned on an Event inside the encoder, the queue is filled
+behind it, and the burst's metrics snapshot is exported as the JSONL
+artifact CI uploads (``REPRO_SERVE_METRICS_OUT`` overrides the path).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+from repro.obs import export_jsonl, read_jsonl, registry
+
+from .test_service import encoder_fault
+
+
+def wait_until(predicate, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+class TestOverloadBurst:
+    def test_burst_sheds_typed_and_metrics_capture_it(self, make_service,
+                                                      fitted_soft, tmp_path):
+        service = make_service(capacity=2, workers=1)
+        responses = []
+        service.start(responses.append)
+
+        entered = threading.Event()
+        release = threading.Event()
+
+        def pin(original):
+            def wrapper(vertex_ids):
+                entered.set()
+                release.wait(timeout=30)
+                return original(vertex_ids)
+            return wrapper
+
+        vertex = fitted_soft.vertex_ids[0]
+        shed = []
+        with encoder_fault(fitted_soft, pin):
+            try:
+                assert service.submit({"id": "a", "vertex": vertex}) is None
+                assert entered.wait(timeout=10)  # worker pinned inside encode
+                assert service.submit({"id": "b", "vertex": vertex}) is None
+                assert service.submit({"id": "c", "vertex": vertex}) is None
+                # queue full behind the pinned worker: the burst overflow
+                # is shed immediately with a typed error, not queued
+                for request_id in ("d", "e"):
+                    rejection = service.submit({"id": request_id,
+                                                "vertex": vertex})
+                    assert rejection is not None
+                    assert rejection["ok"] is False
+                    assert rejection["error"]["type"] == "overloaded"
+                    assert rejection["id"] == request_id
+                    shed.append(rejection)
+
+                reg = registry()
+                assert reg.gauge("serve.queue.depth").value == 2
+                assert reg.gauge("serve.queue.capacity").value == 2
+                assert reg.counter("serve.queue.shed_total").value == 2
+
+                # snapshot the burst while the queue is still backed up —
+                # this is the artifact the CI serve job uploads
+                out = os.environ.get("REPRO_SERVE_METRICS_OUT") \
+                    or str(tmp_path / "serve-overload-metrics.jsonl")
+                export_jsonl(out, meta={"scenario": "overload-burst",
+                                        "capacity": 2})
+                rows = {row.get("name"): row for row in read_jsonl(out)}
+                assert rows["serve.queue.depth"]["value"] == 2
+                assert rows["serve.queue.shed_total"]["value"] == 2
+            finally:
+                release.set()
+
+        # the admitted requests all complete once the encoder unblocks
+        assert wait_until(lambda: len(responses) == 3)
+        assert sorted(r["id"] for r in responses) == ["a", "b", "c"]
+        assert all(r["ok"] for r in responses)
+
+    def test_shed_responses_count_as_requests(self, make_service,
+                                              fitted_soft):
+        service = make_service(capacity=1, workers=1)
+        responses = []
+        service.start(responses.append)
+        entered = threading.Event()
+        release = threading.Event()
+
+        def pin(original):
+            def wrapper(vertex_ids):
+                entered.set()
+                release.wait(timeout=30)
+                return original(vertex_ids)
+            return wrapper
+
+        vertex = fitted_soft.vertex_ids[0]
+        with encoder_fault(fitted_soft, pin):
+            try:
+                service.submit({"id": 1, "vertex": vertex})
+                assert entered.wait(timeout=10)
+                service.submit({"id": 2, "vertex": vertex})
+                rejection = service.submit({"id": 3, "vertex": vertex})
+                assert rejection["error"]["type"] == "overloaded"
+                assert "capacity 1" in rejection["error"]["message"] or \
+                    rejection["error"]["message"]
+            finally:
+                release.set()
+        assert wait_until(lambda: len(responses) == 2)
+        reg = registry()
+        # every submission is a request: 2 served + 1 shed
+        assert reg.counter("serve.requests_total").value == 3
+        assert reg.counter("serve.error.overloaded").value == 1

@@ -1,6 +1,9 @@
 """Chunked/thread-pooled encode helper and the batched patch featurizer:
 chunking, pooling and batching must be invisible in the output bits."""
 
+import threading
+import time
+
 import numpy as np
 import pytest
 
@@ -25,6 +28,37 @@ class TestChunkedEncode:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             chunked_encode(lambda s, e: np.zeros((e - s, 1)), 0)
+
+    def test_poisoned_chunk_raises_promptly_and_cancels_rest(self):
+        """A worker exception propagates as soon as it happens, and the
+        chunks still queued behind the two busy workers are cancelled
+        instead of all running to completion first."""
+        executed = []
+        lock = threading.Lock()
+
+        def encode(s, e):
+            if s == 0:
+                raise ValueError("poisoned chunk")
+            time.sleep(0.05)
+            with lock:
+                executed.append(s)
+            return np.zeros((e - s, 1), dtype=np.float32)
+
+        with pytest.raises(ValueError, match="poisoned chunk"):
+            chunked_encode(encode, 64, chunk=4, workers=2)
+        # 16 chunks total; the poison fires immediately, so with 2
+        # workers only the handful already dequeued may finish — the
+        # long tail must have been cancelled, never executed.
+        assert len(executed) < 8
+
+    def test_poisoned_serial_chunk_raises(self):
+        def encode(s, e):
+            if s >= 8:
+                raise ValueError("poisoned chunk")
+            return np.zeros((e - s, 1), dtype=np.float32)
+
+        with pytest.raises(ValueError, match="poisoned chunk"):
+            chunked_encode(encode, 16, chunk=4, workers=0)
 
     def test_resolve_workers_env(self, monkeypatch):
         monkeypatch.delenv("REPRO_ENCODE_WORKERS", raising=False)
