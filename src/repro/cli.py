@@ -1,20 +1,28 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the common workflows without writing code:
+Five commands cover the common workflows without writing code:
 
 * ``stats`` — print the Table-I-style statistics of a benchmark.
 * ``match`` — fit a matcher on a benchmark and report H@k / MRR.
 * ``serve`` — fit a matcher, then answer match queries as a resilient
   JSON-lines service on stdin/stdout (deadlines, circuit breakers,
-  load shedding, graceful degradation — README "Serving").
+  load shedding, graceful degradation — README "Serving").  Every
+  response carries a ``trace_id``; sampled request traces export with
+  the metrics.
 * ``clean`` — run the data-cleaning detectors over a benchmark's
   repository with injected corruption (demo of the future-work module).
+* ``obs`` — offline analysis of exported telemetry: ``obs report``
+  renders the span profile and slowest traces, ``obs diff`` compares
+  two exports with regression thresholds (non-zero exit on breach, the
+  CI gate), ``obs prom`` re-renders an export as OpenMetrics text.
 
-Every command accepts the benchmark positionally or via ``--benchmark``.
-``match`` and ``serve`` additionally expose the telemetry layer:
-``--log-level`` overrides ``REPRO_LOG_LEVEL`` and ``--metrics-out PATH``
-writes the run's metrics registry plus span profile as JSONL
-(:mod:`repro.obs.export` documents the schema).
+Dataset commands accept the benchmark positionally or via
+``--benchmark``.  ``match`` and ``serve`` additionally expose the
+telemetry layer: ``--log-level`` overrides ``REPRO_LOG_LEVEL`` and
+``--metrics-out PATH`` writes the run's metrics registry, span profile
+and sampled traces as JSONL (:mod:`repro.obs.export` documents the
+schema); ``serve`` also drops a scrape-ready ``.prom`` snapshot next to
+the JSONL.
 
 Numeric options are validated at parse time (fractions in their open
 interval, counts at least 1) so a typo is an argparse error naming the
@@ -83,6 +91,14 @@ def _non_negative_float(text: str) -> float:
 def _rate(text: str) -> float:
     """A float in (0, 1] (a failure-rate threshold)."""
     value = _positive_float(text)
+    if value > 1.0:
+        raise argparse.ArgumentTypeError(f"must be at most 1, got {text}")
+    return value
+
+
+def _unit_interval(text: str) -> float:
+    """A float in [0, 1] (a sampling rate; 0 = head-sample nothing)."""
+    value = _non_negative_float(text)
     if value > 1.0:
         raise argparse.ArgumentTypeError(f"must be at most 1, got {text}")
     return value
@@ -172,8 +188,10 @@ def _cmd_match(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from .obs import (configure_logging, export_jsonl, registry,
-                      reset_spans)
+    from pathlib import Path
+
+    from .obs import (configure_logging, export_jsonl, export_prom,
+                      registry, reset_spans, trace_recorder)
     from .serve import MatchService, ServeConfig, serve_loop
 
     if args.log_level:
@@ -181,6 +199,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     reg = registry()
     reg.reset()
     reset_spans()
+    trace_recorder().reset()
 
     bundle, dataset = _load(args.benchmark, args.seed)
     matcher = _make_matcher(args, bundle)
@@ -193,7 +212,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         breaker_window=args.breaker_window,
         breaker_failure_threshold=args.breaker_threshold,
         breaker_min_calls=args.breaker_min_calls,
-        breaker_cooldown_ms=args.breaker_cooldown_ms)
+        breaker_cooldown_ms=args.breaker_cooldown_ms,
+        trace_sample_rate=args.trace_sample_rate,
+        trace_capacity=args.trace_capacity)
     service = MatchService(matcher, config=config).warmup()
     # Diagnostics go to stderr; stdout carries only response JSONL.
     print(f"serving {dataset.name} / {args.method}: "
@@ -209,6 +230,51 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                                   "seed": args.seed})
         print(f"wrote {rows} metric rows to {args.metrics_out}",
               file=sys.stderr)
+        prom_path = export_prom(Path(args.metrics_out).with_suffix(".prom"))
+        print(f"wrote OpenMetrics snapshot to {prom_path}", file=sys.stderr)
+    return 0
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    from .obs.diff import load_rows
+    from .obs.report import format_report
+
+    print(format_report(load_rows(args.path), top=args.top))
+    return 0
+
+
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    from .obs.diff import (DEFAULT_WATCH, diff_rows, find_regressions,
+                           format_diff, load_rows)
+
+    entries = diff_rows(load_rows(args.old), load_rows(args.new))
+    watch = tuple(args.watch) if args.watch else DEFAULT_WATCH
+    regressions = find_regressions(entries, threshold_pct=args.threshold_pct,
+                                   min_delta=args.min_delta, watch=watch)
+    print(format_diff(entries, regressions, changed_only=args.changed_only))
+    if regressions:
+        print(f"\n{len(regressions)} metric(s) regressed past "
+              f"+{args.threshold_pct:g}% (min delta {args.min_delta:g}):",
+              file=sys.stderr)
+        for entry in regressions:
+            print(f"  {entry.name}: {entry.old:.6g} -> {entry.new:.6g} "
+                  f"({entry.pct:+.1f}%)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_obs_prom(args: argparse.Namespace) -> int:
+    from .iosafe import atomic_write_bytes
+    from .obs.diff import load_rows
+    from .obs.promtext import render_openmetrics
+
+    text = render_openmetrics(load_rows(args.path), prefix=args.prefix)
+    if args.output:
+        atomic_write_bytes(args.output, text.encode("utf-8"))
+        print(f"wrote OpenMetrics snapshot to {args.output}",
+              file=sys.stderr)
+    else:
+        sys.stdout.write(text)
     return 0
 
 
@@ -309,11 +375,58 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--breaker-cooldown-ms", type=_positive_float,
                        default=2000.0, metavar="MS",
                        help="open time before a half-open probe")
+    serve.add_argument("--trace-sample-rate", type=_unit_interval,
+                       default=1.0, metavar="RATE",
+                       help="head-sampling rate for request traces "
+                            "(errors/degraded/deadline always kept)")
+    serve.add_argument("--trace-capacity", type=_positive_int, default=256,
+                       help="sampled traces retained in memory")
     serve.add_argument("--log-level", default=None, choices=_LOG_LEVELS,
                        help="override REPRO_LOG_LEVEL for this run")
     serve.add_argument("--metrics-out", default=None, metavar="PATH",
-                       help="write metrics + span profile as JSONL on exit")
+                       help="write metrics + spans + traces as JSONL on "
+                            "exit (plus an OpenMetrics .prom snapshot)")
     serve.set_defaults(func=_cmd_serve)
+
+    obs = commands.add_parser(
+        "obs", help="analyse exported telemetry (report / diff / prom)")
+    obs_commands = obs.add_subparsers(dest="obs_command", required=True)
+
+    report = obs_commands.add_parser(
+        "report", help="span profile + slowest traces of one export")
+    report.add_argument("path", help="metrics JSONL file to report on")
+    report.add_argument("--top", type=_positive_int, default=5,
+                        help="slowest traces to render")
+    report.set_defaults(func=_cmd_obs_report)
+
+    diff = obs_commands.add_parser(
+        "diff", help="compare two exports; non-zero exit on regression")
+    diff.add_argument("old", help="baseline export (JSONL or bench JSON)")
+    diff.add_argument("new", help="candidate export (JSONL or bench JSON)")
+    diff.add_argument("--threshold-pct", type=_positive_float, default=25.0,
+                      metavar="PCT",
+                      help="relative increase on a watched metric that "
+                           "counts as a regression")
+    diff.add_argument("--min-delta", type=_non_negative_float, default=0.0,
+                      metavar="ABS",
+                      help="ignore increases smaller than this (noise "
+                           "floor for micro-benchmarks)")
+    diff.add_argument("--watch", action="append", default=None,
+                      metavar="GLOB",
+                      help="metric-name glob where bigger is worse "
+                           "(repeatable; default: time-shaped names)")
+    diff.add_argument("--changed-only", action="store_true",
+                      help="hide metrics whose value did not move")
+    diff.set_defaults(func=_cmd_obs_diff)
+
+    prom = obs_commands.add_parser(
+        "prom", help="render an export as OpenMetrics text")
+    prom.add_argument("path", help="metrics JSONL file (or bench JSON)")
+    prom.add_argument("-o", "--output", default=None,
+                      help="write here instead of stdout")
+    prom.add_argument("--prefix", default="repro",
+                      help="metric name prefix")
+    prom.set_defaults(func=_cmd_obs_prom)
 
     clean = commands.add_parser("clean", help="run the cleaning detectors")
     _add_benchmark_argument(clean)

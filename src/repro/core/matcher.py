@@ -27,6 +27,7 @@ from ..datalake.aggregate import GNNAggregator, GraphSageAggregator
 from ..datalake.graph import Graph
 from ..nn.init import rng_from
 from ..obs import get_logger, registry, span
+from ..obs.trace import add_trace_event, trace_span
 from ..vision.image import SyntheticImage
 from ..vision.pipeline import chunked_encode
 from .checkpoint import (CheckpointManager, CheckpointMismatchError,
@@ -137,6 +138,10 @@ class CrossEM:
             self._hook_local.hook = previous
 
     def _stage(self, name: str) -> None:
+        # The event lands before the hook runs, so when the hook is a
+        # deadline check that raises, the trace shows the boundary that
+        # caught it in causal order.
+        add_trace_event("stage", stage=name)
         hook = getattr(self._hook_local, "hook", None)
         if hook is not None:
             hook(name)
@@ -189,6 +194,7 @@ class CrossEM:
         reg = registry()
         if self._text_embeds is None:
             reg.counter("matcher.prompt_cache.build").inc()
+            add_trace_event("cache", cache="prompt", hit=False)
             with span("encode/text_cache"), nn.no_grad():
                 self._text_embeds = chunked_encode(
                     lambda s, e: self.clip.encode_text(
@@ -197,6 +203,7 @@ class CrossEM:
                     len(self.vertex_ids), chunk=64, name="encode_text")
         else:
             reg.counter("matcher.prompt_cache.hit").inc()
+            add_trace_event("cache", cache="prompt", hit=True)
         return self._text_embeds
 
     def encode_vertices(self, vertex_ids: Sequence[int]) -> nn.Tensor:
@@ -565,20 +572,25 @@ class CrossEM:
                           stacklevel=2)
             vertex_batch = image_batch
         self._require_fitted()
-        self._stage("score")
-        vertex_ids = list(vertex_ids if vertex_ids is not None else self.vertex_ids)
-        if self.config.prompt != "soft" and self._prompt_token_ids is not None:
-            rows = np.asarray([self._vertex_pos[v] for v in vertex_ids])
-            text = self._cached_text_matrix()[rows]
-        else:
-            # encode_vertices fires the per-thread stage hook before
-            # every chunk, so a deadline is re-checked per chunk here.
-            with nn.no_grad():
-                text = np.concatenate(
-                    [self.encode_vertices(vertex_ids[s:s + vertex_batch]).numpy()
-                     for s in range(0, len(vertex_ids), vertex_batch)], axis=0)
-        image_matrix = self._encode_images(range(len(self.images))).numpy()
-        return text @ image_matrix.T
+        with trace_span("matcher/score"):
+            self._stage("score")
+            vertex_ids = list(vertex_ids if vertex_ids is not None
+                              else self.vertex_ids)
+            if self.config.prompt != "soft" and \
+                    self._prompt_token_ids is not None:
+                rows = np.asarray([self._vertex_pos[v] for v in vertex_ids])
+                text = self._cached_text_matrix()[rows]
+            else:
+                # encode_vertices fires the per-thread stage hook before
+                # every chunk, so a deadline is re-checked per chunk here.
+                with nn.no_grad():
+                    text = np.concatenate(
+                        [self.encode_vertices(
+                            vertex_ids[s:s + vertex_batch]).numpy()
+                         for s in range(0, len(vertex_ids), vertex_batch)],
+                        axis=0)
+            image_matrix = self._encode_images(range(len(self.images))).numpy()
+            return text @ image_matrix.T
 
     def evaluate(self, dataset, vertex_ids: Optional[Sequence[int]] = None) -> RankingResult:
         """Rank all images per vertex and score H@k/MRR against the

@@ -1,4 +1,4 @@
-"""Observability: structured logging, span timers and a metrics registry.
+"""Observability: logging, spans, metrics, request traces, exposition.
 
 One small subsystem gives the whole reproduction a common telemetry
 vocabulary:
@@ -9,20 +9,35 @@ vocabulary:
   hierarchical profile (``with span("fit/epoch"): ...``).
 * :mod:`repro.obs.metrics` — a process-wide registry of counters,
   gauges and histograms.
-* :mod:`repro.obs.export` — JSONL export of metrics + span profiles so
-  benchmark runs and CI can be diffed.
+* :mod:`repro.obs.trace` — request-scoped traces: a span *tree* with
+  typed events per request, head-sampled into a bounded recorder, with
+  cross-thread context propagation for pooled work.
+* :mod:`repro.obs.export` — atomic JSONL export of metrics + span
+  profiles + sampled traces so runs and CI can be diffed.
+* :mod:`repro.obs.promtext` — OpenMetrics/Prometheus text rendering of
+  the same rows (scrape-ready ``.prom`` snapshots).
+* :mod:`repro.obs.report` / :mod:`repro.obs.diff` — the analysis layer
+  behind ``repro obs report`` and ``repro obs diff``.
 
 Everything is dependency-free and safe to import from any module; none
 of it changes numeric results.  The disabled paths (log level ``off``,
-:func:`set_spans_enabled(False) <set_spans_enabled>`) reduce to an
-integer comparison respectively two clock reads per call site.
+:func:`set_spans_enabled(False) <set_spans_enabled>`,
+:func:`set_tracing_enabled(False) <set_tracing_enabled>` — all three
+via ``REPRO_TELEMETRY=0``) reduce to an integer comparison, two clock
+reads, respectively one thread-local read per call site; no recorder
+lock is ever taken while tracing is disabled.
 """
 
 from .export import export_jsonl, read_jsonl
 from .log import Logger, configure as configure_logging, get_logger, level_name
 from .metrics import (Counter, Gauge, Histogram, MetricsRegistry, registry)
+from .promtext import export_prom, render_openmetrics
 from .spans import (format_profile, reset_spans, set_spans_enabled, span,
                     span_snapshot, spans_enabled)
+from .trace import (SamplePolicy, Trace, TraceRecorder, Tracer,
+                    activate_context, add_trace_event, capture_context,
+                    current_trace, flag_trace, set_tracing_enabled,
+                    trace_recorder, trace_span, tracer, tracing_enabled)
 
 __all__ = [
     "Logger", "configure_logging", "get_logger", "level_name",
@@ -30,4 +45,9 @@ __all__ = [
     "set_spans_enabled", "spans_enabled",
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "registry",
     "export_jsonl", "read_jsonl",
+    "export_prom", "render_openmetrics",
+    "SamplePolicy", "Trace", "TraceRecorder", "Tracer",
+    "trace_recorder", "tracer", "set_tracing_enabled", "tracing_enabled",
+    "current_trace", "trace_span", "add_trace_event", "flag_trace",
+    "capture_context", "activate_context",
 ]

@@ -23,7 +23,7 @@ from __future__ import annotations
 import threading
 from typing import Dict, List, Optional
 
-from .spans import _MAX_SAMPLES, percentile
+from .spans import _MAX_SAMPLES, Reservoir, percentile
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "registry"]
 
@@ -89,8 +89,10 @@ class Gauge:
 class Histogram:
     """A distribution summary: count/sum/min/max plus p50/p95.
 
-    Keeps at most ``_MAX_SAMPLES`` raw samples for the percentiles;
-    count, sum and the extrema stay exact beyond that.
+    Percentiles come from a seeded uniform reservoir of at most
+    ``_MAX_SAMPLES`` samples (:class:`~repro.obs.spans.Reservoir`), so
+    they estimate the whole stream; count, sum and the extrema stay
+    exact regardless.
     """
 
     __slots__ = ("name", "_count", "_sum", "_min", "_max", "_samples",
@@ -102,7 +104,7 @@ class Histogram:
         self._sum = 0.0
         self._min = float("inf")
         self._max = float("-inf")
-        self._samples: List[float] = []
+        self._samples = Reservoir(_MAX_SAMPLES, seed_key=name)
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
@@ -112,8 +114,7 @@ class Histogram:
             self._sum += value
             self._min = min(self._min, value)
             self._max = max(self._max, value)
-            if len(self._samples) < _MAX_SAMPLES:
-                self._samples.append(value)
+            self._samples.offer(value)
 
     @property
     def count(self) -> int:
@@ -129,12 +130,12 @@ class Histogram:
 
     def quantile(self, q: float) -> float:
         with self._lock:
-            samples = list(self._samples)
+            samples = list(self._samples.values)
         return percentile(samples, q)
 
     def row(self) -> dict:
         with self._lock:
-            samples = list(self._samples)
+            samples = list(self._samples.values)
             count, total = self._count, self._sum
             low = self._min if count else 0.0
             high = self._max if count else 0.0

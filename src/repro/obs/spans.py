@@ -16,9 +16,12 @@ name verbatim, so ``span("fit/epoch")`` at top level lands in the same
 bucket — the path *is* the identity.
 
 Per path the aggregator keeps call count, total wall time and a bounded
-sample buffer for p50/p95.  Aggregation is process-wide and
-thread-safe; the nesting stack is thread-local, so concurrent threads
-profile independently without seeing each other's parents.
+*reservoir* of samples for p50/p95: every observation has an equal
+chance of being retained (Vitter's Algorithm R), so the percentiles
+estimate the whole run, not just its first ``_MAX_SAMPLES`` calls.
+Aggregation is process-wide and thread-safe; the nesting stack is
+thread-local, so concurrent threads profile independently without
+seeing each other's parents.
 
 Disabled path: :func:`set_spans_enabled(False) <set_spans_enabled>` (or
 ``REPRO_TELEMETRY=0`` in the environment) skips the stack push and the
@@ -32,36 +35,82 @@ way.
 from __future__ import annotations
 
 import os
+import random
 import threading
 import time
+import zlib
 from typing import Dict, List, Optional
 
 __all__ = ["Span", "span", "span_snapshot", "format_profile", "reset_spans",
-           "set_spans_enabled", "spans_enabled", "percentile"]
+           "set_spans_enabled", "spans_enabled", "percentile", "Reservoir"]
 
-#: histogram sample cap per path — beyond this, count/total keep
-#: accumulating but percentiles describe the first _MAX_SAMPLES calls
+#: reservoir capacity per path — count/total stay exact beyond this;
+#: percentiles become uniform-sample estimates over the *whole* run
 _MAX_SAMPLES = 4096
+
+
+def _telemetry_env_enabled() -> bool:
+    """Whether ``REPRO_TELEMETRY`` enables telemetry (shared by the span
+    aggregator and the tracer, which gate independently after import)."""
+    return os.environ.get("REPRO_TELEMETRY", "1").strip().lower() \
+        not in ("0", "false", "off")
+
 
 _lock = threading.Lock()
 _local = threading.local()
-_enabled = os.environ.get("REPRO_TELEMETRY", "1").strip().lower() \
-    not in ("0", "false", "off")
+_enabled = _telemetry_env_enabled()
+
+
+class Reservoir:
+    """Fixed-size uniform sample of an unbounded stream.
+
+    Vitter's Algorithm R: observation ``i`` (1-based) replaces a random
+    slot with probability ``capacity / i``, which keeps every
+    observation equally likely to be in the reservoir at any point.
+    Percentiles computed from it are therefore unbiased estimates of
+    the full stream's percentiles, instead of describing only the first
+    ``capacity`` observations the old truncating buffer kept.
+
+    The RNG is seeded from ``seed_key`` (typically the instrument name)
+    so identical runs keep identical samples — percentile assertions in
+    tests and diffs between runs stay deterministic.
+    """
+
+    __slots__ = ("capacity", "seen", "values", "_rng")
+
+    def __init__(self, capacity: int, seed_key: str = "") -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self.seen = 0
+        self.values: List[float] = []
+        self._rng = random.Random(zlib.crc32(seed_key.encode("utf-8")))
+
+    def offer(self, value: float) -> None:
+        self.seen += 1
+        if len(self.values) < self.capacity:
+            self.values.append(value)
+            return
+        slot = self._rng.randrange(self.seen)
+        if slot < self.capacity:
+            self.values[slot] = value
+
+    def __len__(self) -> int:
+        return len(self.values)
 
 
 class _SpanStats:
     __slots__ = ("count", "total", "samples")
 
-    def __init__(self) -> None:
+    def __init__(self, path: str = "") -> None:
         self.count = 0
         self.total = 0.0
-        self.samples: List[float] = []
+        self.samples = Reservoir(_MAX_SAMPLES, seed_key=path)
 
     def add(self, elapsed: float) -> None:
         self.count += 1
         self.total += elapsed
-        if len(self.samples) < _MAX_SAMPLES:
-            self.samples.append(elapsed)
+        self.samples.offer(elapsed)
 
 
 _stats: Dict[str, _SpanStats] = {}
@@ -113,7 +162,7 @@ class Span:
             with _lock:
                 stats = _stats.get(self.path)
                 if stats is None:
-                    stats = _stats[self.path] = _SpanStats()
+                    stats = _stats[self.path] = _SpanStats(self.path)
                 stats.add(self.elapsed)
 
 
@@ -144,7 +193,7 @@ def span_snapshot() -> List[dict]:
     writes.
     """
     with _lock:
-        items = [(path, stats.count, stats.total, list(stats.samples))
+        items = [(path, stats.count, stats.total, list(stats.samples.values))
                  for path, stats in _stats.items()]
     rows = []
     for path, count, total, samples in sorted(items):

@@ -30,7 +30,7 @@ import time
 from collections import deque
 from typing import Callable, Optional, TypeVar
 
-from ..obs import get_logger, registry
+from ..obs import add_trace_event, get_logger, registry
 from .errors import BreakerOpen
 
 __all__ = ["CircuitBreaker", "STATE_CLOSED", "STATE_HALF_OPEN", "STATE_OPEN"]
@@ -86,6 +86,10 @@ class CircuitBreaker:
             return
         _log.warning("breaker transition", breaker=self.name,
                      from_state=self._state, to_state=state)
+        # Lands in the active request's trace (the transition happens on
+        # the thread driving the call that tripped/probed the breaker).
+        add_trace_event("breaker", breaker=self.name,
+                        from_state=self._state, to_state=state)
         self._state = state
         self._set_state_gauge()
         if state == STATE_OPEN:

@@ -28,6 +28,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Optional, Tuple
 
+from ..obs import add_trace_event
 from .breaker import CircuitBreaker
 from .deadline import Deadline
 
@@ -72,9 +73,13 @@ class DegradationPolicy:
 
     def plan(self, deadline: Deadline) -> DegradeDecision:
         if not self.breaker.allows_call():
-            return DegradeDecision((TIER_CACHED, TIER_STALE),
-                                   REASON_BREAKER_OPEN)
-        if deadline.bounded and deadline.remaining() < self.full_floor:
-            return DegradeDecision((TIER_CACHED, TIER_STALE),
-                                   REASON_DEADLINE)
-        return DegradeDecision(LADDER)
+            decision = DegradeDecision((TIER_CACHED, TIER_STALE),
+                                       REASON_BREAKER_OPEN)
+        elif deadline.bounded and deadline.remaining() < self.full_floor:
+            decision = DegradeDecision((TIER_CACHED, TIER_STALE),
+                                       REASON_DEADLINE)
+        else:
+            decision = DegradeDecision(LADDER)
+        add_trace_event("degrade", tiers=list(decision.tiers),
+                        reason=decision.reason)
+        return decision

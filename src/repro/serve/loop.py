@@ -60,10 +60,19 @@ def serve_loop(service: MatchService, source: Iterable[str],
                 reg.counter("serve.requests_total").inc()
                 reg.counter("serve.error_total").inc()
                 reg.counter("serve.error.bad_request").inc()
-                emit({"id": None, "ok": False,
-                      "error": {"type": "bad_request",
-                                "message": f"invalid JSON: {exc}"},
-                      "elapsed_ms": 0.0})
+                # Even an undecodable line gets a (flagged, thus always
+                # retained) trace so the failure is findable by id.
+                trace = service.tracer.start("serve.request")
+                trace.flag("error")
+                trace.add_event("error", code="bad_request")
+                trace.finish()
+                response = {"id": None, "ok": False,
+                            "error": {"type": "bad_request",
+                                      "message": f"invalid JSON: {exc}"},
+                            "elapsed_ms": 0.0}
+                if trace.trace_id is not None:
+                    response["trace_id"] = trace.trace_id
+                emit(response)
                 continue
             rejection = service.submit(request)
             if rejection is not None:

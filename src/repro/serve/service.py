@@ -38,6 +38,9 @@ import numpy as np
 
 from ..core.matcher import CrossEM, CrossEMConfig
 from ..obs import get_logger, registry, span
+from ..obs.trace import (FLAG_DEADLINE, FLAG_DEGRADED, FLAG_ERROR,
+                         FLAG_SHED, SamplePolicy, Tracer, add_trace_event,
+                         flag_trace, trace_recorder, trace_span)
 from .admission import BoundedQueue
 from .breaker import CircuitBreaker
 from .deadline import Deadline
@@ -73,6 +76,11 @@ class ServeConfig:
     breaker_min_calls: int = 3
     #: circuit breaker: how long it stays open before probing
     breaker_cooldown_ms: float = 2000.0
+    #: head-sampling rate for request traces (errors, degraded answers,
+    #: deadline blows and sheds are always kept regardless)
+    trace_sample_rate: float = 1.0
+    #: sampled traces retained in the bounded recorder (newest win)
+    trace_capacity: int = 256
 
     def __post_init__(self) -> None:
         if self.capacity < 1:
@@ -87,6 +95,10 @@ class ServeConfig:
             raise ValueError("full_floor_ms must be non-negative")
         if self.stale_capacity < 1:
             raise ValueError("stale_capacity must be at least 1")
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise ValueError("trace_sample_rate must be in [0, 1]")
+        if self.trace_capacity < 1:
+            raise ValueError("trace_capacity must be at least 1")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -105,13 +117,20 @@ class MatchService:
     def __init__(self, matcher: CrossEM, *,
                  config: Optional[ServeConfig] = None,
                  fallback: Optional[CrossEM] = None,
-                 clock: Callable[[], float] = time.monotonic) -> None:
+                 clock: Callable[[], float] = time.monotonic,
+                 tracer: Optional[Tracer] = None) -> None:
         if matcher.graph is None:
             raise ValueError("MatchService needs a fitted matcher "
                              "(call CrossEM.fit first)")
         self.matcher = matcher
         self.config = config or ServeConfig()
         self._clock = clock
+        if tracer is None:
+            trace_recorder().set_capacity(self.config.trace_capacity)
+            tracer = Tracer(
+                policy=SamplePolicy(rate=self.config.trace_sample_rate),
+                clock=clock)
+        self.tracer = tracer
         cooldown = self.config.breaker_cooldown_ms / 1000.0
         self.text_breaker = CircuitBreaker(
             "text", window=self.config.breaker_window,
@@ -264,20 +283,25 @@ class MatchService:
         while pending:
             tier = pending.pop(0)
             try:
-                if tier == TIER_FULL:
-                    scores = self._score_full(query.vertex, deadline)
-                elif tier == TIER_CACHED:
-                    deadline.check("score_cached")
-                    scores = self._score_cached(query.vertex)
-                else:
-                    entry = self._stale_get(query.vertex)
-                    if entry is None:
-                        break  # nothing stale: surface the real failure
-                    scores = entry[0]
+                with trace_span(f"tier/{tier}"):
+                    if tier == TIER_FULL:
+                        scores = self._score_full(query.vertex, deadline)
+                    elif tier == TIER_CACHED:
+                        deadline.check("score_cached")
+                        scores = self._score_cached(query.vertex)
+                    else:
+                        entry = self._stale_get(query.vertex)
+                        add_trace_event("cache", cache="stale",
+                                        hit=entry is not None)
+                        if entry is None:
+                            break  # nothing stale: surface the real failure
+                        scores = entry[0]
             except DeadlineExceeded as exc:
                 last_error = exc
                 reason = reason or exc.code
                 reg.counter("serve.deadline_exceeded_total").inc()
+                add_trace_event("deadline", stage=exc.stage, tier=tier)
+                flag_trace(FLAG_DEADLINE)
                 pending = [t for t in pending if t == TIER_STALE]
                 continue
             except ServeError as exc:
@@ -301,7 +325,23 @@ class MatchService:
     # -- request lifecycle -------------------------------------------------
     def handle(self, request: Any) -> dict:
         """Process one request synchronously; always returns a response
-        dict, never raises (per-request isolation)."""
+        dict (carrying its ``trace_id``), never raises (per-request
+        isolation).
+
+        Every request gets a trace; whether it is *retained* is the
+        sampling policy's call at finish — errors, degraded answers and
+        deadline blows are always kept (their flags are set on the way
+        through :meth:`_error_response` / :meth:`_handle`).
+        """
+        trace = self.tracer.start("serve.request")
+        with trace.activate():
+            response = self._handle(request)
+        trace.finish()
+        if trace.trace_id is not None:
+            response["trace_id"] = trace.trace_id
+        return response
+
+    def _handle(self, request: Any) -> dict:
         reg = registry()
         reg.counter("serve.requests_total").inc()
         started = self._clock()
@@ -341,6 +381,7 @@ class MatchService:
         reg.counter(f"serve.tier.{tier}").inc()
         if degraded:
             reg.counter("serve.degraded_total").inc()
+            flag_trace(FLAG_DEGRADED)
         reg.histogram("serve.request_ms").observe(elapsed_ms)
         response = {"id": request_id, "ok": True, "vertex": query.vertex,
                     "tier": tier, "degraded": degraded, "matches": matches,
@@ -353,6 +394,8 @@ class MatchService:
                         started: float) -> dict:
         elapsed_ms = (self._clock() - started) * 1e3
         reg = registry()
+        add_trace_event("error", code=code)
+        flag_trace(FLAG_ERROR)
         reg.counter("serve.error_total").inc()
         reg.counter(f"serve.error.{code}").inc()
         reg.histogram("serve.request_ms").observe(elapsed_ms)
@@ -389,8 +432,19 @@ class MatchService:
             registry().counter("serve.requests_total").inc()
             request_id = request.get("id") if isinstance(request, dict) \
                 else None
-            return self._error_response(request_id, exc.code, str(exc),
-                                        self._clock())
+            # A shed request never reaches handle(), so it gets its
+            # (always-retained) trace right here on the admission path.
+            trace = self.tracer.start("serve.request")
+            with trace.activate():
+                trace.flag(FLAG_SHED)
+                trace.add_event("shed", depth=exc.depth,
+                                capacity=exc.capacity)
+                response = self._error_response(request_id, exc.code,
+                                                str(exc), self._clock())
+            trace.finish()
+            if trace.trace_id is not None:
+                response["trace_id"] = trace.trace_id
+            return response
 
     def _worker_main(self) -> None:
         while True:

@@ -22,6 +22,8 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from ..obs import get_logger, registry, span
+from ..obs.trace import (activate_context, add_trace_event, capture_context,
+                         trace_span)
 
 __all__ = ["resolve_workers", "chunked_encode"]
 
@@ -60,7 +62,17 @@ def chunked_encode(encode_chunk: Callable[[int, int], np.ndarray],
     starts = list(range(0, num_items, chunk))
     workers = resolve_workers(workers)
     reg = registry()
-    with span(f"{name}/chunked"):
+    with span(f"{name}/chunked"), trace_span(f"{name}/chunked"):
+        # Captured on the dispatching thread, inside the chunked span:
+        # pooled chunks re-enter the owning request's trace context, so
+        # their spans land under that request's tree instead of the
+        # worker thread's own (empty) stack.
+        ctx = capture_context()
+
+        def run_chunk(start: int, stop: int) -> np.ndarray:
+            with activate_context(ctx), trace_span(f"{name}/chunk"):
+                return encode_chunk(start, stop)
+
         if workers > 1 and len(starts) > 1:
             # Futures + wait(FIRST_EXCEPTION) instead of pool.map: map
             # surfaces a worker exception only when iteration reaches
@@ -68,7 +80,7 @@ def chunked_encode(encode_chunk: Callable[[int, int], np.ndarray],
             # run anyway.  Here the first failure cancels everything
             # still queued and propagates promptly.
             with ThreadPoolExecutor(max_workers=workers) as pool:
-                futures = [pool.submit(encode_chunk, s,
+                futures = [pool.submit(run_chunk, s,
                                        min(s + chunk, num_items))
                            for s in starts]
                 done, pending = wait(futures, return_when=FIRST_EXCEPTION)
@@ -77,6 +89,7 @@ def chunked_encode(encode_chunk: Callable[[int, int], np.ndarray],
                 if failure is not None:
                     cancelled = sum(f.cancel() for f in pending)
                     reg.counter(f"{name}.cancelled_chunks").inc(cancelled)
+                    add_trace_event("pool", name=name, cancelled=cancelled)
                     _log.warning("encode chunk failed, cancelling rest",
                                  name=name, cancelled=cancelled,
                                  error=type(failure.exception()).__name__)
@@ -84,7 +97,7 @@ def chunked_encode(encode_chunk: Callable[[int, int], np.ndarray],
                 chunks: List[np.ndarray] = [f.result() for f in futures]
             reg.counter(f"{name}.pooled_chunks").inc(len(starts))
         else:
-            chunks = [encode_chunk(s, min(s + chunk, num_items))
+            chunks = [run_chunk(s, min(s + chunk, num_items))
                       for s in starts]
     reg.counter(f"{name}.chunks").inc(len(starts))
     if len(chunks) == 1:

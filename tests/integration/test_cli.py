@@ -172,9 +172,112 @@ class TestCLIServe:
         assert by_id["q2"]["error"]["type"] == "bad_request"
         # diagnostics stay on stderr, stdout is pure response JSONL
         assert "serving" in captured.err and "served 3 responses" in captured.err
-        rows = {row.get("name"): row for row in read_jsonl(metrics)}
+        # every response — ok, parse failure, bad request — is traceable
+        assert all(r["trace_id"] for r in responses)
+        assert len({r["trace_id"] for r in responses}) == 3
+        all_rows = read_jsonl(metrics)
+        rows = {row.get("name"): row for row in all_rows}
         assert rows["serve.requests_total"]["value"] == 3
         assert rows["serve.ok_total"]["value"] == 1
+        traces = {row["trace_id"]: row for row in all_rows
+                  if row["type"] == "trace"}
+        assert set(traces) == {r["trace_id"] for r in responses}
+        assert traces[by_id["q2"]["trace_id"]]["flags"] == ["error"]
+        # a scrape-ready OpenMetrics snapshot lands next to the JSONL
+        prom = metrics.with_suffix(".prom").read_text()
+        assert "repro_serve_requests_total 3" in prom
+        assert prom.endswith("# EOF\n")
+
+    def test_serve_sample_rate_zero_keeps_only_errors(
+            self, capsys, monkeypatch, tiny_dataset, tmp_path):
+        vertex = int(list(tiny_dataset.entity_vertices)[0])
+        requests = [json.dumps({"id": "ok", "vertex": vertex}),
+                    json.dumps({"id": "bad", "vertex": -1})]
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("".join(r + "\n" for r in requests)))
+        metrics = tmp_path / "serve.jsonl"
+        assert cli.main(["serve", "cub", "--method", "hard", "--epochs", "1",
+                         "--log-level", "off", "--trace-sample-rate", "0",
+                         "--metrics-out", str(metrics)]) == 0
+        capsys.readouterr()
+        traces = [row for row in read_jsonl(metrics)
+                  if row["type"] == "trace"]
+        assert len(traces) == 1
+        assert traces[0]["sampled"] == "forced"
+
+
+class TestCLIObs:
+    @staticmethod
+    def jsonl(path, rows):
+        path.write_text("".join(json.dumps(row) + "\n" for row in rows))
+        return path
+
+    def test_obs_report_renders_traces(self, capsys, tmp_path):
+        export = self.jsonl(tmp_path / "run.jsonl", [
+            {"type": "meta", "schema_version": 2},
+            {"type": "span", "name": "fit", "count": 1,
+             "total_seconds": 0.5, "p50_seconds": 0.5, "p95_seconds": 0.5},
+            {"type": "trace", "trace_id": "aaa", "name": "serve.request",
+             "flags": ["degraded"], "sampled": "forced",
+             "duration_ms": 12.0,
+             "spans": {"name": "serve.request", "start_ms": 0.0,
+                       "duration_ms": 12.0,
+                       "events": [{"kind": "degrade", "at_ms": 1.0}],
+                       "children": []}}])
+        assert cli.main(["obs", "report", str(export), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "== span profile ==" in out
+        assert "trace aaa" in out and "flags=degraded" in out
+        assert "* degrade" in out
+
+    def test_obs_diff_gates_on_seeded_regression(self, capsys, tmp_path):
+        old = self.jsonl(tmp_path / "old.jsonl", [
+            {"type": "gauge", "name": "encode.latency_ms", "value": 10.0}])
+        new = self.jsonl(tmp_path / "new.jsonl", [
+            {"type": "gauge", "name": "encode.latency_ms", "value": 20.0}])
+        assert cli.main(["obs", "diff", str(old), str(new),
+                         "--threshold-pct", "25"]) == 1
+        captured = capsys.readouterr()
+        assert "encode.latency_ms" in captured.out
+        assert "regressed" in captured.err
+        # same exports under a lenient threshold: clean exit
+        assert cli.main(["obs", "diff", str(old), str(new),
+                         "--threshold-pct", "150"]) == 0
+
+    def test_obs_diff_min_delta_noise_floor(self, tmp_path, capsys):
+        old = self.jsonl(tmp_path / "old.jsonl", [
+            {"type": "gauge", "name": "fit.p95", "value": 0.001}])
+        new = self.jsonl(tmp_path / "new.jsonl", [
+            {"type": "gauge", "name": "fit.p95", "value": 0.002}])
+        assert cli.main(["obs", "diff", str(old), str(new),
+                         "--min-delta", "0.01"]) == 0
+        capsys.readouterr()
+
+    def test_obs_diff_accepts_bench_baseline(self, capsys, tmp_path):
+        old = tmp_path / "baseline.json"
+        old.write_text(json.dumps(
+            {"mode": "quick", "paths": {"score": {"optimized_s": 1.0}}}))
+        new = tmp_path / "current.json"
+        new.write_text(json.dumps(
+            {"mode": "quick", "paths": {"score": {"optimized_s": 3.0}}}))
+        assert cli.main(["obs", "diff", str(old), str(new)]) == 1
+        assert "bench.score.optimized_s" in capsys.readouterr().out
+
+    def test_obs_prom_renders_to_stdout_and_file(self, capsys, tmp_path):
+        export = self.jsonl(tmp_path / "run.jsonl", [
+            {"type": "counter", "name": "cache.hit", "value": 2}])
+        assert cli.main(["obs", "prom", str(export)]) == 0
+        assert "repro_cache_hit_total 2" in capsys.readouterr().out
+        out = tmp_path / "run.prom"
+        assert cli.main(["obs", "prom", str(export),
+                         "-o", str(out)]) == 0
+        assert out.read_text().endswith("# EOF\n")
+
+    def test_serve_rejects_invalid_sample_rate(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["serve", "cub", "--trace-sample-rate", "2"])
+        assert excinfo.value.code == 2
+        assert "--trace-sample-rate" in capsys.readouterr().err
 
 
 class TestCLICheckpointing:

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.obs import registry, reset_spans, set_spans_enabled
+from repro.obs import (registry, reset_spans, set_spans_enabled,
+                       set_tracing_enabled, trace_recorder)
 
 
 @pytest.fixture(autouse=True)
@@ -10,8 +11,12 @@ def clean_telemetry():
     """Isolate each test from (and restore) the process-wide sinks."""
     registry().reset()
     reset_spans()
+    trace_recorder().reset()
     set_spans_enabled(True)
+    set_tracing_enabled(True)
     yield
     registry().reset()
     reset_spans()
+    trace_recorder().reset()
     set_spans_enabled(True)
+    set_tracing_enabled(True)

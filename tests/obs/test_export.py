@@ -1,7 +1,8 @@
-"""JSONL exporter tests: schema and round-trip."""
+"""JSONL exporter tests: schema, round-trip, corrupt-line tolerance."""
 
 from repro.obs import export_jsonl, read_jsonl, registry, span
 from repro.obs.export import SCHEMA_VERSION
+from repro.obs.trace import tracer
 
 #: required keys per row type — the schema --metrics-out consumers rely on
 ROW_KEYS = {
@@ -10,6 +11,8 @@ ROW_KEYS = {
     "gauge": {"name", "value"},
     "histogram": {"name", "count", "sum", "min", "max", "p50", "p95"},
     "span": {"name", "count", "total_seconds", "p50_seconds", "p95_seconds"},
+    "trace": {"trace_id", "name", "flags", "sampled", "duration_ms",
+              "spans"},
 }
 
 
@@ -22,6 +25,8 @@ def populate():
     with span("fit"):
         with span("epoch"):
             pass
+    with tracer().trace("serve.request"):
+        pass
 
 
 class TestExport:
@@ -60,3 +65,39 @@ class TestExport:
         path = tmp_path / "deep" / "dir" / "metrics.jsonl"
         export_jsonl(path)
         assert read_jsonl(path)[0]["type"] == "meta"
+
+    def test_v2_includes_sampled_traces(self, tmp_path):
+        populate()
+        path = tmp_path / "metrics.jsonl"
+        export_jsonl(path)
+        traces = [row for row in read_jsonl(path)
+                  if row["type"] == "trace"]
+        assert len(traces) == 1
+        assert traces[0]["name"] == "serve.request"
+        assert traces[0]["spans"]["name"] == "serve.request"
+
+    def test_traces_can_be_excluded(self, tmp_path):
+        populate()
+        path = tmp_path / "metrics.jsonl"
+        export_jsonl(path, include_traces=False)
+        assert all(row["type"] != "trace" for row in read_jsonl(path))
+
+
+class TestReadTolerance:
+    def test_corrupt_lines_are_skipped_and_counted(self, tmp_path):
+        populate()
+        path = tmp_path / "metrics.jsonl"
+        written = export_jsonl(path)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"type": "counter", "name": "torn", "val\n')
+            handle.write("not json at all\n")
+        rows = read_jsonl(path)
+        assert len(rows) == written  # good rows all survive
+        assert all(row.get("name") != "torn" for row in rows)
+        assert registry().counter("obs.read.corrupt_lines").value == 2
+
+    def test_blank_lines_are_not_corruption(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        path.write_text('{"type": "meta", "schema_version": 2}\n\n\n')
+        assert len(read_jsonl(path)) == 1
+        assert registry().counter("obs.read.corrupt_lines").value == 0

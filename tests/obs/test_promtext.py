@@ -1,0 +1,87 @@
+"""OpenMetrics renderer tests: family typing, sanitation, escaping."""
+
+from repro.obs import registry, span
+from repro.obs.promtext import export_prom, render_openmetrics
+
+
+class TestRender:
+    def test_counter_gets_total_suffix_and_type(self):
+        text = render_openmetrics(
+            [{"type": "counter", "name": "cache.hit", "value": 3}])
+        assert "# TYPE repro_cache_hit counter" in text
+        assert "repro_cache_hit_total 3" in text
+
+    def test_counter_named_total_does_not_double_suffix(self):
+        text = render_openmetrics(
+            [{"type": "counter", "name": "serve.requests_total",
+              "value": 3}])
+        assert "repro_serve_requests_total 3" in text
+        assert "_total_total" not in text
+
+    def test_gauge_renders_plain_sample(self):
+        text = render_openmetrics(
+            [{"type": "gauge", "name": "train.pairs_per_sec",
+              "value": 812.5}])
+        assert "# TYPE repro_train_pairs_per_sec gauge" in text
+        assert "repro_train_pairs_per_sec 812.5" in text
+
+    def test_histogram_renders_as_summary(self):
+        text = render_openmetrics(
+            [{"type": "histogram", "name": "epoch.loss", "count": 4,
+              "sum": 2.0, "min": 0.1, "max": 0.9, "p50": 0.4, "p95": 0.9}])
+        assert "# TYPE repro_epoch_loss summary" in text
+        assert 'repro_epoch_loss{quantile="0.5"} 0.4' in text
+        assert 'repro_epoch_loss{quantile="0.95"} 0.9' in text
+        assert "repro_epoch_loss_count 4" in text
+        assert "repro_epoch_loss_sum 2" in text
+
+    def test_span_rows_share_one_labelled_family(self):
+        rows = [{"type": "span", "name": "fit/epoch", "count": 2,
+                 "total_seconds": 0.5, "p50_seconds": 0.2,
+                 "p95_seconds": 0.3},
+                {"type": "span", "name": "serve/full", "count": 1,
+                 "total_seconds": 0.1, "p50_seconds": 0.1,
+                 "p95_seconds": 0.1}]
+        text = render_openmetrics(rows)
+        assert text.count("# TYPE repro_span_seconds summary") == 1
+        assert 'repro_span_seconds{span="fit/epoch",quantile="0.5"} 0.2' \
+            in text
+        assert 'repro_span_seconds_count{span="serve/full"} 1' in text
+
+    def test_trace_and_meta_rows_are_not_scraped(self):
+        rows = [{"type": "meta", "schema_version": 2},
+                {"type": "trace", "trace_id": "abc", "duration_ms": 1.0}]
+        assert render_openmetrics(rows) == "# EOF\n"
+
+    def test_ends_with_eof_and_families_sorted(self):
+        rows = [{"type": "counter", "name": "zz", "value": 1},
+                {"type": "counter", "name": "aa", "value": 2}]
+        text = render_openmetrics(rows)
+        assert text.endswith("# EOF\n")
+        assert text.index("repro_aa_total") < text.index("repro_zz_total")
+
+    def test_name_sanitation_and_label_escaping(self):
+        text = render_openmetrics(
+            [{"type": "counter", "name": "a-b.c d", "value": 1},
+             {"type": "span", "name": 'odd"name\\x', "count": 1,
+              "total_seconds": 0.0, "p50_seconds": 0.0,
+              "p95_seconds": 0.0}])
+        assert "repro_a_b_c_d_total 1" in text
+        assert 'span="odd\\"name\\\\x"' in text
+
+    def test_leading_digit_and_empty_prefix(self):
+        text = render_openmetrics(
+            [{"type": "counter", "name": "9lives", "value": 1}], prefix="")
+        assert "_9lives_total 1" in text
+
+
+class TestExportProm:
+    def test_writes_registry_and_span_snapshot(self, tmp_path):
+        registry().counter("cache.hit").inc(2)
+        with span("fit"):
+            pass
+        out = export_prom(tmp_path / "deep" / "run.prom")
+        text = out.read_text()
+        assert "repro_cache_hit_total 2" in text
+        assert 'repro_span_seconds_count{span="fit"} 1' in text
+        assert text.endswith("# EOF\n")

@@ -1,0 +1,92 @@
+"""Report renderer tests: span table, causal event order, top-N."""
+
+from repro.obs.report import format_report, format_span_table, format_trace
+
+
+def span_row(name, count=1, total=1.0, p50=0.5, p95=0.9):
+    return {"type": "span", "name": name, "count": count,
+            "total_seconds": total, "p50_seconds": p50, "p95_seconds": p95}
+
+
+def trace_row(trace_id, duration_ms, *, flags=(), spans=None,
+              sampled="head"):
+    return {"type": "trace", "trace_id": trace_id, "name": "serve.request",
+            "flags": list(flags), "sampled": sampled,
+            "duration_ms": duration_ms,
+            "spans": spans if spans is not None else
+            {"name": "serve.request", "start_ms": 0.0,
+             "duration_ms": duration_ms, "events": [], "children": []}}
+
+
+class TestSpanTable:
+    def test_children_indent_under_parents_heaviest_first(self):
+        rows = [span_row("fit", total=5.0),
+                span_row("fit/epoch", total=1.0),
+                span_row("fit/plan", total=3.0)]
+        lines = format_span_table(rows).splitlines()
+        assert lines[1].startswith("fit ")
+        assert lines[2].startswith("  plan")  # heavier sibling first
+        assert lines[3].startswith("  epoch")
+
+    def test_orphan_paths_promote_to_top_level(self):
+        lines = format_span_table([span_row("a/b/c")]).splitlines()
+        assert lines[1].startswith("c ")
+
+    def test_empty_input_is_empty_string(self):
+        assert format_span_table([{"type": "counter", "name": "x",
+                                   "value": 1}]) == ""
+
+
+class TestTraceRendering:
+    def test_events_and_children_interleave_in_causal_order(self):
+        spans = {"name": "serve.request", "start_ms": 0.0,
+                 "duration_ms": 10.0,
+                 "events": [
+                     {"kind": "degrade", "at_ms": 1.0,
+                      "attrs": {"reason": "breaker"}},
+                     {"kind": "error", "at_ms": 9.0,
+                      "attrs": {"code": "boom"}},
+                 ],
+                 "children": [
+                     {"name": "tier/cached", "start_ms": 2.0,
+                      "duration_ms": 5.0,
+                      "events": [{"kind": "cache", "at_ms": 3.0,
+                                  "attrs": {"hit": True}}],
+                      "children": []},
+                 ]}
+        text = format_trace(trace_row("abc123", 10.0,
+                                      flags=["degraded", "error"],
+                                      spans=spans, sampled="forced"))
+        lines = text.splitlines()
+        assert lines[0].startswith("trace abc123")
+        assert "flags=degraded,error" in lines[0]
+        assert "sampled=forced" in lines[0]
+        order = [line for line in lines
+                 if "* degrade" in line or "tier/cached" in line
+                 or "* cache" in line or "* error" in line]
+        assert "* degrade" in order[0]       # @1ms before the tier span
+        assert "tier/cached" in order[1]     # @2ms
+        assert "* cache" in order[2]         # @3ms, nested inside tier
+        assert "* error" in order[3]         # @9ms, back on the root
+        assert "reason=breaker" in order[0]
+
+    def test_no_flags_renders_dash(self):
+        text = format_trace(trace_row("t0", 1.0))
+        assert "flags=-" in text
+
+
+class TestFullReport:
+    def test_sections_meta_profile_and_slowest_traces(self):
+        rows = [{"type": "meta", "schema_version": 2, "benchmark": "tiny"},
+                span_row("fit"),
+                trace_row("fast", 1.0), trace_row("slow", 50.0),
+                trace_row("mid", 10.0)]
+        text = format_report(rows, top=2)
+        assert "export benchmark=tiny schema_version=2" in text
+        assert "== span profile ==" in text
+        assert "== slowest traces (2 of 3 sampled) ==" in text
+        assert text.index("trace slow") < text.index("trace mid")
+        assert "trace fast" not in text
+
+    def test_empty_export_reports_nothing(self):
+        assert "nothing to report" in format_report([])

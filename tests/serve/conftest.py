@@ -12,7 +12,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.matcher import CrossEM, CrossEMConfig
-from repro.obs import registry, reset_spans
+from repro.obs import registry, reset_spans, set_tracing_enabled, trace_recorder
 from repro.serve import MatchService, ServeConfig
 
 
@@ -20,9 +20,13 @@ from repro.serve import MatchService, ServeConfig
 def clean_metrics():
     registry().reset()
     reset_spans()
+    trace_recorder().reset()
+    set_tracing_enabled(True)
     yield
     registry().reset()
     reset_spans()
+    trace_recorder().reset()
+    set_tracing_enabled(True)
 
 
 @pytest.fixture(scope="session")

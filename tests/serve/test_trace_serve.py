@@ -1,0 +1,183 @@
+"""Request tracing through the serve layer, on fake clocks.
+
+Every response must carry a ``trace_id``; error, degraded, deadline and
+shed requests must be retained even at sample rate 0; breaker flips and
+degradation decisions must land inside the owning request's trace; with
+tracing disabled nothing is minted or recorded.
+"""
+
+import itertools
+
+import pytest
+
+from repro.obs.trace import (SamplePolicy, TraceRecorder, Tracer,
+                             set_tracing_enabled)
+from repro.serve import MatchService, ServeConfig
+
+from .test_deadline import FakeClock
+
+
+class AutoClock(FakeClock):
+    """A FakeClock that also advances a little on every read, so
+    deadlines actually elapse without real time passing."""
+
+    def __init__(self, start: float = 100.0, step: float = 0.01) -> None:
+        super().__init__(start)
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+def make_traced_service(fitted_soft, *, rate=1.0, clock=None,
+                        trace_capacity=64, **overrides):
+    clock = clock if clock is not None else FakeClock()
+    ids = (f"trace{i:04d}" for i in itertools.count())
+    recorder = TraceRecorder(capacity=trace_capacity)
+    tracer = Tracer(policy=SamplePolicy(rate=rate), recorder=recorder,
+                    clock=clock, id_factory=lambda: next(ids))
+    settings = dict(capacity=4, workers=1, breaker_window=4,
+                    breaker_min_calls=2, breaker_failure_threshold=0.5,
+                    breaker_cooldown_ms=60_000.0)
+    settings.update(overrides)
+    service = MatchService(fitted_soft, config=ServeConfig(**settings),
+                           clock=clock, tracer=tracer).warmup()
+    return service, recorder
+
+
+def span_names(span, acc=None):
+    acc = acc if acc is not None else []
+    acc.append(span["name"])
+    for child in span["children"]:
+        span_names(child, acc)
+    return acc
+
+
+def events_of(span, kind, acc=None):
+    acc = acc if acc is not None else []
+    acc.extend(e for e in span["events"] if e["kind"] == kind)
+    for child in span["children"]:
+        events_of(child, kind, acc)
+    return acc
+
+
+class TestTraceIds:
+    def test_every_response_carries_a_unique_trace_id(self, fitted_soft):
+        service, recorder = make_traced_service(fitted_soft)
+        vertex = fitted_soft.vertex_ids[0]
+        responses = [service.handle({"vertex": vertex}) for _ in range(3)]
+        ids = [response["trace_id"] for response in responses]
+        assert ids == ["trace0000", "trace0001", "trace0002"]
+        assert [row["trace_id"] for row in recorder.snapshot()] == ids
+
+    def test_error_response_also_carries_trace_id(self, fitted_soft):
+        service, recorder = make_traced_service(fitted_soft)
+        response = service.handle({"vertex": "nope"})
+        assert response["ok"] is False
+        assert response["trace_id"] == "trace0000"
+
+    def test_request_spans_and_events_in_causal_order(self, fitted_soft):
+        service, recorder = make_traced_service(fitted_soft)
+        response = service.handle({"vertex": fitted_soft.vertex_ids[0]})
+        assert response["ok"] is True and response["tier"] == "full"
+        [row] = recorder.snapshot()
+        names = span_names(row["spans"])
+        assert names[0] == "serve.request"
+        assert "tier/full" in names
+        assert "matcher/score" in names
+        # the degrade decision precedes any tier work
+        [degrade] = events_of(row["spans"], "degrade")
+        assert degrade["attrs"]["tiers"] == ["full", "cached", "stale"]
+        tier_span = next(c for c in row["spans"]["children"]
+                         if c["name"] == "tier/full")
+        assert degrade["at_ms"] <= tier_span["start_ms"]
+        # the matcher's stage hooks leave typed events inside the score
+        stages = [e["attrs"]["stage"]
+                  for e in events_of(row["spans"], "stage")]
+        assert "encode_text" in stages
+
+
+class TestForcedRetention:
+    def test_errors_always_sampled_at_rate_zero(self, fitted_soft):
+        service, recorder = make_traced_service(fitted_soft, rate=0.0)
+        service.handle({"vertex": fitted_soft.vertex_ids[0]})  # ok: dropped
+        service.handle({"not": "valid"})                       # error: kept
+        [row] = recorder.snapshot()
+        assert row["flags"] == ["error"]
+        assert row["sampled"] == "forced"
+        [event] = events_of(row["spans"], "error")
+        assert event["attrs"]["code"] == "bad_request"
+
+    def test_degraded_answers_always_sampled(self, fitted_soft,
+                                             monkeypatch):
+        service, recorder = make_traced_service(fitted_soft, rate=0.0)
+        monkeypatch.setattr(service, "_score_full",
+                            lambda *a, **k: (_ for _ in ()).throw(
+                                RuntimeError("encoder down")))
+        response = service.handle({"vertex": fitted_soft.vertex_ids[0]})
+        assert response["ok"] is True and response["degraded"] is True
+        [row] = recorder.snapshot()
+        assert row["flags"] == ["degraded"]
+        assert "tier/cached" in span_names(row["spans"])
+
+    def test_deadline_blown_requests_always_sampled(self, fitted_soft):
+        clock = AutoClock(step=0.01)  # 10ms per clock read
+        service, recorder = make_traced_service(fitted_soft, rate=0.0,
+                                                clock=clock)
+        response = service.handle({"vertex": fitted_soft.vertex_ids[0],
+                                   "budget_ms": 1})
+        assert response["ok"] is False
+        assert response["error"]["type"] == "deadline_exceeded"
+        [row] = recorder.snapshot()
+        assert "deadline" in row["flags"] and "error" in row["flags"]
+        assert events_of(row["spans"], "deadline")
+
+    def test_breaker_transition_lands_in_request_trace(self, fitted_soft,
+                                                       monkeypatch):
+        service, recorder = make_traced_service(
+            fitted_soft, rate=0.0, breaker_window=2, breaker_min_calls=1)
+        monkeypatch.setattr(
+            service.matcher, "score",
+            lambda *a, **k: (_ for _ in ()).throw(RuntimeError("boom")))
+        response = service.handle({"vertex": fitted_soft.vertex_ids[0]})
+        assert response["ok"] is True and response["tier"] == "cached"
+        [row] = recorder.snapshot()
+        [flip] = events_of(row["spans"], "breaker")
+        assert flip["attrs"] == {"breaker": "text", "from_state": "closed",
+                                 "to_state": "open"}
+
+    def test_shed_requests_get_their_own_forced_trace(self, fitted_soft):
+        service, recorder = make_traced_service(fitted_soft, rate=0.0,
+                                                capacity=1)
+        vertex = fitted_soft.vertex_ids[0]
+        assert service.submit({"vertex": vertex}) is None  # enqueued
+        shed = service.submit({"vertex": vertex})          # over capacity
+        assert shed["ok"] is False
+        assert shed["error"]["type"] == "overloaded"
+        assert shed["trace_id"] == "trace0000"
+        [row] = recorder.snapshot()
+        assert row["flags"] == ["error", "shed"]
+        [event] = events_of(row["spans"], "shed")
+        assert event["attrs"]["capacity"] == 1
+
+
+class TestDisabled:
+    def test_disabled_tracing_omits_trace_id_and_records_nothing(
+            self, fitted_soft):
+        service, recorder = make_traced_service(fitted_soft)
+        set_tracing_enabled(False)
+        response = service.handle({"vertex": fitted_soft.vertex_ids[0]})
+        assert response["ok"] is True
+        assert "trace_id" not in response
+        assert len(recorder) == 0
+
+
+class TestConfig:
+    @pytest.mark.parametrize("overrides", [dict(trace_sample_rate=1.5),
+                                           dict(trace_sample_rate=-0.1),
+                                           dict(trace_capacity=0)])
+    def test_invalid_trace_settings_rejected(self, overrides):
+        with pytest.raises(ValueError):
+            ServeConfig(**overrides)
