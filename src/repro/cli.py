@@ -11,10 +11,20 @@ Five commands cover the common workflows without writing code:
   the metrics.
 * ``clean`` — run the data-cleaning detectors over a benchmark's
   repository with injected corruption (demo of the future-work module).
+* ``load`` — open-loop load generation against the serving layer
+  (README "Load testing & SLOs"): ``load run`` drives one workload
+  (Poisson / bursty / uniform arrivals, heavy-tailed query mix) and
+  writes a latency/outcome report, ``load sweep`` steps offered rates
+  and emits a latency/throughput frontier artifact with its SLO knee,
+  ``load replay`` re-offers the arrival spacing and query shapes
+  recorded in an exported trace JSONL.
 * ``obs`` — offline analysis of exported telemetry: ``obs report``
-  renders the span profile and slowest traces, ``obs diff`` compares
-  two exports with regression thresholds (non-zero exit on breach, the
-  CI gate), ``obs prom`` re-renders an export as OpenMetrics text.
+  renders the span profile, bucket latency histograms and slowest
+  traces, ``obs diff`` compares two exports (or frontier artifacts)
+  with regression thresholds (non-zero exit on breach, the CI gate),
+  ``obs slo`` evaluates an SLO spec against a load report or frontier
+  (non-zero exit on violation), ``obs prom`` re-renders an export as
+  OpenMetrics text.
 
 Dataset commands accept the benchmark positionally or via
 ``--benchmark``.  ``match`` and ``serve`` additionally expose the
@@ -102,6 +112,18 @@ def _unit_interval(text: str) -> float:
     if value > 1.0:
         raise argparse.ArgumentTypeError(f"must be at most 1, got {text}")
     return value
+
+
+def _rate_list(text: str) -> List[float]:
+    """Comma-separated, strictly ascending, positive rates (req/s)."""
+    parts = [part.strip() for part in text.split(",") if part.strip()]
+    if not parts:
+        raise argparse.ArgumentTypeError("needs at least one rate")
+    values = [_positive_float(part) for part in parts]
+    if any(b <= a for a, b in zip(values, values[1:])):
+        raise argparse.ArgumentTypeError(
+            f"rates must be strictly ascending, got {text}")
+    return values
 
 
 def _load(name: str, seed: int):
@@ -278,6 +300,217 @@ def _cmd_obs_prom(args: argparse.Namespace) -> int:
     return 0
 
 
+def _reset_telemetry(args: argparse.Namespace) -> None:
+    from .obs import configure_logging, registry, reset_spans, trace_recorder
+
+    if getattr(args, "log_level", None):
+        configure_logging(args.log_level)
+    registry().reset()
+    reset_spans()
+    trace_recorder().reset()
+
+
+def _fit_for_load(args: argparse.Namespace):
+    """Fit the matcher a load command drives (once per invocation)."""
+    bundle, dataset = _load(args.benchmark, args.seed)
+    matcher = _make_matcher(args, bundle)
+    matcher.fit(dataset.graph, dataset.images, dataset.entity_vertices)
+    return matcher, dataset
+
+
+def _service_for_load(matcher, args: argparse.Namespace):
+    """A fresh warmed service over an already-fitted matcher.
+
+    Fresh per run/sweep point because a drained service's admission
+    queue is closed for good; the expensive part (the fitted matcher
+    and its encoded repository) is shared across points.
+    """
+    from .serve import MatchService, ServeConfig
+
+    config = ServeConfig(capacity=args.capacity, workers=args.workers,
+                         default_budget_ms=args.default_budget_ms,
+                         trace_sample_rate=args.trace_sample_rate)
+    return MatchService(matcher, config=config).warmup()
+
+
+def _load_config_from_args(args: argparse.Namespace, *,
+                           rate: Optional[float] = None,
+                           replay=None):
+    from .loadgen import LoadConfig
+
+    if replay is not None:
+        return LoadConfig(process="replay", duration=args.duration,
+                          seed=args.seed, replay=replay)
+    return LoadConfig(process=args.process,
+                      rate=args.rate if rate is None else rate,
+                      duration=args.duration, seed=args.seed,
+                      burst_rate=args.burst_rate,
+                      on_seconds=args.on_seconds,
+                      off_seconds=args.off_seconds,
+                      skew=args.skew, budget_ms=args.budget_ms,
+                      bad_fraction=args.bad_fraction)
+
+
+_SLO_FIELDS = ("p50_ms", "p95_ms", "p99_ms", "availability",
+               "max_degraded", "max_shed")
+
+
+def _spec_from_args(args: argparse.Namespace):
+    """The SLO spec a command was given — ``--spec FILE`` or inline
+    objective flags; ``None`` when neither was provided."""
+    from .obs.slo import SLOSpec, load_spec
+
+    if getattr(args, "spec", None):
+        return load_spec(args.spec)
+    objectives = {field: getattr(args, field) for field in _SLO_FIELDS
+                  if getattr(args, field, None) is not None}
+    if not objectives:
+        return None
+    return SLOSpec(name=getattr(args, "slo_name", "cli"), **objectives)
+
+
+def _emit_load_artifacts(report, args: argparse.Namespace) -> None:
+    from pathlib import Path
+
+    from .obs import export_jsonl, export_prom
+
+    report.publish()
+    summary = report.summary()
+    print(f"offered {summary['offered']} requests over "
+          f"{summary['duration_s']:.2f}s "
+          f"({summary['offered_rate']:.1f}/s offered, "
+          f"{summary['achieved_rate']:.1f}/s answered)")
+    print(f"outcomes: " + " ".join(
+        f"{outcome}={count}" for outcome, count
+        in summary["outcomes"].items() if count))
+    print(f"latency (from intended arrival): "
+          f"p50={summary['p50_ms']:.1f}ms p95={summary['p95_ms']:.1f}ms "
+          f"p99={summary['p99_ms']:.1f}ms max={summary['max_ms']:.1f}ms")
+    print(f"availability={summary['availability']:.4f} "
+          f"max_injector_lag={summary['max_lag_ms']:.1f}ms")
+    if args.output:
+        saved = report.save(args.output)
+        print(f"wrote load report to {saved}", file=sys.stderr)
+    if args.metrics_out:
+        rows = export_jsonl(args.metrics_out,
+                            meta={"benchmark": args.benchmark,
+                                  "command": "load",
+                                  "seed": args.seed})
+        print(f"wrote {rows} metric rows to {args.metrics_out}",
+              file=sys.stderr)
+        prom_path = export_prom(Path(args.metrics_out).with_suffix(".prom"))
+        print(f"wrote OpenMetrics snapshot to {prom_path}", file=sys.stderr)
+
+
+def _cmd_load_run(args: argparse.Namespace) -> int:
+    from .loadgen import build_schedule, run_schedule
+
+    _reset_telemetry(args)
+    matcher, dataset = _fit_for_load(args)
+    config = _load_config_from_args(args)
+    schedule = build_schedule(config, matcher.vertex_ids)
+    print(f"load run on {dataset.name}: {len(schedule)} requests, "
+          f"{config.process} arrivals at {config.rate:g}/s for "
+          f"{config.duration:g}s", file=sys.stderr)
+    service = _service_for_load(matcher, args)
+    report = run_schedule(service, schedule,
+                          meta={"benchmark": args.benchmark,
+                                "config": config.describe()})
+    _emit_load_artifacts(report, args)
+    return 0
+
+
+def _cmd_load_sweep(args: argparse.Namespace) -> int:
+    from .loadgen import build_schedule, run_schedule
+    from .obs.frontier import format_frontier, save_frontier, sweep_frontier
+
+    spec = _spec_from_args(args)
+    if spec is None:
+        print("load sweep needs an SLO: --spec FILE or at least one "
+              "objective flag (e.g. --p99-ms)", file=sys.stderr)
+        return 2
+    _reset_telemetry(args)
+    matcher, _ = _fit_for_load(args)
+
+    def run_point(rate: float) -> dict:
+        config = _load_config_from_args(args, rate=rate)
+        schedule = build_schedule(config, matcher.vertex_ids)
+        service = _service_for_load(matcher, args)
+        report = run_schedule(service, schedule)
+        return report.summary()
+
+    doc = sweep_frontier(
+        run_point, args.rates, spec,
+        meta={"benchmark": args.benchmark, "seed": args.seed,
+              "process": args.process, "duration": args.duration,
+              "workers": args.workers, "capacity": args.capacity},
+        progress=lambda message: print(message, file=sys.stderr))
+    print(format_frontier(doc))
+    if args.output:
+        saved = save_frontier(args.output, doc)
+        print(f"wrote frontier artifact to {saved}", file=sys.stderr)
+    return 0 if doc["knee"] is not None else 1
+
+
+def _cmd_load_replay(args: argparse.Namespace) -> int:
+    from .loadgen import run_schedule, schedule_from_traces
+    from .obs.export import read_jsonl
+
+    _reset_telemetry(args)
+    schedule, skipped = schedule_from_traces(read_jsonl(args.trace),
+                                             speedup=args.speedup)
+    if skipped:
+        print(f"skipped {skipped} non-replayable trace row(s) "
+              f"(no recorded start or request shape)", file=sys.stderr)
+    if not schedule:
+        print(f"{args.trace} holds no replayable traces", file=sys.stderr)
+        return 2
+    for index, (_, request) in enumerate(schedule):
+        request["id"] = f"replay-{index}"
+    matcher, dataset = _fit_for_load(args)
+    span_s = schedule[-1][0] if schedule else 0.0
+    print(f"replaying {len(schedule)} requests over {span_s:.2f}s "
+          f"(speedup {args.speedup:g}x) against {dataset.name}",
+          file=sys.stderr)
+    service = _service_for_load(matcher, args)
+    report = run_schedule(service, schedule,
+                          meta={"benchmark": args.benchmark,
+                                "trace": str(args.trace),
+                                "speedup": args.speedup,
+                                "skipped": skipped})
+    _emit_load_artifacts(report, args)
+    return 0
+
+
+def _cmd_obs_slo(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .obs.frontier import is_frontier_doc
+    from .obs.slo import evaluate_slo, format_slo
+
+    spec = _spec_from_args(args)
+    if spec is None:
+        print("obs slo needs an SLO: --spec FILE or at least one "
+              "objective flag (e.g. --p99-ms)", file=sys.stderr)
+        return 2
+    doc = _json.loads(open(args.path, encoding="utf-8").read())
+    if is_frontier_doc(doc):
+        knee = doc.get("knee")
+        if knee is None:
+            print("frontier has no knee: the lowest swept rate already "
+                  "violated its SLOs", file=sys.stderr)
+            return 1
+        summary = knee.get("summary", {})
+        print(f"evaluating frontier knee ({knee.get('rate'):g} req/s)")
+    elif "summary" in doc:
+        summary = doc["summary"]
+    else:
+        summary = doc  # already a bare summary dict
+    result = evaluate_slo(spec, summary)
+    print(format_slo(result))
+    return 0 if result.ok else 1
+
+
 def _cmd_clean(args: argparse.Namespace) -> int:
     import numpy as np
 
@@ -388,8 +621,109 @@ def build_parser() -> argparse.ArgumentParser:
                             "exit (plus an OpenMetrics .prom snapshot)")
     serve.set_defaults(func=_cmd_serve)
 
+    # shared flag groups for the load subcommands (argparse parents)
+    load_service = argparse.ArgumentParser(add_help=False)
+    load_service.add_argument("--method", default="hard",
+                              choices=("baseline", "hard", "soft", "plus"))
+    load_service.add_argument("--epochs", type=_positive_int, default=1,
+                              help="training epochs before the run")
+    load_service.add_argument("--lr", type=float, default=1e-3)
+    load_service.add_argument("--capacity", type=_positive_int, default=16,
+                              help="work-queue slots before shedding")
+    load_service.add_argument("--workers", type=_positive_int, default=1,
+                              help="worker threads draining the queue")
+    load_service.add_argument("--default-budget-ms", type=_positive_float,
+                              default=None, metavar="MS",
+                              help="deadline applied to requests without one")
+    load_service.add_argument("--trace-sample-rate", type=_unit_interval,
+                              default=0.0, metavar="RATE",
+                              help="head-sampling rate for request traces "
+                                   "(default 0: flagged traces only)")
+    load_service.add_argument("--log-level", default=None,
+                              choices=_LOG_LEVELS,
+                              help="override REPRO_LOG_LEVEL for this run")
+    load_service.add_argument("--output", default=None, metavar="PATH",
+                              help="write the run artifact (JSON) here")
+    load_service.add_argument("--metrics-out", default=None, metavar="PATH",
+                              help="write metrics + spans + traces as "
+                                   "JSONL (plus a .prom snapshot)")
+
+    load_shape = argparse.ArgumentParser(add_help=False)
+    load_shape.add_argument("--process", default="poisson",
+                            choices=("poisson", "bursty", "uniform"),
+                            help="arrival process of the offered workload")
+    load_shape.add_argument("--duration", type=_positive_float, default=1.0,
+                            metavar="S", help="run length in seconds")
+    load_shape.add_argument("--burst-rate", type=_positive_float,
+                            default=None, metavar="R",
+                            help="bursty: on-phase rate (default 4x base)")
+    load_shape.add_argument("--on-seconds", type=_positive_float,
+                            default=0.25, metavar="S")
+    load_shape.add_argument("--off-seconds", type=_positive_float,
+                            default=0.25, metavar="S")
+    load_shape.add_argument("--skew", type=_non_negative_float, default=1.1,
+                            help="Zipf exponent of vertex popularity "
+                                 "(0 = uniform)")
+    load_shape.add_argument("--budget-ms", type=_positive_float,
+                            default=None, metavar="MS",
+                            help="deadline attached to every query")
+    load_shape.add_argument("--bad-fraction", type=_unit_interval,
+                            default=0.0, metavar="F",
+                            help="fraction of dirty (unknown-vertex) "
+                                 "queries")
+
+    slo_flags = argparse.ArgumentParser(add_help=False)
+    slo_flags.add_argument("--spec", default=None, metavar="FILE",
+                           help="SLO spec as JSON (overrides the flags)")
+    slo_flags.add_argument("--slo-name", default="cli",
+                           help="name recorded on a flag-built spec")
+    slo_flags.add_argument("--p50-ms", type=_positive_float, default=None)
+    slo_flags.add_argument("--p95-ms", type=_positive_float, default=None)
+    slo_flags.add_argument("--p99-ms", type=_positive_float, default=None)
+    slo_flags.add_argument("--availability", type=_unit_interval,
+                           default=None,
+                           help="minimum answered fraction (ok + degraded)")
+    slo_flags.add_argument("--max-degraded", type=_unit_interval,
+                           default=None)
+    slo_flags.add_argument("--max-shed", type=_unit_interval, default=None)
+
+    load = commands.add_parser(
+        "load", help="open-loop load generation against the serving layer")
+    load_commands = load.add_subparsers(dest="load_command", required=True)
+
+    load_run = load_commands.add_parser(
+        "run", parents=[load_service, load_shape],
+        help="drive one workload and report outcomes + latency")
+    _add_benchmark_argument(load_run)
+    load_run.add_argument("--rate", type=_positive_float, default=50.0,
+                          metavar="R",
+                          help="offered rate in requests/second "
+                               "(base rate for bursty)")
+    load_run.set_defaults(func=_cmd_load_run)
+
+    load_sweep = load_commands.add_parser(
+        "sweep", parents=[load_service, load_shape, slo_flags],
+        help="step offered rates and emit the SLO frontier + knee")
+    _add_benchmark_argument(load_sweep)
+    load_sweep.add_argument("--rates", type=_rate_list, required=True,
+                            metavar="R1,R2,...",
+                            help="ascending offered rates to sweep")
+    load_sweep.set_defaults(func=_cmd_load_sweep)
+
+    load_replay = load_commands.add_parser(
+        "replay", parents=[load_service],
+        help="re-offer the workload recorded in an exported trace JSONL")
+    load_replay.add_argument("trace",
+                             help="metrics JSONL export holding trace rows")
+    _add_benchmark_argument(load_replay)
+    load_replay.add_argument("--speedup", type=_positive_float, default=1.0,
+                             help="replay-rate multiplier (2 = twice as "
+                                  "fast as recorded)")
+    load_replay.set_defaults(func=_cmd_load_replay)
+
     obs = commands.add_parser(
-        "obs", help="analyse exported telemetry (report / diff / prom)")
+        "obs",
+        help="analyse exported telemetry (report / diff / slo / prom)")
     obs_commands = obs.add_subparsers(dest="obs_command", required=True)
 
     report = obs_commands.add_parser(
@@ -418,6 +752,14 @@ def build_parser() -> argparse.ArgumentParser:
     diff.add_argument("--changed-only", action="store_true",
                       help="hide metrics whose value did not move")
     diff.set_defaults(func=_cmd_obs_diff)
+
+    slo = obs_commands.add_parser(
+        "slo", parents=[slo_flags],
+        help="evaluate an SLO spec against a load report or frontier; "
+             "non-zero exit on violation")
+    slo.add_argument("path", help="load report JSON, frontier artifact, "
+                                  "or bare summary dict")
+    slo.set_defaults(func=_cmd_obs_slo)
 
     prom = obs_commands.add_parser(
         "prom", help="render an export as OpenMetrics text")

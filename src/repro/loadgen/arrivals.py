@@ -1,0 +1,154 @@
+"""Arrival processes: *when* requests are offered to the service.
+
+Every generator here returns a list of intended arrival *offsets* in
+seconds from the start of the run.  The schedule is computed up front
+(before a single request is sent) because the harness is **open-loop**:
+when the service stalls, the next arrival's intended time does not move
+— that is precisely what lets the recorder charge queueing delay to the
+service instead of silently pausing the workload (coordinated
+omission; see DESIGN.md §11).
+
+All randomness flows through an injectable ``random.Random``, so a
+seed pins the entire offered workload — identical schedules across the
+two sides of an A/B run or a CI re-run.
+
+* :func:`uniform_arrivals` — deterministic, evenly spaced.  No
+  variance at all, which makes it the right process for CI smoke
+  sweeps and fake-clock tests.
+* :func:`poisson_arrivals` — exponential inter-arrival gaps, the
+  classic memoryless open-loop model of many independent clients.
+* :func:`bursty_arrivals` — an on/off modulated-rate Poisson process:
+  alternating phases at a burst rate and a (possibly zero) base rate.
+  The memorylessness of the exponential makes truncating a gap at a
+  phase boundary statistically exact, not an approximation.
+* :func:`replay_offsets` / :func:`schedule_from_traces` — replay the
+  inter-arrival spacing (and query shapes) recorded in a schema-v2
+  trace export, optionally sped up.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["uniform_arrivals", "poisson_arrivals", "bursty_arrivals",
+           "replay_offsets", "schedule_from_traces"]
+
+
+def uniform_arrivals(rate: float, duration: float) -> List[float]:
+    """Evenly spaced offsets at ``rate`` requests/second."""
+    if rate <= 0 or duration <= 0:
+        raise ValueError("rate and duration must be positive")
+    gap = 1.0 / rate
+    count = int(duration * rate)
+    return [i * gap for i in range(count)]
+
+
+def poisson_arrivals(rate: float, duration: float,
+                     rng: random.Random) -> List[float]:
+    """Poisson-process offsets: i.i.d. exponential gaps at ``rate``."""
+    if rate <= 0 or duration <= 0:
+        raise ValueError("rate and duration must be positive")
+    offsets: List[float] = []
+    t = rng.expovariate(rate)
+    while t < duration:
+        offsets.append(t)
+        t += rng.expovariate(rate)
+    return offsets
+
+
+def bursty_arrivals(base_rate: float, burst_rate: float, on_seconds: float,
+                    off_seconds: float, duration: float,
+                    rng: random.Random) -> List[float]:
+    """On/off modulated-rate Poisson offsets.
+
+    The run alternates an *on* phase at ``burst_rate`` with an *off*
+    phase at ``base_rate`` (0 silences the off phase entirely),
+    starting with *on*.  Within a phase arrivals are Poisson; at a
+    phase boundary the pending gap is simply discarded and redrawn at
+    the new rate — exact for exponential gaps, since the time already
+    waited carries no information (memorylessness).
+    """
+    if base_rate < 0 or burst_rate <= 0:
+        raise ValueError("burst_rate must be positive, base_rate >= 0")
+    if on_seconds <= 0 or off_seconds <= 0 or duration <= 0:
+        raise ValueError("phase lengths and duration must be positive")
+    offsets: List[float] = []
+    t, phase_end, on = 0.0, on_seconds, True
+    while t < duration:
+        rate = burst_rate if on else base_rate
+        if rate == 0.0:
+            t = phase_end
+        else:
+            t += rng.expovariate(rate)
+            if t < min(phase_end, duration):
+                offsets.append(t)
+                continue
+            t = min(t, phase_end)
+        if t >= phase_end:
+            t = phase_end
+            on = not on
+            phase_end += on_seconds if on else off_seconds
+    return offsets
+
+
+def replay_offsets(starts: Sequence[float],
+                   speedup: float = 1.0) -> List[float]:
+    """Recorded clock readings → offsets from the first, compressed by
+    ``speedup`` (2.0 replays the trace at twice the recorded rate)."""
+    if speedup <= 0:
+        raise ValueError("speedup must be positive")
+    if not starts:
+        return []
+    ordered = sorted(float(s) for s in starts)
+    epoch = ordered[0]
+    return [(s - epoch) / speedup for s in ordered]
+
+
+def _request_shape(trace_row: dict) -> Optional[dict]:
+    """The query shape a serve trace recorded, if any.
+
+    ``MatchService`` appends a ``request`` event (vertex / top_k /
+    budget_ms) to the root span of every successfully parsed request;
+    traces without one (parse failures, sheds, pre-event exports)
+    cannot be replayed and are skipped.
+    """
+    spans = trace_row.get("spans") or {}
+    for event in spans.get("events", ()):
+        if event.get("kind") == "request":
+            attrs = event.get("attrs", {})
+            if "vertex" not in attrs:
+                return None
+            request = {"vertex": attrs["vertex"]}
+            if attrs.get("top_k") is not None:
+                request["top_k"] = attrs["top_k"]
+            if attrs.get("budget_ms") is not None:
+                request["budget_ms"] = attrs["budget_ms"]
+            return request
+    return None
+
+
+def schedule_from_traces(rows: Sequence[dict], *, speedup: float = 1.0
+                         ) -> Tuple[List[Tuple[float, dict]], int]:
+    """Replayable ``(offset, request)`` pairs from exported trace rows.
+
+    Uses each trace's recorded ``started`` clock reading for spacing
+    (the absolute values are process-relative; only the gaps matter)
+    and its ``request`` event for the query shape.  Returns the
+    schedule plus the number of trace rows that could not be replayed.
+    """
+    entries: List[Tuple[float, dict]] = []
+    skipped = 0
+    for row in rows:
+        if row.get("type") != "trace":
+            continue
+        started = row.get("started")
+        request = _request_shape(row)
+        if started is None or request is None:
+            skipped += 1
+            continue
+        entries.append((float(started), request))
+    entries.sort(key=lambda entry: entry[0])
+    offsets = replay_offsets([started for started, _ in entries], speedup)
+    return ([(offset, request) for offset, (_, request)
+             in zip(offsets, entries)], skipped)

@@ -1,0 +1,94 @@
+"""Query mixes: *what* the offered requests look like.
+
+Real product-matching traffic is not uniform over the catalog: a few
+hot entities take most of the queries while a long tail is touched
+rarely, and a fraction of the stream is dirty — ids that resolve to
+nothing, odd ``top_k`` asks (APrompt4EM's generalized-EM framing names
+exactly these gap cases).  Driving a serve layer with uniform queries
+over-reports its capacity, because every cache tier looks artificially
+effective when nothing is cold.
+
+:class:`QueryMix` samples that shape deterministically:
+
+* **heavy-tailed popularity** — vertices are ranked by a seeded
+  shuffle and drawn Zipf-like with weight ``(rank+1)^-skew``; skew 0
+  degenerates to uniform, ~1.1 matches the classic web-traffic fit;
+* **mixed top_k** — weighted choice over a handful of k values, so
+  the batch shapes downstream vary like real clients';
+* **dirty fraction** — with probability ``bad_fraction`` the query
+  names a vertex outside the catalog, exercising the ``bad_request``
+  path under load instead of only in unit tests.
+
+All draws come from one seeded ``random.Random``, so a (seed,
+vertices) pair pins the exact request sequence.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["QueryMix"]
+
+
+class QueryMix:
+    """Deterministic heavy-tailed request generator over a vertex set."""
+
+    def __init__(self, vertices: Sequence[int], *,
+                 skew: float = 1.1,
+                 top_k_weights: Sequence[Tuple[int, float]] = ((1, 0.7),
+                                                              (3, 0.2),
+                                                              (5, 0.1)),
+                 budget_ms: Optional[float] = None,
+                 bad_fraction: float = 0.0,
+                 rng: Optional[random.Random] = None) -> None:
+        if not vertices:
+            raise ValueError("a query mix needs at least one vertex")
+        if skew < 0:
+            raise ValueError("skew must be non-negative")
+        if not 0.0 <= bad_fraction <= 1.0:
+            raise ValueError("bad_fraction must be in [0, 1]")
+        if budget_ms is not None and budget_ms <= 0:
+            raise ValueError("budget_ms must be positive")
+        if not top_k_weights or any(k < 1 or w < 0
+                                    for k, w in top_k_weights):
+            raise ValueError("top_k_weights needs positive ks and "
+                             "non-negative weights")
+        self._rng = rng if rng is not None else random.Random(0)
+        self.budget_ms = budget_ms
+        self.bad_fraction = float(bad_fraction)
+        # popularity ranking: a seeded shuffle decides *which* vertices
+        # are hot, the Zipf weights decide *how* hot
+        ranked = list(vertices)
+        self._rng.shuffle(ranked)
+        self._ranked = ranked
+        weights = [(rank + 1) ** -skew for rank in range(len(ranked))]
+        self._cum_popularity = list(itertools.accumulate(weights))
+        self._top_ks = [k for k, _ in top_k_weights]
+        self._cum_top_k = list(itertools.accumulate(
+            w for _, w in top_k_weights))
+        if self._cum_top_k[-1] <= 0:
+            raise ValueError("top_k_weights must not all be zero")
+
+    def _weighted(self, cumulative: List[float]) -> int:
+        point = self._rng.random() * cumulative[-1]
+        return bisect.bisect_right(cumulative, point)
+
+    def sample(self) -> dict:
+        """One request body (without an id; the harness assigns those)."""
+        request: Dict[str, object] = {}
+        if self.bad_fraction and self._rng.random() < self.bad_fraction:
+            # an id guaranteed outside any catalog: vertices are >= 0
+            request["vertex"] = -1 - self._rng.randrange(1 << 16)
+        else:
+            index = min(self._weighted(self._cum_popularity),
+                        len(self._ranked) - 1)
+            request["vertex"] = int(self._ranked[index])
+        index = min(self._weighted(self._cum_top_k),
+                    len(self._top_ks) - 1)
+        request["top_k"] = int(self._top_ks[index])
+        if self.budget_ms is not None:
+            request["budget_ms"] = self.budget_ms
+        return request

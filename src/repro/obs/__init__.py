@@ -8,7 +8,11 @@ vocabulary:
 * :mod:`repro.obs.spans` — nestable wall-time spans aggregated into a
   hierarchical profile (``with span("fit/epoch"): ...``).
 * :mod:`repro.obs.metrics` — a process-wide registry of counters,
-  gauges and histograms.
+  gauges and histograms (reservoir- or fixed-bucket-backed, see
+  :mod:`repro.obs.hist`).
+* :mod:`repro.obs.slo` / :mod:`repro.obs.frontier` — declarative SLO
+  specs evaluated against load-run summaries, and latency/throughput
+  frontier sweeps with a CI-gateable knee artifact.
 * :mod:`repro.obs.trace` — request-scoped traces: a span *tree* with
   typed events per request, head-sampled into a bounded recorder, with
   cross-thread context propagation for pooled work.
@@ -29,9 +33,14 @@ lock is ever taken while tracing is disabled.
 """
 
 from .export import export_jsonl, read_jsonl
+from .frontier import (detect_knee, format_frontier, frontier_rows,
+                       load_frontier, save_frontier, sweep_frontier)
+from .hist import BucketHistogram, log_bounds
 from .log import Logger, configure as configure_logging, get_logger, level_name
 from .metrics import (Counter, Gauge, Histogram, MetricsRegistry, registry)
 from .promtext import export_prom, render_openmetrics
+from .slo import (ObjectiveResult, SLOResult, SLOSpec, evaluate_slo,
+                  format_slo, load_spec)
 from .spans import (format_profile, reset_spans, set_spans_enabled, span,
                     span_snapshot, spans_enabled)
 from .trace import (SamplePolicy, Trace, TraceRecorder, Tracer,
@@ -44,6 +53,11 @@ __all__ = [
     "span", "span_snapshot", "format_profile", "reset_spans",
     "set_spans_enabled", "spans_enabled",
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "registry",
+    "BucketHistogram", "log_bounds",
+    "SLOSpec", "SLOResult", "ObjectiveResult", "evaluate_slo",
+    "format_slo", "load_spec",
+    "sweep_frontier", "detect_knee", "frontier_rows",
+    "save_frontier", "load_frontier", "format_frontier",
     "export_jsonl", "read_jsonl",
     "export_prom", "render_openmetrics",
     "SamplePolicy", "Trace", "TraceRecorder", "Tracer",

@@ -13,7 +13,12 @@ Two input formats are accepted per side:
 * a ``bench_hotpaths.py`` JSON report (``BENCH_hotpaths.json`` or the
   committed quick baseline): its ``paths.<name>.{optimized_s,...}``
   entries become synthetic gauges named ``bench.<name>.<field>``, so the
-  committed benchmark baseline works directly as the "old" side.
+  committed benchmark baseline works directly as the "old" side;
+* a frontier artifact (``repro load sweep --output``, detected by its
+  ``repro.frontier/1`` schema): the knee and per-point summaries become
+  ``frontier.*`` gauges — notably ``frontier.knee.interarrival_ms``,
+  time-shaped so a capacity loss trips the default watch like any
+  latency regression.
 
 A regression is: the metric matches a watch pattern (default: the
 time-shaped names ``*seconds*``, ``*_s``, ``*_ms``, ``*.p50``,
@@ -76,8 +81,9 @@ def _rows_from_bench(doc: dict) -> List[dict]:
 
 
 def load_rows(path) -> List[dict]:
-    """Exporter rows from ``path`` — a metrics JSONL file or a
-    ``bench_hotpaths.py`` JSON report (detected by its ``paths`` key)."""
+    """Exporter rows from ``path`` — a metrics JSONL file, a
+    ``bench_hotpaths.py`` JSON report (detected by its ``paths`` key),
+    or a frontier artifact (detected by its schema)."""
     path = Path(path)
     text = path.read_text(encoding="utf-8")
     stripped = text.lstrip()
@@ -86,8 +92,13 @@ def load_rows(path) -> List[dict]:
             doc = json.loads(text)
         except ValueError:
             doc = None
-        if isinstance(doc, dict) and "paths" in doc:
-            return _rows_from_bench(doc)
+        if isinstance(doc, dict):
+            from .frontier import frontier_rows, is_frontier_doc
+
+            if is_frontier_doc(doc):
+                return frontier_rows(doc)
+            if "paths" in doc:
+                return _rows_from_bench(doc)
     return read_jsonl(path)
 
 
@@ -102,6 +113,9 @@ def flatten_rows(rows: Iterable[dict]) -> Dict[str, float]:
         elif kind == "histogram":
             for field in ("count", "sum", "p50", "p95"):
                 flat[f"{name}.{field}"] = float(row[field])
+            # bucket-backed histograms carry an exact tail facet too
+            if "p99" in row:
+                flat[f"{name}.p99"] = float(row["p99"])
         elif kind == "span":
             flat[f"{name}.count"] = float(row["count"])
             flat[f"{name}.total_seconds"] = float(row["total_seconds"])

@@ -4,7 +4,7 @@ One line per record.  The first line is a ``meta`` header; every other
 line is a registry instrument row, a span row, or (schema v2) a sampled
 request trace::
 
-    {"type": "meta", "schema_version": 2, "created_unix": ..., ...}
+    {"type": "meta", "schema_version": 3, "created_unix": ..., ...}
     {"type": "counter", "name": "cache.hit", "value": 3}
     {"type": "gauge", "name": "train.pairs_per_sec", "value": 812.4}
     {"type": "histogram", "name": "train.epoch_loss", "count": 10,
@@ -40,8 +40,12 @@ from .trace import TraceRecorder, trace_recorder
 
 __all__ = ["SCHEMA_VERSION", "export_jsonl", "read_jsonl"]
 
-#: v2 added ``trace`` rows (request span trees); v1 files still read fine
-SCHEMA_VERSION = 2
+#: v2 added ``trace`` rows (request span trees); v3 adds optional
+#: ``buckets`` payloads on histogram rows (bucket-backed instruments),
+#: a ``p99`` facet alongside them, and ``started`` + ``request`` events
+#: on trace rows so exported traces can be replayed as load schedules.
+#: Older files still read fine — every addition is a new optional key.
+SCHEMA_VERSION = 3
 
 
 def export_jsonl(path, reg: Optional[MetricsRegistry] = None,

@@ -1,0 +1,163 @@
+"""Latency/throughput frontier sweeps with a CI-gateable knee artifact.
+
+A single load run answers "how does the service behave at rate R"; the
+capacity question is "what is the *highest* R at which it still meets
+its SLOs".  :func:`sweep_frontier` steps an ascending ladder of
+offered rates, runs the harness at each point, evaluates the SLO spec
+against each summary, and detects the **knee**: the last rate whose
+SLOs hold with every lower rate also holding (the contiguous-prefix
+rule, so a fluke pass above a failing rate never inflates capacity).
+
+The result is a committed JSON artifact (``repro load sweep
+--output``).  ``repro obs diff`` understands it natively: the knee
+flattens into synthetic gauges, most importantly
+``frontier.knee.interarrival_ms`` (milliseconds between requests at
+the knee — a *time-shaped* series where bigger is worse, so the
+default regression policy gates a capacity loss exactly like a latency
+regression).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence
+
+from .slo import SLOSpec, evaluate_slo
+
+__all__ = ["FRONTIER_SCHEMA", "sweep_frontier", "detect_knee",
+           "frontier_rows", "is_frontier_doc", "save_frontier",
+           "load_frontier", "format_frontier"]
+
+FRONTIER_SCHEMA = "repro.frontier/1"
+
+
+def sweep_frontier(run_point: Callable[[float], dict],
+                   rates: Sequence[float], spec: SLOSpec, *,
+                   meta: Optional[dict] = None,
+                   progress: Optional[Callable[[str], None]] = None) -> dict:
+    """Sweep ``rates`` (ascending) through ``run_point`` → artifact doc.
+
+    ``run_point(rate)`` performs one load run at the offered rate and
+    returns its summary dict (:meth:`LoadReport.summary`).
+    """
+    rates = [float(rate) for rate in rates]
+    if not rates:
+        raise ValueError("a sweep needs at least one rate")
+    if any(b <= a for a, b in zip(rates, rates[1:])):
+        raise ValueError("rates must be strictly ascending")
+    points: List[dict] = []
+    for rate in rates:
+        if progress is not None:
+            progress(f"offered rate {rate:g}/s ...")
+        summary = run_point(rate)
+        result = evaluate_slo(spec, summary)
+        points.append({"rate": rate, "ok": result.ok,
+                       "summary": summary, "slo": result.to_dict()})
+        if progress is not None:
+            verdict = "pass" if result.ok else "FAIL"
+            progress(f"  p99={summary.get('p99_ms', 0.0):.1f}ms "
+                     f"availability={summary.get('availability', 0.0):.3f} "
+                     f"slo={verdict}")
+    return {"schema": FRONTIER_SCHEMA, "spec": spec.to_dict(),
+            "meta": meta or {}, "points": points,
+            "knee": detect_knee(points)}
+
+
+def detect_knee(points: Sequence[dict]) -> Optional[dict]:
+    """The last point of the passing prefix, or ``None`` if the very
+    first rate already violates the SLOs."""
+    knee = None
+    for point in points:
+        if not point.get("ok"):
+            break
+        knee = point
+    return knee
+
+
+def is_frontier_doc(doc) -> bool:
+    return isinstance(doc, dict) and (
+        doc.get("schema") == FRONTIER_SCHEMA
+        or ("points" in doc and "knee" in doc and "spec" in doc))
+
+
+def _gauge(name: str, value) -> Optional[dict]:
+    if value is None:
+        return None
+    return {"type": "gauge", "name": name, "value": float(value)}
+
+
+def frontier_rows(doc: dict) -> List[dict]:
+    """Synthetic gauge rows so ``repro obs diff`` can gate a frontier.
+
+    The knee's capacity is exposed twice: ``frontier.knee.rate``
+    (human-readable, bigger is better — never watched) and
+    ``frontier.knee.interarrival_ms`` (its reciprocal in milliseconds,
+    time-shaped so the bigger-is-worse watch semantics apply).
+    """
+    rows: List[dict] = []
+    knee = doc.get("knee")
+    if knee is not None:
+        summary = knee.get("summary", {})
+        rows.extend(filter(None, (
+            _gauge("frontier.knee.rate", knee.get("rate")),
+            _gauge("frontier.knee.interarrival_ms",
+                   1000.0 / knee["rate"] if knee.get("rate") else None),
+            _gauge("frontier.knee.p99_ms", summary.get("p99_ms")),
+            _gauge("frontier.knee.availability",
+                   summary.get("availability")),
+        )))
+    for point in doc.get("points", ()):
+        rate = point.get("rate")
+        summary = point.get("summary", {})
+        key = f"frontier.point.r{rate:g}"
+        rows.extend(filter(None, (
+            _gauge(f"{key}.ok", 1.0 if point.get("ok") else 0.0),
+            _gauge(f"{key}.p99_ms", summary.get("p99_ms")),
+            _gauge(f"{key}.availability", summary.get("availability")),
+            _gauge(f"{key}.shed_fraction", summary.get("shed_fraction")),
+        )))
+    return rows
+
+
+def save_frontier(path, doc: dict) -> Path:
+    from ..iosafe import atomic_write_bytes
+
+    payload = json.dumps(doc, indent=2, sort_keys=True)
+    return atomic_write_bytes(Path(path), payload.encode("utf-8"))
+
+
+def load_frontier(path) -> dict:
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not is_frontier_doc(doc):
+        raise ValueError(f"{path} is not a frontier artifact")
+    return doc
+
+
+def format_frontier(doc: dict) -> str:
+    """The sweep as an aligned table with the knee marked."""
+    knee = doc.get("knee")
+    knee_rate = knee.get("rate") if knee else None
+    lines = [f"{'':2s}{'rate/s':>8s} {'offered':>8s} {'p50':>9s} "
+             f"{'p95':>9s} {'p99':>9s} {'avail':>7s} {'degr':>6s} "
+             f"{'shed':>6s}  slo"]
+    for point in doc.get("points", ()):
+        summary = point.get("summary", {})
+        marker = "*" if point.get("rate") == knee_rate else " "
+        lines.append(
+            f"{marker:2s}{point.get('rate', 0):>8g} "
+            f"{summary.get('offered', 0):>8d} "
+            f"{summary.get('p50_ms', 0.0):>7.1f}ms "
+            f"{summary.get('p95_ms', 0.0):>7.1f}ms "
+            f"{summary.get('p99_ms', 0.0):>7.1f}ms "
+            f"{summary.get('availability', 0.0):>7.3f} "
+            f"{summary.get('degraded_fraction', 0.0):>6.3f} "
+            f"{summary.get('shed_fraction', 0.0):>6.3f}  "
+            f"{'pass' if point.get('ok') else 'FAIL'}")
+    if knee is not None:
+        lines.append(f"knee: {knee_rate:g} req/s "
+                     f"(* = last rate whose SLOs hold)")
+    else:
+        lines.append("knee: none — the lowest swept rate already "
+                     "violates the SLOs")
+    return "\n".join(lines)

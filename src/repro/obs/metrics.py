@@ -21,8 +21,9 @@ same schema the JSONL exporter writes, so tests can assert on either.
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
+from .hist import BucketHistogram
 from .spans import _MAX_SAMPLES, Reservoir, percentile
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "registry"]
@@ -89,22 +90,48 @@ class Gauge:
 class Histogram:
     """A distribution summary: count/sum/min/max plus p50/p95.
 
-    Percentiles come from a seeded uniform reservoir of at most
-    ``_MAX_SAMPLES`` samples (:class:`~repro.obs.spans.Reservoir`), so
-    they estimate the whole stream; count, sum and the extrema stay
-    exact regardless.
+    Two percentile backends, chosen at creation time:
+
+    * **reservoir** (default, ``buckets=None``) — a seeded uniform
+      reservoir of at most ``_MAX_SAMPLES`` samples
+      (:class:`~repro.obs.spans.Reservoir`).  Percentiles are
+      interpolated from the sample, so they estimate the whole stream
+      with no up-front knowledge of its range — but on long runs the
+      tail (p99+) rests on however few retained samples land in the top
+      percentile, making extreme quantiles noisy estimates.
+    * **fixed buckets** (``buckets=<ascending upper bounds>``) — a
+      :class:`~repro.obs.hist.BucketHistogram`: every observation is
+      counted exactly into a pre-declared log-scale bucket, so any
+      quantile (including p99/p999) is wrong by at most one bucket's
+      relative width, never by sampling luck, and two histograms over
+      the same bounds merge losslessly.  The cost is choosing the
+      bucket layout up front; values outside it land in the overflow
+      bucket (counted, but quantile resolution degrades to "above the
+      last bound").
+
+    Use the reservoir for open-ended value ranges (losses, partition
+    sizes); use buckets for latencies and anything whose tail gates a
+    decision (SLOs, load-test frontiers).  Count, sum and the extrema
+    stay exact under both backends.
     """
 
     __slots__ = ("name", "_count", "_sum", "_min", "_max", "_samples",
-                 "_lock")
+                 "_buckets", "_lock")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str,
+                 buckets: Optional[Sequence[float]] = None) -> None:
         self.name = name
         self._count = 0
         self._sum = 0.0
         self._min = float("inf")
         self._max = float("-inf")
-        self._samples = Reservoir(_MAX_SAMPLES, seed_key=name)
+        if buckets is not None:
+            self._samples = None
+            self._buckets: Optional[BucketHistogram] = \
+                BucketHistogram(buckets)
+        else:
+            self._samples = Reservoir(_MAX_SAMPLES, seed_key=name)
+            self._buckets = None
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
@@ -114,7 +141,24 @@ class Histogram:
             self._sum += value
             self._min = min(self._min, value)
             self._max = max(self._max, value)
-            self._samples.offer(value)
+            if self._buckets is not None:
+                self._buckets.observe(value)
+            else:
+                self._samples.offer(value)
+
+    def merge_bucket(self, other: BucketHistogram) -> None:
+        """Merge a pre-aggregated :class:`BucketHistogram` into this
+        (bucket-backed) instrument — how the load harness publishes a
+        run's latency distribution without replaying every sample."""
+        with self._lock:
+            if self._buckets is None:
+                raise ValueError(f"histogram {self.name!r} is "
+                                 "reservoir-backed; cannot merge buckets")
+            self._buckets.merge(other)
+            self._count += other.count
+            self._sum += other.sum
+            self._min = min(self._min, other.min)
+            self._max = max(self._max, other.max)
 
     @property
     def count(self) -> int:
@@ -130,15 +174,29 @@ class Histogram:
 
     def quantile(self, q: float) -> float:
         with self._lock:
+            if self._buckets is not None:
+                return self._buckets.quantile(q)
             samples = list(self._samples.values)
         return percentile(samples, q)
 
     def row(self) -> dict:
         with self._lock:
-            samples = list(self._samples.values)
             count, total = self._count, self._sum
             low = self._min if count else 0.0
             high = self._max if count else 0.0
+            if self._buckets is not None:
+                # Bucket-backed rows additionally carry the raw bucket
+                # layout (rendered by promtext as a classic `le` family)
+                # and an exact-by-construction p99.
+                return {"type": "histogram", "name": self.name,
+                        "count": count, "sum": total, "min": low,
+                        "max": high,
+                        "p50": self._buckets.quantile(50.0),
+                        "p95": self._buckets.quantile(95.0),
+                        "p99": self._buckets.quantile(99.0),
+                        "buckets": {"bounds": list(self._buckets.bounds),
+                                    "counts": list(self._buckets.counts)}}
+            samples = list(self._samples.values)
         return {"type": "histogram", "name": self.name, "count": count,
                 "sum": total, "min": low, "max": high,
                 "p50": percentile(samples, 50.0),
@@ -152,11 +210,11 @@ class MetricsRegistry:
         self._instruments: Dict[str, object] = {}
         self._lock = threading.Lock()
 
-    def _get(self, name: str, cls):
+    def _get(self, name: str, cls, **kwargs):
         with self._lock:
             instrument = self._instruments.get(name)
             if instrument is None:
-                instrument = self._instruments[name] = cls(name)
+                instrument = self._instruments[name] = cls(name, **kwargs)
             elif not isinstance(instrument, cls):
                 raise ValueError(
                     f"metric {name!r} already registered as "
@@ -169,7 +227,12 @@ class MetricsRegistry:
     def gauge(self, name: str) -> Gauge:
         return self._get(name, Gauge)
 
-    def histogram(self, name: str) -> Histogram:
+    def histogram(self, name: str,
+                  buckets: Optional[Sequence[float]] = None) -> Histogram:
+        """Get-or-create; ``buckets`` selects the fixed-bucket backend
+        on first creation (ignored if the instrument already exists)."""
+        if buckets is not None:
+            return self._get(name, Histogram, buckets=buckets)
         return self._get(name, Histogram)
 
     def get(self, name: str):

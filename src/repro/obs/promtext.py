@@ -8,8 +8,12 @@ alongside the JSONL without any client library:
 
 * counter ``cache.hit`` → ``repro_cache_hit_total 3``
 * gauge ``train.pairs_per_sec`` → ``repro_train_pairs_per_sec 812.4``
-* histogram rows → a *summary* family: ``{quantile="0.5"|"0.95"}``
-  samples plus ``_count`` / ``_sum``
+* reservoir histogram rows → a *summary* family:
+  ``{quantile="0.5"|"0.95"}`` samples plus ``_count`` / ``_sum``
+* bucket-backed histogram rows (those carrying a ``buckets`` payload,
+  e.g. the load harness's ``load.latency_ms``) → a classic *histogram*
+  family: cumulative ``_bucket{le="..."}`` samples ending at
+  ``le="+Inf"`` (always equal to ``_count``), plus ``_count``/``_sum``
 * span rows → one shared ``repro_span_seconds`` summary family with a
   ``span="fit/epoch"`` label per path
 
@@ -85,11 +89,28 @@ def render_openmetrics(rows: Iterable[dict], prefix: str = "repro") -> str:
             family(name, "gauge").append(f"{name} {_fmt(row['value'])}")
         elif kind == "histogram":
             name = _metric_name(row["name"], prefix)
-            lines = family(name, "summary")
-            lines.append(f'{name}{{quantile="0.5"}} {_fmt(row["p50"])}')
-            lines.append(f'{name}{{quantile="0.95"}} {_fmt(row["p95"])}')
-            lines.append(f"{name}_count {_fmt(row['count'])}")
-            lines.append(f"{name}_sum {_fmt(row['sum'])}")
+            buckets = row.get("buckets")
+            if buckets:
+                lines = family(name, "histogram")
+                running = 0
+                for bound, count in zip(buckets["bounds"],
+                                        buckets["counts"]):
+                    running += int(count)
+                    lines.append(f'{name}_bucket{{le="{_fmt(bound)}"}} '
+                                 f"{running}")
+                # the +Inf bucket is total count by construction — the
+                # overflow slot is the last entry of ``counts``
+                lines.append(f'{name}_bucket{{le="+Inf"}} '
+                             f"{_fmt(row['count'])}")
+                lines.append(f"{name}_count {_fmt(row['count'])}")
+                lines.append(f"{name}_sum {_fmt(row['sum'])}")
+            else:
+                lines = family(name, "summary")
+                lines.append(f'{name}{{quantile="0.5"}} {_fmt(row["p50"])}')
+                lines.append(f'{name}{{quantile="0.95"}} '
+                             f'{_fmt(row["p95"])}')
+                lines.append(f"{name}_count {_fmt(row['count'])}")
+                lines.append(f"{name}_sum {_fmt(row['sum'])}")
         elif kind == "span":
             label = f'span="{_escape_label(row["name"])}"'
             lines = family(span_family, "summary")

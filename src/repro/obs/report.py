@@ -8,7 +8,10 @@
 * the top-N slowest sampled traces, each as its span tree with typed
   events (breaker transitions, degradation decisions, deadline checks,
   cache hits, sheds) interleaved in causal (timestamp) order — the
-  per-request "where did *this* request's time go".
+  per-request "where did *this* request's time go";
+* any bucket-backed histograms (schema v3 rows carrying a ``buckets``
+  payload, e.g. ``load.latency_ms``) as ASCII bar charts with exact
+  per-bucket counts.
 
 Everything renders from the exported rows alone, so reports work on any
 machine the JSONL lands on, long after the serving process is gone.
@@ -18,7 +21,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence
 
-__all__ = ["format_span_table", "format_trace", "format_report"]
+__all__ = ["format_span_table", "format_bucket_histogram", "format_trace",
+           "format_report"]
 
 
 def format_span_table(rows: Iterable[dict]) -> str:
@@ -52,6 +56,32 @@ def format_span_table(rows: Iterable[dict]) -> str:
     for top in sorted(children.get(None, []),
                       key=lambda p: -by_path[p]["total_seconds"]):
         emit(top, 0)
+    return "\n".join(lines)
+
+
+def format_bucket_histogram(row: dict, *, width: int = 40) -> str:
+    """One bucket-backed histogram row as an ASCII bar chart.
+
+    Empty leading/trailing buckets are trimmed; each kept bucket shows
+    its upper bound, exact count, and a bar scaled to the modal bucket.
+    """
+    payload = row.get("buckets") or {}
+    bounds = list(payload.get("bounds", ()))
+    counts = list(payload.get("counts", ()))
+    header = (f"{row['name']}  count={row['count']} "
+              f"sum={row['sum']:.6g} p50={row.get('p50', 0.0):.6g} "
+              f"p95={row.get('p95', 0.0):.6g} p99={row.get('p99', 0.0):.6g}")
+    occupied = [index for index, count in enumerate(counts) if count]
+    if not occupied:
+        return header + "\n  (empty)"
+    first, last = occupied[0], occupied[-1]
+    peak = max(counts[first:last + 1])
+    lines = [header]
+    for index in range(first, last + 1):
+        bound = "+Inf" if index >= len(bounds) else f"{bounds[index]:.4g}"
+        bar = "#" * max(1 if counts[index] else 0,
+                        round(counts[index] / peak * width))
+        lines.append(f"  le {bound:>10s} {counts[index]:>8d} {bar}")
     return "\n".join(lines)
 
 
@@ -103,6 +133,12 @@ def format_report(rows: Sequence[dict], top: int = 5) -> str:
     table = format_span_table(rows)
     if table:
         sections.append("== span profile ==\n" + table)
+    bucket_rows = [row for row in rows
+                   if row.get("type") == "histogram" and row.get("buckets")]
+    if bucket_rows:
+        body = "\n\n".join(format_bucket_histogram(row)
+                           for row in bucket_rows)
+        sections.append("== latency histograms ==\n" + body)
     traces = [row for row in rows if row.get("type") == "trace"]
     if traces:
         slowest = sorted(traces, key=lambda t: -t["duration_ms"])[:top]

@@ -19,6 +19,14 @@ Per path the aggregator keeps call count, total wall time and a bounded
 *reservoir* of samples for p50/p95: every observation has an equal
 chance of being retained (Vitter's Algorithm R), so the percentiles
 estimate the whole run, not just its first ``_MAX_SAMPLES`` calls.
+Reservoirs trade tail fidelity for shape-free storage — good enough for
+profiling spans, but not for SLO verdicts at p99 and beyond, where the
+handful of samples past the 99th rank are exactly the ones a uniform
+sample is likeliest to have dropped.  Distributions that feed SLOs use
+the exact fixed-bucket backend instead
+(:class:`repro.obs.hist.BucketHistogram`, available on registry
+histograms via ``registry().histogram(name, buckets=...)``); the
+tradeoff is documented in full on :class:`repro.obs.metrics.Histogram`.
 Aggregation is process-wide and thread-safe; the nesting stack is
 thread-local, so concurrent threads profile independently without
 seeing each other's parents.

@@ -220,6 +220,11 @@ class Trace:
             "name": self.name,
             "flags": sorted(self.flags),
             "sampled": "head" if self.head_sampled else "forced",
+            # raw clock reading at trace start (schema v3): span offsets
+            # are epoch-relative, so without this the inter-arrival
+            # spacing is unrecoverable and exports could not be replayed
+            # as load schedules (repro load replay)
+            "started": round(epoch, 6),
             "duration_ms": round(self.duration * 1e3, 4),
             "spans": self.root.to_row(epoch),
         }

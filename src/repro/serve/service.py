@@ -360,6 +360,10 @@ class MatchService:
         except BadRequest as exc:
             return self._error_response(request_id, exc.code, str(exc),
                                         started)
+        # the parsed shape, so exported traces replay as load schedules
+        add_trace_event("request", vertex=query.vertex, top_k=query.top_k,
+                        budget_ms=None if query.budget is None
+                        else round(query.budget * 1e3, 4))
         deadline = Deadline(query.budget, clock=self._clock)
         try:
             matches, tier, reason = self._execute(query, deadline)

@@ -130,6 +130,23 @@ class TestCLIValidation:
         ["serve", "cub", "--breaker-threshold", "1.5"],
         ["serve", "cub", "--breaker-min-calls", "0"],
         ["serve", "cub", "--breaker-cooldown-ms", "0"],
+        ["serve", "cub", "--trace-sample-rate", "1.5"],
+        ["serve", "cub", "--trace-sample-rate", "-0.1"],
+        ["load", "run", "cub", "--rate", "0"],
+        ["load", "run", "cub", "--rate", "-5"],
+        ["load", "run", "cub", "--rate", "fast"],
+        ["load", "run", "cub", "--duration", "0"],
+        ["load", "run", "cub", "--duration", "-1"],
+        ["load", "run", "cub", "--bad-fraction", "1.5"],
+        ["load", "run", "cub", "--skew", "-1"],
+        ["load", "run", "cub", "--budget-ms", "0"],
+        ["load", "run", "cub", "--trace-sample-rate", "2"],
+        ["load", "sweep", "cub", "--rates", ""],
+        ["load", "sweep", "cub", "--rates", "0,5"],
+        ["load", "sweep", "cub", "--rates", "5,5"],
+        ["load", "sweep", "cub", "--rates", "10,5"],
+        ["load", "sweep", "cub", "--rates", "1,x"],
+        ["load", "replay", "t.jsonl", "cub", "--speedup", "0"],
     ])
     def test_rejected_at_parse_time(self, argv, capsys):
         with pytest.raises(SystemExit) as excinfo:
@@ -278,6 +295,109 @@ class TestCLIObs:
             cli.main(["serve", "cub", "--trace-sample-rate", "2"])
         assert excinfo.value.code == 2
         assert "--trace-sample-rate" in capsys.readouterr().err
+
+
+class TestCLILoad:
+    def test_load_run_writes_report_and_metrics(self, capsys, tmp_path):
+        report_path = tmp_path / "run.json"
+        metrics = tmp_path / "run.jsonl"
+        assert cli.main(["load", "run", "cub", "--method", "hard",
+                         "--epochs", "1", "--process", "uniform",
+                         "--rate", "100", "--duration", "0.2",
+                         "--log-level", "off",
+                         "--output", str(report_path),
+                         "--metrics-out", str(metrics)]) == 0
+        captured = capsys.readouterr()
+        assert "latency (from intended arrival)" in captured.out
+        doc = json.loads(report_path.read_text())
+        assert doc["schema"] == "repro.loadreport/1"
+        assert doc["summary"]["offered"] == 20
+        assert doc["summary"]["outcomes"]["lost"] == 0
+        rows = {row.get("name"): row for row in read_jsonl(metrics)}
+        assert rows["load.offered_total"]["value"] == 20
+        assert "buckets" in rows["load.latency_ms"]
+        prom = metrics.with_suffix(".prom").read_text()
+        assert "# TYPE repro_load_latency_ms histogram" in prom
+        assert 'le="+Inf"' in prom
+
+    def test_load_sweep_frontier_slo_diff_round_trip(self, capsys,
+                                                     tmp_path):
+        """The CI gate end to end: sweep → frontier artifact → obs slo
+        verdict → obs diff against itself stays clean."""
+        frontier = tmp_path / "frontier.json"
+        assert cli.main(["load", "sweep", "cub", "--method", "hard",
+                         "--epochs", "1", "--process", "uniform",
+                         "--duration", "0.2", "--rates", "20,50",
+                         "--log-level", "off",
+                         "--p99-ms", "10000", "--availability", "0.3",
+                         "--output", str(frontier)]) == 0
+        captured = capsys.readouterr()
+        assert "knee:" in captured.out
+        doc = json.loads(frontier.read_text())
+        assert doc["schema"] == "repro.frontier/1"
+        assert doc["knee"]["rate"] == 50.0
+        assert len(doc["points"]) == 2
+
+        assert cli.main(["obs", "slo", str(frontier),
+                         "--p99-ms", "10000", "--availability", "0.3"]) == 0
+        assert "PASS" in capsys.readouterr().out
+        assert cli.main(["obs", "slo", str(frontier),
+                         "--p99-ms", "0.0001"]) == 1
+        assert "VIOLATED" in capsys.readouterr().out
+
+        assert cli.main(["obs", "diff", str(frontier), str(frontier),
+                         "--watch", "frontier.knee.interarrival_ms"]) == 0
+        capsys.readouterr()
+
+    def test_load_sweep_requires_an_objective(self, capsys, tmp_path):
+        assert cli.main(["load", "sweep", "cub", "--rates", "5,10"]) == 2
+        assert "needs an SLO" in capsys.readouterr().err
+
+    def test_load_replay_from_trace_export(self, capsys, tmp_path):
+        metrics = tmp_path / "recorded.jsonl"
+        assert cli.main(["load", "run", "cub", "--method", "hard",
+                         "--epochs", "1", "--process", "uniform",
+                         "--rate", "50", "--duration", "0.2",
+                         "--trace-sample-rate", "1", "--log-level", "off",
+                         "--metrics-out", str(metrics)]) == 0
+        capsys.readouterr()
+        replay_report = tmp_path / "replay.json"
+        assert cli.main(["load", "replay", str(metrics), "cub",
+                         "--method", "hard", "--epochs", "1",
+                         "--speedup", "4", "--log-level", "off",
+                         "--output", str(replay_report)]) == 0
+        captured = capsys.readouterr()
+        assert "replaying 10 requests" in captured.err
+        doc = json.loads(replay_report.read_text())
+        assert doc["summary"]["offered"] == 10
+        assert doc["meta"]["speedup"] == 4.0
+
+    def test_load_replay_empty_export_fails(self, capsys, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text(json.dumps({"type": "meta",
+                                     "schema_version": 3}) + "\n")
+        assert cli.main(["load", "replay", str(empty), "cub"]) == 2
+        assert "no replayable traces" in capsys.readouterr().err
+
+    def test_obs_slo_on_load_report(self, capsys, tmp_path):
+        report_path = tmp_path / "run.json"
+        assert cli.main(["load", "run", "cub", "--method", "hard",
+                         "--epochs", "1", "--process", "uniform",
+                         "--rate", "100", "--duration", "0.1",
+                         "--log-level", "off",
+                         "--output", str(report_path)]) == 0
+        capsys.readouterr()
+        assert cli.main(["obs", "slo", str(report_path),
+                         "--availability", "0.5",
+                         "--p99-ms", "10000"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out and "burn rate" in out
+
+    def test_obs_slo_requires_an_objective(self, capsys, tmp_path):
+        path = tmp_path / "r.json"
+        path.write_text(json.dumps({"summary": {}}))
+        assert cli.main(["obs", "slo", str(path)]) == 2
+        assert "needs an SLO" in capsys.readouterr().err
 
 
 class TestCLICheckpointing:

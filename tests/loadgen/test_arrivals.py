@@ -1,0 +1,105 @@
+"""Arrival processes: determinism, rates, phase structure, replay."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.loadgen import (bursty_arrivals, poisson_arrivals, replay_offsets,
+                           schedule_from_traces, uniform_arrivals)
+
+
+class TestUniform:
+    def test_evenly_spaced_at_rate(self):
+        offsets = uniform_arrivals(10.0, 1.0)
+        assert len(offsets) == 10
+        gaps = [b - a for a, b in zip(offsets, offsets[1:])]
+        assert all(abs(gap - 0.1) < 1e-12 for gap in gaps)
+        assert offsets[0] == 0.0
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            uniform_arrivals(0.0, 1.0)
+        with pytest.raises(ValueError):
+            uniform_arrivals(5.0, -1.0)
+
+
+class TestPoisson:
+    def test_deterministic_under_seed(self):
+        a = poisson_arrivals(50.0, 2.0, random.Random(7))
+        b = poisson_arrivals(50.0, 2.0, random.Random(7))
+        assert a == b
+
+    def test_mean_rate_close_to_nominal(self):
+        offsets = poisson_arrivals(200.0, 50.0, random.Random(1))
+        # 10k expected arrivals: the realised rate is within a few %
+        assert len(offsets) == pytest.approx(200.0 * 50.0, rel=0.05)
+        assert all(0.0 < t < 50.0 for t in offsets)
+        assert offsets == sorted(offsets)
+
+
+class TestBursty:
+    def test_on_phases_carry_the_burst(self):
+        offsets = bursty_arrivals(5.0, 500.0, 0.5, 0.5, 4.0,
+                                  random.Random(3))
+        # classify each arrival by phase: [0,.5) on, [.5,1) off, ...
+        on = [t for t in offsets if (int(t / 0.5) % 2) == 0]
+        off = [t for t in offsets if (int(t / 0.5) % 2) == 1]
+        # 2s of each phase: ~1000 on-arrivals vs ~10 off-arrivals
+        assert len(on) > 20 * max(1, len(off))
+
+    def test_zero_base_rate_silences_off_phases(self):
+        offsets = bursty_arrivals(0.0, 100.0, 0.25, 0.25, 2.0,
+                                  random.Random(5))
+        assert offsets  # the on phases did fire
+        assert all((int(t / 0.25) % 2) == 0 for t in offsets)
+
+    def test_rejects_bad_phases(self):
+        with pytest.raises(ValueError):
+            bursty_arrivals(1.0, 10.0, 0.0, 0.5, 1.0, random.Random(0))
+        with pytest.raises(ValueError):
+            bursty_arrivals(-1.0, 10.0, 0.5, 0.5, 1.0, random.Random(0))
+
+
+class TestReplay:
+    def test_offsets_rebased_and_scaled(self):
+        starts = [100.0, 100.5, 102.0]
+        assert replay_offsets(starts) == [0.0, 0.5, 2.0]
+        assert replay_offsets(starts, speedup=2.0) == [0.0, 0.25, 1.0]
+
+    def test_speedup_must_be_positive(self):
+        with pytest.raises(ValueError):
+            replay_offsets([1.0], speedup=0.0)
+
+    def _trace_row(self, started, vertex, **attrs):
+        events = [{"kind": "request",
+                   "attrs": {"vertex": vertex, **attrs}}]
+        return {"type": "trace", "trace_id": "t", "started": started,
+                "spans": {"name": "serve.request", "events": events,
+                          "children": []}}
+
+    def test_schedule_from_traces_recovers_spacing_and_shape(self):
+        rows = [
+            self._trace_row(10.0, 3, top_k=2, budget_ms=50.0),
+            self._trace_row(10.4, 7),
+            {"type": "meta", "schema_version": 3},
+            {"type": "trace", "trace_id": "x", "started": 11.0,
+             "spans": {"name": "serve.request", "events": [],
+                       "children": []}},  # no request event: skipped
+        ]
+        schedule, skipped = schedule_from_traces(rows)
+        assert skipped == 1
+        assert [offset for offset, _ in schedule] == [0.0, pytest.approx(0.4)]
+        first, second = (request for _, request in schedule)
+        assert first == {"vertex": 3, "top_k": 2, "budget_ms": 50.0}
+        assert second == {"vertex": 7}
+
+    def test_rows_without_started_are_skipped(self):
+        rows = [{"type": "trace", "trace_id": "y",
+                 "spans": {"name": "serve.request",
+                           "events": [{"kind": "request",
+                                       "attrs": {"vertex": 1}}],
+                           "children": []}}]
+        schedule, skipped = schedule_from_traces(rows)
+        assert schedule == [] and skipped == 1

@@ -1,0 +1,61 @@
+"""Query mixes: determinism, heavy tail, dirty fraction, validation."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.loadgen import QueryMix
+
+
+class TestQueryMix:
+    def test_deterministic_under_seed(self):
+        one = [QueryMix(range(20), rng=random.Random("m")).sample()
+               for _ in range(50)]
+        two = [QueryMix(range(20), rng=random.Random("m")).sample()
+               for _ in range(50)]
+        assert one == two
+
+    def test_skew_concentrates_on_few_vertices(self):
+        mix = QueryMix(range(100), skew=1.5, rng=random.Random(1))
+        counts = Counter(mix.sample()["vertex"] for _ in range(3000))
+        top_two = sum(count for _, count in counts.most_common(2))
+        assert top_two > 0.35 * 3000  # the head dominates
+        # zero skew degenerates to (roughly) uniform: no vertex dominates
+        flat = QueryMix(range(100), skew=0.0, rng=random.Random(1))
+        flat_counts = Counter(flat.sample()["vertex"] for _ in range(3000))
+        assert flat_counts.most_common(1)[0][1] < 0.05 * 3000
+
+    def test_top_k_values_follow_weights(self):
+        mix = QueryMix(range(10), rng=random.Random(2))
+        ks = Counter(mix.sample()["top_k"] for _ in range(2000))
+        assert set(ks) <= {1, 3, 5}
+        assert ks[1] > ks[3] > ks[5]
+
+    def test_bad_fraction_emits_unknown_vertices(self):
+        mix = QueryMix(range(10), bad_fraction=0.5, rng=random.Random(3))
+        vertices = [mix.sample()["vertex"] for _ in range(400)]
+        bad = [v for v in vertices if v < 0]
+        assert 100 < len(bad) < 300  # ~50%
+        assert all(v in range(10) for v in vertices if v >= 0)
+
+    def test_budget_attached_when_configured(self):
+        mix = QueryMix(range(5), budget_ms=25.0, rng=random.Random(4))
+        assert mix.sample()["budget_ms"] == 25.0
+        assert "budget_ms" not in QueryMix(range(5)).sample()
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(vertices=()),
+        dict(vertices=range(3), skew=-0.1),
+        dict(vertices=range(3), bad_fraction=1.5),
+        dict(vertices=range(3), budget_ms=0.0),
+        dict(vertices=range(3), top_k_weights=()),
+        dict(vertices=range(3), top_k_weights=((0, 1.0),)),
+        dict(vertices=range(3), top_k_weights=((1, 0.0), (2, 0.0))),
+    ])
+    def test_invalid_configuration_rejected(self, kwargs):
+        vertices = kwargs.pop("vertices")
+        with pytest.raises(ValueError):
+            QueryMix(vertices, **kwargs)

@@ -1,0 +1,135 @@
+"""Frontier sweeps: knee rule, artifact round-trip, diff integration."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.diff import (DEFAULT_WATCH, diff_rows, find_regressions,
+                            load_rows)
+from repro.obs.frontier import (FRONTIER_SCHEMA, detect_knee,
+                                format_frontier, frontier_rows,
+                                is_frontier_doc, load_frontier,
+                                save_frontier, sweep_frontier)
+from repro.obs.slo import SLOSpec
+
+
+def fake_run_point(breaking_rate):
+    """A run_point whose p99 explodes at and past ``breaking_rate``."""
+
+    def run_point(rate: float) -> dict:
+        slow = rate >= breaking_rate
+        return {"offered": int(rate), "p50_ms": 1.0, "p95_ms": 2.0,
+                "p99_ms": 500.0 if slow else 5.0,
+                "availability": 0.5 if slow else 1.0,
+                "degraded_fraction": 0.0, "shed_fraction": 0.0}
+
+    return run_point
+
+
+SPEC = SLOSpec(name="t", p99_ms=100.0, availability=0.9)
+
+
+class TestSweep:
+    def test_knee_is_last_passing_rate(self):
+        doc = sweep_frontier(fake_run_point(20.0), [5.0, 10.0, 20.0, 40.0],
+                             SPEC)
+        assert doc["schema"] == FRONTIER_SCHEMA
+        assert [point["ok"] for point in doc["points"]] == \
+            [True, True, False, False]
+        assert doc["knee"]["rate"] == 10.0
+
+    def test_no_knee_when_first_rate_fails(self):
+        doc = sweep_frontier(fake_run_point(1.0), [5.0, 10.0], SPEC)
+        assert doc["knee"] is None
+
+    def test_contiguous_prefix_rule(self):
+        """A fluke pass above a failing rate must not become the knee."""
+        verdicts = iter([True, False, True])  # pass, fail, fluke pass
+
+        def flaky(rate: float) -> dict:
+            good = next(verdicts)
+            return {"p99_ms": 5.0 if good else 500.0, "availability": 1.0}
+
+        doc = sweep_frontier(flaky, [1.0, 2.0, 3.0], SPEC)
+        assert doc["knee"]["rate"] == 1.0
+
+    def test_rates_must_ascend(self):
+        with pytest.raises(ValueError):
+            sweep_frontier(fake_run_point(1.0), [5.0, 5.0], SPEC)
+        with pytest.raises(ValueError):
+            sweep_frontier(fake_run_point(1.0), [], SPEC)
+
+    def test_progress_callback_sees_each_rate(self):
+        messages = []
+        sweep_frontier(fake_run_point(99.0), [1.0, 2.0], SPEC,
+                       progress=messages.append)
+        assert sum("offered rate" in m for m in messages) == 2
+
+
+class TestDetectKnee:
+    def test_empty_points(self):
+        assert detect_knee([]) is None
+
+    def test_all_passing_returns_last(self):
+        points = [{"rate": r, "ok": True} for r in (1.0, 2.0)]
+        assert detect_knee(points)["rate"] == 2.0
+
+
+class TestArtifact:
+    def test_save_load_round_trip(self, tmp_path):
+        doc = sweep_frontier(fake_run_point(20.0), [5.0, 10.0, 20.0], SPEC)
+        path = save_frontier(tmp_path / "frontier.json", doc)
+        loaded = load_frontier(path)
+        assert loaded == json.loads(json.dumps(doc))  # JSON-safe
+        assert is_frontier_doc(loaded)
+
+    def test_load_rejects_non_frontier(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"hello": 1}))
+        with pytest.raises(ValueError):
+            load_frontier(path)
+
+    def test_format_marks_knee(self):
+        doc = sweep_frontier(fake_run_point(20.0), [5.0, 10.0, 20.0], SPEC)
+        text = format_frontier(doc)
+        assert "knee: 10 req/s" in text
+        assert "FAIL" in text and "pass" in text
+
+    def test_format_without_knee(self):
+        doc = sweep_frontier(fake_run_point(1.0), [5.0], SPEC)
+        assert "knee: none" in format_frontier(doc)
+
+
+class TestDiffIntegration:
+    def test_rows_expose_time_shaped_knee_gauge(self):
+        doc = sweep_frontier(fake_run_point(20.0), [5.0, 10.0, 20.0], SPEC)
+        rows = {row["name"]: row["value"] for row in frontier_rows(doc)}
+        assert rows["frontier.knee.rate"] == 10.0
+        assert rows["frontier.knee.interarrival_ms"] == pytest.approx(100.0)
+        assert rows["frontier.point.r5.ok"] == 1.0
+        assert rows["frontier.point.r20.ok"] == 0.0
+
+    def test_load_rows_detects_frontier_file(self, tmp_path):
+        doc = sweep_frontier(fake_run_point(20.0), [5.0, 10.0], SPEC)
+        path = save_frontier(tmp_path / "frontier.json", doc)
+        names = [row["name"] for row in load_rows(path)]
+        assert "frontier.knee.interarrival_ms" in names
+
+    def test_capacity_regression_trips_default_watch(self, tmp_path):
+        """The CI gate: a lower knee means a larger inter-arrival gap,
+        which the default time-shaped watch flags as a regression."""
+        good = sweep_frontier(fake_run_point(40.0), [5.0, 10.0, 20.0], SPEC)
+        bad = sweep_frontier(fake_run_point(10.0), [5.0, 10.0, 20.0], SPEC)
+        entries = diff_rows(frontier_rows(good), frontier_rows(bad))
+        regressions = find_regressions(entries, threshold_pct=25.0,
+                                       watch=DEFAULT_WATCH)
+        names = {entry.name for entry in regressions}
+        assert "frontier.knee.interarrival_ms" in names
+
+    def test_rows_without_knee_still_describe_points(self):
+        doc = sweep_frontier(fake_run_point(1.0), [5.0], SPEC)
+        names = [row["name"] for row in frontier_rows(doc)]
+        assert "frontier.knee.rate" not in names
+        assert "frontier.point.r5.ok" in names

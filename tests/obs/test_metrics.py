@@ -61,6 +61,53 @@ class TestHistogram:
         assert row["min"] == 0.0 and row["max"] == 0.0
 
 
+class TestBucketBackedHistogram:
+    def test_row_carries_buckets_and_p99(self):
+        histogram = registry().histogram("lat", buckets=[1.0, 10.0])
+        for value in (0.5, 5.0, 50.0):
+            histogram.observe(value)
+        row = histogram.row()
+        assert row["buckets"] == {"bounds": [1.0, 10.0],
+                                  "counts": [1, 1, 1]}
+        assert row["count"] == 3
+        assert "p99" in row and "p95" in row and "p50" in row
+
+    def test_reservoir_row_has_no_buckets(self):
+        histogram = registry().histogram("res")
+        histogram.observe(1.0)
+        row = histogram.row()
+        assert "buckets" not in row and "p99" not in row
+
+    def test_buckets_ignored_on_existing_instrument(self):
+        first = registry().histogram("one", buckets=[1.0])
+        again = registry().histogram("one", buckets=[99.0])
+        assert again is first
+        assert registry().histogram("one") is first
+
+    def test_merge_bucket_folds_in_a_run(self):
+        from repro.obs.hist import BucketHistogram
+
+        run = BucketHistogram([1.0, 10.0])
+        for value in (0.5, 5.0):
+            run.observe(value)
+        histogram = registry().histogram("lat", buckets=[1.0, 10.0])
+        histogram.observe(50.0)
+        histogram.merge_bucket(run)
+        assert histogram.count == 3
+        assert histogram.row()["buckets"]["counts"] == [1, 1, 1]
+
+    def test_merge_bucket_rejected_on_reservoir_backend(self):
+        from repro.obs.hist import BucketHistogram
+
+        with pytest.raises(ValueError):
+            registry().histogram("res").merge_bucket(BucketHistogram([1.0]))
+
+    def test_quantile_uses_exact_buckets(self):
+        histogram = registry().histogram("lat", buckets=[10.0, 20.0])
+        histogram.observe(15.0)
+        assert histogram.quantile(100.0) == 15.0
+
+
 class TestRegistry:
     def test_get_or_create_returns_same_instrument(self):
         assert registry().counter("same") is registry().counter("same")

@@ -35,6 +35,49 @@ class TestRender:
         assert "repro_epoch_loss_count 4" in text
         assert "repro_epoch_loss_sum 2" in text
 
+    def _bucket_row(self):
+        from repro.obs import registry
+        from repro.obs.hist import BucketHistogram
+
+        hist = registry().histogram("load.latency_ms",
+                                    buckets=[1.0, 10.0, 100.0])
+        for value in (0.5, 5.0, 5.0, 50.0, 500.0):
+            hist.observe(value)
+        return hist.row()
+
+    def test_bucket_histogram_renders_classic_le_family(self):
+        text = render_openmetrics([self._bucket_row()])
+        assert "# TYPE repro_load_latency_ms histogram" in text
+        assert 'repro_load_latency_ms_bucket{le="1"} 1' in text
+        assert 'repro_load_latency_ms_bucket{le="10"} 3' in text
+        assert 'repro_load_latency_ms_bucket{le="100"} 4' in text
+        assert 'repro_load_latency_ms_bucket{le="+Inf"} 5' in text
+        assert "repro_load_latency_ms_count 5" in text
+        # a bucket family is a histogram, never a summary
+        assert 'quantile=' not in text
+
+    def test_bucket_family_cumulative_counts_monotone(self):
+        text = render_openmetrics([self._bucket_row()])
+        counts = [int(line.rsplit(" ", 1)[1])
+                  for line in text.splitlines() if "_bucket{" in line]
+        assert counts == sorted(counts)
+
+    def test_inf_bucket_equals_count_even_with_overflow(self):
+        row = self._bucket_row()
+        text = render_openmetrics([row])
+        inf_line = next(line for line in text.splitlines()
+                        if 'le="+Inf"' in line)
+        count_line = next(line for line in text.splitlines()
+                          if line.startswith("repro_load_latency_ms_count"))
+        assert inf_line.rsplit(" ", 1)[1] == count_line.rsplit(" ", 1)[1]
+
+    def test_eof_still_terminal_with_bucket_families(self):
+        text = render_openmetrics([
+            self._bucket_row(),
+            {"type": "counter", "name": "zz", "value": 1}])
+        assert text.endswith("# EOF\n")
+        assert text.count("# EOF") == 1
+
     def test_span_rows_share_one_labelled_family(self):
         rows = [{"type": "span", "name": "fit/epoch", "count": 2,
                  "total_seconds": 0.5, "p50_seconds": 0.2,

@@ -1,0 +1,126 @@
+"""SLO engine: objective verdicts, budget math, spec (de)serialisation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.slo import SLOSpec, evaluate_slo, format_slo, load_spec
+
+
+def summary(**overrides) -> dict:
+    base = {"p50_ms": 5.0, "p95_ms": 20.0, "p99_ms": 80.0,
+            "availability": 0.995, "degraded_fraction": 0.02,
+            "shed_fraction": 0.0}
+    base.update(overrides)
+    return base
+
+
+class TestSpec:
+    def test_needs_at_least_one_objective(self):
+        with pytest.raises(ValueError):
+            SLOSpec(name="empty")
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(p99_ms=0.0), dict(p50_ms=-1.0), dict(availability=1.5),
+        dict(max_degraded=-0.1), dict(max_shed=2.0),
+    ])
+    def test_invalid_bounds_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SLOSpec(**kwargs)
+
+    def test_dict_round_trip_omits_disabled(self):
+        spec = SLOSpec(name="s", p99_ms=100.0, availability=0.99)
+        doc = spec.to_dict()
+        assert doc == {"name": "s", "p99_ms": 100.0, "availability": 0.99}
+        assert SLOSpec.from_dict(doc) == spec
+
+    def test_unknown_objective_raises(self):
+        with pytest.raises(ValueError, match="p9999_ms"):
+            SLOSpec.from_dict({"p9999_ms": 1.0})
+
+    def test_load_spec_from_file(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps({"name": "f", "p95_ms": 50.0}))
+        assert load_spec(path) == SLOSpec(name="f", p95_ms=50.0)
+        path.write_text("[1,2]")
+        with pytest.raises(ValueError):
+            load_spec(path)
+
+
+class TestEvaluate:
+    def test_all_objectives_pass(self):
+        spec = SLOSpec(p50_ms=10.0, p95_ms=50.0, p99_ms=100.0,
+                       availability=0.99, max_degraded=0.05, max_shed=0.01)
+        result = evaluate_slo(spec, summary())
+        assert result.ok
+        assert len(result.objectives) == 6
+        assert result.violations == []
+
+    def test_latency_violation_detected(self):
+        result = evaluate_slo(SLOSpec(p99_ms=50.0), summary(p99_ms=80.0))
+        assert not result.ok
+        (violation,) = result.violations
+        assert violation.objective == "p99_ms"
+        assert violation.measured == 80.0
+
+    def test_availability_direction_is_floor(self):
+        result = evaluate_slo(SLOSpec(availability=0.999),
+                              summary(availability=0.995))
+        assert not result.ok
+        assert result.objectives[0].direction == ">="
+
+    def test_missing_measurement_fails_loudly(self):
+        """An SLO that passes because nothing was measured is not an
+        SLO — absent keys must fail the objective, not skip it."""
+        result = evaluate_slo(SLOSpec(p99_ms=100.0), {})
+        assert not result.ok
+        assert result.objectives[0].measured is None
+
+    def test_burn_rate_and_budget(self):
+        # target 0.99 => 1% allowed failure; observed 0.5% => burn 0.5
+        result = evaluate_slo(SLOSpec(availability=0.99),
+                              summary(availability=0.995))
+        assert result.burn_rate == pytest.approx(0.5)
+        assert result.budget_remaining == pytest.approx(0.5)
+        # observed 2% failure => burn 2.0, budget gone
+        result = evaluate_slo(SLOSpec(availability=0.99),
+                              summary(availability=0.98))
+        assert result.burn_rate == pytest.approx(2.0)
+        assert result.budget_remaining == 0.0
+
+    def test_perfect_target_burn_rate(self):
+        result = evaluate_slo(SLOSpec(availability=1.0),
+                              summary(availability=1.0))
+        assert result.burn_rate == 0.0
+        result = evaluate_slo(SLOSpec(availability=1.0),
+                              summary(availability=0.999))
+        assert result.burn_rate == float("inf")
+
+    def test_no_availability_objective_no_budget_math(self):
+        result = evaluate_slo(SLOSpec(p99_ms=100.0), summary())
+        assert result.burn_rate is None
+        assert result.budget_remaining is None
+
+    def test_to_dict_is_json_safe(self):
+        result = evaluate_slo(SLOSpec(p99_ms=100.0, availability=0.99),
+                              summary())
+        doc = json.loads(json.dumps(result.to_dict()))
+        assert doc["ok"] is True
+        assert len(doc["objectives"]) == 2
+
+
+class TestFormat:
+    def test_renders_verdicts_and_budget(self):
+        result = evaluate_slo(
+            SLOSpec(name="frontier", p99_ms=50.0, availability=0.99),
+            summary(p99_ms=80.0))
+        text = format_slo(result)
+        assert "SLO 'frontier': FAIL" in text
+        assert "VIOLATED" in text
+        assert "burn rate" in text
+
+    def test_unmeasured_rendered_explicitly(self):
+        text = format_slo(evaluate_slo(SLOSpec(max_shed=0.1), {}))
+        assert "unmeasured" in text

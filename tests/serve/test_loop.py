@@ -6,6 +6,7 @@ import io
 import json
 
 
+from repro.obs import registry
 from repro.serve import serve_loop
 
 
@@ -68,3 +69,21 @@ class TestServeLoop:
         written, responses = run_loop(service, [])
         assert written == 0
         assert responses == []
+
+    def test_bad_lines_counted_separately(self, make_service, fitted_soft):
+        """Framing corruption gets its own counter, distinct from
+        well-formed-but-invalid requests (both are bad_request to the
+        client, but only one means the *transport* is sick)."""
+        service = make_service()
+        vertex = fitted_soft.vertex_ids[0]
+        run_loop(service, [
+            "{not json",
+            "also not json",
+            json.dumps({"id": "bad", "vertex": 10 ** 9}),  # unknown vertex
+            json.dumps({"id": "good", "vertex": vertex}),
+        ])
+        reg = registry()
+        assert reg.counter("serve.requests.bad_line").value == 2
+        # every bad line still counts as a (failed) request
+        assert reg.counter("serve.requests_total").value == 4
+        assert reg.counter("serve.error.bad_request").value == 3
