@@ -35,6 +35,8 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro import nn  # noqa: E402
+from repro.index import (IVFPQConfig, build_ivfpq,  # noqa: E402
+                         deterministic_topk_rows)
 from repro.clip.pretrain import PretrainConfig  # noqa: E402
 from repro.clip.zoo import get_pretrained_bundle  # noqa: E402
 from repro.core.matcher import CrossEM, CrossEMConfig  # noqa: E402
@@ -88,9 +90,104 @@ def _load_scene(quick: bool):
     return bundle, dataset
 
 
-def run(quick: bool, repeats: int) -> dict:
-    bundle, dataset = _load_scene(quick)
+def _synthetic_world(num_images: int, dim: int, num_concepts: int,
+                     num_queries: int, seed: int = 0):
+    """Clustered unit-norm embeddings mimicking a frozen image tower.
+
+    Images scatter around shared concept centres with noise small
+    enough (sigma * sqrt(dim) < 1) that the concept structure survives
+    normalization — the regime IVF's coarse cells exploit.  Queries are
+    drawn around the same centres, like text prompts for seen concepts.
+    """
+    rng = np.random.default_rng(seed)
+    centers = rng.standard_normal((num_concepts, dim)).astype(np.float32)
+    centers /= np.linalg.norm(centers, axis=1, keepdims=True)
+    owner = rng.integers(0, num_concepts, size=num_images)
+    images = centers[owner] + 0.08 * rng.standard_normal(
+        (num_images, dim)).astype(np.float32)
+    images /= np.linalg.norm(images, axis=1, keepdims=True)
+    probe = centers[rng.integers(0, num_concepts, size=num_queries)]
+    queries = probe + 0.06 * rng.standard_normal(
+        (num_queries, dim)).astype(np.float32)
+    queries /= np.linalg.norm(queries, axis=1, keepdims=True)
+    return np.ascontiguousarray(images), np.ascontiguousarray(queries)
+
+
+#: the operating point reported as the headline ``index`` path — chosen
+#: from the sweep below as the smallest nprobe holding recall@10 >= 0.95
+HEADLINE_NPROBE = 4
+
+
+def bench_index(quick: bool, repeats: int, paths: dict) -> None:
+    """Recall@k-vs-speedup sweep: IVF-PQ search against the brute GEMM.
+
+    The brute side is exactly what ``match_pairs`` runs without an
+    index (one ``queries @ images.T`` GEMM + deterministic top-k); the
+    optimized side is ``IVFPQIndex.search`` at each ``nprobe``.  Every
+    sweep point lands in the report as ``index_nprobe<n>`` with both
+    ``speedup`` and ``recall_loss_at10`` (= 1 - recall@10), so the obs
+    differ can gate accuracy and speed from the same artifact.
+    """
+    k = 10
+    if quick:
+        images, queries = _synthetic_world(20_000, 64, 256, 64)
+        config = IVFPQConfig(nlist=128, nprobe=HEADLINE_NPROBE, pq_m=16,
+                             refine=16, train_sample=8192,
+                             kmeans_iterations=10)
+        sweep = (1, 2, 4, 8)
+    else:
+        images, queries = _synthetic_world(120_000, 64, 1024, 128)
+        config = IVFPQConfig(nlist=512, nprobe=HEADLINE_NPROBE, pq_m=16,
+                             refine=16, train_sample=32_768)
+        sweep = (1, 2, 4, 8, 16)
+    print(f"  index world: {images.shape[0]} images x {images.shape[1]}d, "
+          f"{queries.shape[0]} queries, k={k}")
+
+    def brute():
+        scores = queries @ images.T
+        order = deterministic_topk_rows(scores, k)
+        return order, np.take_along_axis(scores, order, axis=1)
+
+    oracle_ids, _ = brute()
+    brute()  # warm BLAS
+    reference_s = _best_of(brute, repeats, "index/brute")
+
+    with span("bench/index/build") as timer:
+        index = build_ivfpq(images, config)
+    print(f"  index build: {timer.elapsed:.2f} s "
+          f"(nlist={config.nlist}, pq_m={config.pq_m})")
+    paths["index_build"] = {"build_s": timer.elapsed}
+
+    oracle_sets = [set(row.tolist()) for row in oracle_ids]
+    for nprobe in sweep:
+        index.search(queries, k, nprobe=nprobe)  # warm
+        optimized_s = _best_of(
+            lambda: index.search(queries, k, nprobe=nprobe),
+            repeats, f"index/nprobe{nprobe}")
+        result = index.search(queries, k, nprobe=nprobe)
+        hits = sum(len(oracle_sets[q] & set(result.ids[q].tolist()))
+                   for q in range(len(oracle_sets)))
+        recall = hits / (len(oracle_sets) * k)
+        entry = {"optimized_s": optimized_s, "reference_s": reference_s,
+                 "speedup": reference_s / optimized_s,
+                 "recall_at10": recall,
+                 "recall_loss_at10": 1.0 - recall}
+        paths[f"index_nprobe{nprobe}"] = entry
+        print(f"  index nprobe={nprobe:<3d} {optimized_s * 1e3:9.2f} ms vs "
+              f"{reference_s * 1e3:9.2f} ms -> {entry['speedup']:6.2f}x "
+              f"@ recall@10 {recall:.3f}")
+    paths["index"] = dict(paths[f"index_nprobe{HEADLINE_NPROBE}"])
+
+
+def run(quick: bool, repeats: int, index_only: bool = False) -> dict:
     mode = "quick" if quick else "full"
+    if index_only:
+        results = {"mode": mode, "dataset": "synthetic-index-world",
+                   "paths": {}}
+        print(f"mode={mode} (index sweep only)")
+        bench_index(quick, repeats, results["paths"])
+        return results
+    bundle, dataset = _load_scene(quick)
     print(f"mode={mode} dataset={dataset.name} "
           f"vertices={len(dataset.entity_vertices)} "
           f"images={len(dataset.images)}")
@@ -167,6 +264,8 @@ def run(quick: bool, repeats: int) -> dict:
         _reference_images,
         repeats)
 
+    bench_index(quick, repeats, paths)
+
     return results
 
 
@@ -182,6 +281,8 @@ def compare_baseline(results: dict, baseline_path: Path,
     baseline = json.loads(baseline_path.read_text())
     failures = []
     for name, entry in baseline.get("paths", {}).items():
+        if "speedup" not in entry:  # e.g. index_build reports only build_s
+            continue
         current = results["paths"].get(name)
         if current is None:
             failures.append(f"{name}: missing from current run")
@@ -220,13 +321,28 @@ def main(argv=None) -> int:
                              "below its baseline value")
     parser.add_argument("--profile", action="store_true",
                         help="print the telemetry span profile at the end")
+    parser.add_argument("--index-only", action="store_true",
+                        help="run only the ANN index sweep (CI index job)")
+    parser.add_argument("--recall-floor", type=float, default=None,
+                        metavar="R",
+                        help="fail if the headline index recall@10 falls "
+                             "below this")
     args = parser.parse_args(argv)
 
-    results = run(args.quick, args.repeats)
+    results = run(args.quick, args.repeats, index_only=args.index_only)
     args.output.write_text(json.dumps(results, indent=2) + "\n")
     print(f"\nwrote {args.output}")
 
     status = 0
+    if args.recall_floor is not None:
+        recall = results["paths"]["index"]["recall_at10"]
+        if recall < args.recall_floor:
+            print(f"\nrecall floor FAILED: headline recall@10 {recall:.3f} "
+                  f"< {args.recall_floor}")
+            status = 1
+        else:
+            print(f"\nrecall floor ok: headline recall@10 {recall:.3f} "
+                  f">= {args.recall_floor}")
     if args.baseline is not None:
         print(f"\ncomparing against baseline {args.baseline}")
         status = compare_baseline(results, args.baseline, args.tolerance)

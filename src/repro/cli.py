@@ -226,6 +226,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     bundle, dataset = _load(args.benchmark, args.seed)
     matcher = _make_matcher(args, bundle)
     matcher.fit(dataset.graph, dataset.images, dataset.entity_vertices)
+    _attach_index_from_args(matcher, args)
     config = ServeConfig(
         capacity=args.capacity, workers=args.workers,
         default_budget_ms=args.default_budget_ms,
@@ -315,6 +316,7 @@ def _fit_for_load(args: argparse.Namespace):
     bundle, dataset = _load(args.benchmark, args.seed)
     matcher = _make_matcher(args, bundle)
     matcher.fit(dataset.graph, dataset.images, dataset.entity_vertices)
+    _attach_index_from_args(matcher, args)
     return matcher, dataset
 
 
@@ -511,6 +513,62 @@ def _cmd_obs_slo(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _attach_index_from_args(matcher, args: argparse.Namespace) -> None:
+    """Load and attach an ANN index shard when ``--index`` was given."""
+    index_path = getattr(args, "index", None)
+    if not index_path:
+        return
+    from .index import load_index
+
+    index = load_index(index_path, nprobe=getattr(args, "nprobe", None))
+    matcher.attach_index(index)
+    print(f"attached ANN index {index_path}: {index.count} vectors, "
+          f"nlist={index.nlist}, nprobe={index.nprobe}", file=sys.stderr)
+
+
+def _cmd_index_build(args: argparse.Namespace) -> int:
+    from .index import IVFPQConfig, save_index
+    from .obs import configure_logging
+
+    if args.log_level:
+        configure_logging(args.log_level)
+    bundle, dataset = _load(args.benchmark, args.seed)
+    matcher = _make_matcher(args, bundle)
+    matcher.fit(dataset.graph, dataset.images, dataset.entity_vertices)
+    config = IVFPQConfig(
+        nlist=args.nlist, nprobe=args.nprobe, pq_m=args.pq_m,
+        pq_bits=args.pq_bits, refine=args.refine,
+        kmeans_iterations=args.kmeans_iterations,
+        train_sample=args.train_sample, seed=args.seed)
+    index = matcher.build_index(config)
+    saved = save_index(args.output, index,
+                       meta={"benchmark": args.benchmark,
+                             "method": args.method, "seed": args.seed})
+    print(f"wrote index shard to {saved}")
+    for key, value in index.describe().items():
+        print(f"  {key:16s} {value}")
+    return 0
+
+
+def _cmd_index_stats(args: argparse.Namespace) -> int:
+    from .index import ShardReader, load_index
+
+    index = load_index(args.path, verify="full" if args.verify else "lazy")
+    print(f"{args.path}:")
+    for key, value in index.describe().items():
+        print(f"  {key:16s} {value}")
+    reader = ShardReader(args.path)
+    print("sections:")
+    for name in reader.section_names():
+        entry = reader.section_entry(name)
+        print(f"  {name:24s} {entry['dtype']:8s} "
+              f"{str(tuple(entry['shape'])):16s} "
+              f"{reader.section_nbytes(name):>12d} bytes")
+    if args.verify:
+        print("payload digests verified")
+    return 0
+
+
 def _cmd_clean(args: argparse.Namespace) -> int:
     import numpy as np
 
@@ -619,6 +677,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--metrics-out", default=None, metavar="PATH",
                        help="write metrics + spans + traces as JSONL on "
                             "exit (plus an OpenMetrics .prom snapshot)")
+    serve.add_argument("--index", default=None, metavar="SHARD",
+                       help="route full-tier top-k through this ANN "
+                            "index shard (repro index build)")
+    serve.add_argument("--nprobe", type=_positive_int, default=None,
+                       help="override the shard's probed-cell count")
     serve.set_defaults(func=_cmd_serve)
 
     # shared flag groups for the load subcommands (argparse parents)
@@ -647,6 +710,12 @@ def build_parser() -> argparse.ArgumentParser:
     load_service.add_argument("--metrics-out", default=None, metavar="PATH",
                               help="write metrics + spans + traces as "
                                    "JSONL (plus a .prom snapshot)")
+    load_service.add_argument("--index", default=None, metavar="SHARD",
+                              help="route full-tier top-k through this "
+                                   "ANN index shard (repro index build)")
+    load_service.add_argument("--nprobe", type=_positive_int, default=None,
+                              help="override the shard's probed-cell "
+                                   "count")
 
     load_shape = argparse.ArgumentParser(add_help=False)
     load_shape.add_argument("--process", default="poisson",
@@ -769,6 +838,54 @@ def build_parser() -> argparse.ArgumentParser:
     prom.add_argument("--prefix", default="repro",
                       help="metric name prefix")
     prom.set_defaults(func=_cmd_obs_prom)
+
+    index = commands.add_parser(
+        "index", help="build and inspect ANN retrieval index shards")
+    index_commands = index.add_subparsers(dest="index_command",
+                                          required=True)
+
+    index_build = index_commands.add_parser(
+        "build", help="fit a matcher and build an IVF-PQ shard over "
+                      "its image embeddings")
+    _add_benchmark_argument(index_build)
+    index_build.add_argument("--method", default="hard",
+                             choices=("baseline", "hard", "soft", "plus"))
+    index_build.add_argument("--epochs", type=_positive_int, default=1,
+                             help="training epochs before indexing")
+    index_build.add_argument("--lr", type=float, default=1e-3)
+    index_build.add_argument("--output", required=True, metavar="SHARD",
+                             help="path of the REPROIX1 shard to write")
+    index_build.add_argument("--nlist", type=_positive_int, default=64,
+                             help="coarse k-means cells")
+    index_build.add_argument("--nprobe", type=_positive_int, default=8,
+                             help="default cells probed per query")
+    index_build.add_argument("--pq-m", type=_positive_int, default=8,
+                             help="product-quantizer subspaces")
+    index_build.add_argument("--pq-bits", type=int, default=8,
+                             choices=range(1, 9), metavar="BITS",
+                             help="bits per PQ code (1-8)")
+    index_build.add_argument("--refine", type=_positive_int, default=8,
+                             help="exact re-rank shortlist, in "
+                                  "multiples of k")
+    index_build.add_argument("--kmeans-iterations", type=_positive_int,
+                             default=15, metavar="N",
+                             help="k-means refinement iterations")
+    index_build.add_argument("--train-sample", type=_positive_int,
+                             default=16384, metavar="N",
+                             help="vectors sampled for quantizer "
+                                  "training")
+    index_build.add_argument("--log-level", default=None,
+                             choices=_LOG_LEVELS,
+                             help="override REPRO_LOG_LEVEL for this run")
+    index_build.set_defaults(func=_cmd_index_build)
+
+    index_stats = index_commands.add_parser(
+        "stats", help="describe an index shard and its sections")
+    index_stats.add_argument("path", help="REPROIX1 shard to inspect")
+    index_stats.add_argument("--verify", action="store_true",
+                             help="stream full section digests instead "
+                                  "of the lazy structural check")
+    index_stats.set_defaults(func=_cmd_index_stats)
 
     clean = commands.add_parser("clean", help="run the cleaning detectors")
     _add_benchmark_argument(clean)

@@ -109,6 +109,7 @@ class CrossEM:
         self._text_embeds: Optional[np.ndarray] = None
         self._image_embeds: Optional[np.ndarray] = None
         self._pseudo_labels: Dict[int, int] = {}
+        self._search_index = None
         self.efficiency: Optional[EfficiencyReport] = None
         self.epoch_losses: List[float] = []
         # Per-thread stage hook (see encode_hook): thread-local so
@@ -576,21 +577,87 @@ class CrossEM:
             self._stage("score")
             vertex_ids = list(vertex_ids if vertex_ids is not None
                               else self.vertex_ids)
-            if self.config.prompt != "soft" and \
-                    self._prompt_token_ids is not None:
-                rows = np.asarray([self._vertex_pos[v] for v in vertex_ids])
-                text = self._cached_text_matrix()[rows]
-            else:
-                # encode_vertices fires the per-thread stage hook before
-                # every chunk, so a deadline is re-checked per chunk here.
-                with nn.no_grad():
-                    text = np.concatenate(
-                        [self.encode_vertices(
-                            vertex_ids[s:s + vertex_batch]).numpy()
-                         for s in range(0, len(vertex_ids), vertex_batch)],
-                        axis=0)
+            text = self._text_queries(vertex_ids, vertex_batch)
             image_matrix = self._encode_images(range(len(self.images))).numpy()
             return text @ image_matrix.T
+
+    def _text_queries(self, vertex_ids: Sequence[int],
+                      vertex_batch: int = 64) -> np.ndarray:
+        """The prompted text embedding rows for ``vertex_ids`` — the
+        query operand both the brute-force GEMM and the ANN index
+        search against."""
+        if self.config.prompt != "soft" and \
+                self._prompt_token_ids is not None:
+            rows = np.asarray([self._vertex_pos[v] for v in vertex_ids])
+            return self._cached_text_matrix()[rows]
+        # encode_vertices fires the per-thread stage hook before
+        # every chunk, so a deadline is re-checked per chunk here.
+        with nn.no_grad():
+            return np.concatenate(
+                [self.encode_vertices(
+                    vertex_ids[s:s + vertex_batch]).numpy()
+                 for s in range(0, len(vertex_ids), vertex_batch)],
+                axis=0)
+
+    # -- ANN index ---------------------------------------------------------------
+    @property
+    def search_index(self):
+        """The attached ANN index, or ``None`` (brute-force scoring)."""
+        return self._search_index
+
+    def attach_index(self, index) -> None:
+        """Route ``match_pairs`` top-k through ``index`` (an
+        :class:`repro.index.IVFPQIndex` over this matcher's image
+        embeddings).  ``CrossEM.score`` is untouched — it stays the
+        exact golden reference the index is measured against."""
+        self._require_fitted()
+        if index.count != len(self.images):
+            raise ValueError(
+                f"index holds {index.count} vectors but the matcher "
+                f"serves {len(self.images)} images")
+        self._search_index = index
+        _log.info("search index attached", vectors=index.count,
+                  nlist=index.nlist, nprobe=index.nprobe)
+
+    def detach_index(self) -> None:
+        """Back to brute-force scoring."""
+        self._search_index = None
+
+    def build_index(self, config=None):
+        """Build, attach and return an IVF-PQ index over this matcher's
+        frozen image-tower embeddings."""
+        from ..index import build_ivfpq
+
+        self._require_fitted()
+        embeddings = np.ascontiguousarray(
+            self._encode_images(range(len(self.images))).numpy(),
+            dtype=np.float32)
+        index = build_ivfpq(embeddings, config)
+        self.attach_index(index)
+        return index
+
+    def score_topk(self, vertex_ids: Optional[Sequence[int]] = None,
+                   top_k: int = 1) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-vertex top-``top_k`` ``(image positions, scores)`` — via
+        the attached ANN index when present, else the exact brute GEMM.
+
+        Both paths order by ``(-score, image position)``; rows are
+        ``-1`` / ``-inf`` padded if fewer than ``top_k`` images exist.
+        """
+        from ..index.topk import deterministic_topk_rows
+
+        self._require_fitted()
+        vertex_ids = list(vertex_ids if vertex_ids is not None
+                          else self.vertex_ids)
+        if self._search_index is not None:
+            with trace_span("matcher/score_topk"):
+                self._stage("score")
+                text = self._text_queries(vertex_ids)
+                result = self._search_index.search(text, top_k)
+            return result.ids, result.scores
+        scores = self.score(vertex_ids)
+        top = deterministic_topk_rows(scores, top_k)
+        return top, np.take_along_axis(scores, top, axis=1)
 
     def evaluate(self, dataset, vertex_ids: Optional[Sequence[int]] = None) -> RankingResult:
         """Rank all images per vertex and score H@k/MRR against the
@@ -619,21 +686,33 @@ class CrossEM:
         whose similarity reaches the threshold (the paper does not
         assume one-to-one matching), which trades precision for recall —
         see :func:`repro.core.metrics.matching_set_metrics`.
+
+        Top-k selection is deterministic under score ties — ordered by
+        ``(-score, image position)`` — so the brute-force path and an
+        attached ANN index (see :meth:`attach_index`) return identical
+        matching sets wherever the index shortlist is exact.  Threshold
+        mode needs every score, so it always runs the brute GEMM.
         """
+        from ..index.topk import deterministic_topk_rows
+
         self._require_fitted()
         vertex_ids = list(vertex_ids if vertex_ids is not None else self.vertex_ids)
-        scores = self.score(vertex_ids)
         pairs: Set[Tuple[int, int]] = set()
+        if threshold is None and self._search_index is not None \
+                and top_k > 0:
+            with trace_span("matcher/match_index"):
+                self._stage("score")
+                text = self._text_queries(vertex_ids)
+                result = self._search_index.search(text, top_k)
+            for row, vertex in enumerate(vertex_ids):
+                for column in result.ids[row]:
+                    if column >= 0:
+                        pairs.add((vertex, self.images[int(column)].image_id))
+            return pairs
+        scores = self.score(vertex_ids)
         top: Optional[np.ndarray] = None
         if threshold is None:
-            if top_k <= 0:
-                top = np.zeros((len(vertex_ids), 0), dtype=np.int64)
-            elif top_k >= scores.shape[1]:
-                top = np.broadcast_to(np.arange(scores.shape[1]), scores.shape)
-            else:
-                # top-k selection, not a full sort: argpartition is
-                # O(|I|) per row versus argsort's O(|I| log |I|).
-                top = np.argpartition(-scores, top_k - 1, axis=1)[:, :top_k]
+            top = deterministic_topk_rows(scores, top_k)
         for row, vertex in enumerate(vertex_ids):
             if threshold is not None:
                 columns = np.flatnonzero(scores[row] >= threshold)

@@ -1,0 +1,31 @@
+"""Sublinear retrieval: IVF-PQ ANN index + mmap'd embedding store.
+
+The matching hot path is a max-inner-product search over the frozen
+image-tower embeddings.  This package replaces the brute-force GEMM
+with a two-stage approximate search whose *output* stays exact:
+
+* :mod:`repro.index.topk` — deterministic ``(-score, id)`` top-k, the
+  total order every retrieval path (brute, ADC, re-rank) agrees on.
+* :mod:`repro.index.ivfpq` — the IVF coarse quantizer + product-
+  quantized ADC scan + exact full-precision re-rank, with an
+  ``nprobe`` knob and an exhaustive (bit-identical-to-brute) fallback.
+* :mod:`repro.index.store` — the ``REPROIX1`` checksummed shard
+  container and the float32/int8 embedding store it memory-maps, so a
+  repository larger than RAM opens lazily and only shortlist rows are
+  ever read.
+"""
+
+from .ivfpq import (INDEX_KIND, IVFPQConfig, IVFPQIndex, SearchResult,
+                    build_ivfpq, load_index, save_index)
+from .store import (EmbeddingStore, IndexShardCorruptError,
+                    MemoryBudgetExceeded, ShardReader, dequantize_int8,
+                    quantize_int8, write_shard)
+from .topk import deterministic_topk, deterministic_topk_rows
+
+__all__ = [
+    "INDEX_KIND", "IVFPQConfig", "IVFPQIndex", "SearchResult",
+    "build_ivfpq", "load_index", "save_index",
+    "EmbeddingStore", "IndexShardCorruptError", "MemoryBudgetExceeded",
+    "ShardReader", "dequantize_int8", "quantize_int8", "write_shard",
+    "deterministic_topk", "deterministic_topk_rows",
+]

@@ -1,0 +1,60 @@
+"""Deterministic top-k selection shared by every retrieval path.
+
+``np.argpartition`` is the right asymptotic tool for top-k (O(n) per
+row versus argsort's O(n log n)) but its choice *among tied scores at
+the k-th boundary* is an implementation detail of introselect: two
+paths that score the same candidates in a different memory layout (the
+brute-force GEMM row versus an index shortlist) can legally return
+different tied subsets.  That breaks the exactness contract the ANN
+index needs — "index-backed top-k with an exhaustive probe is
+bit-identical to brute force".
+
+:func:`deterministic_topk` pins the total order to ``(-score, index)``:
+highest score first, lowest index among equals.  It keeps the
+argpartition O(n) selection, then widens the candidate set to *every*
+element tied with the k-th value before sorting, so the returned ids
+are a pure function of the scores — never of the partition's internal
+pivot walk.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["deterministic_topk", "deterministic_topk_rows"]
+
+
+def deterministic_topk(scores: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` largest entries of 1-D ``scores``, ordered
+    by ``(-score, index)``.
+
+    Ties at the selection boundary are resolved toward the smallest
+    index, so the result depends only on the score values.  ``k`` is
+    clamped to ``len(scores)``; ``k <= 0`` returns an empty array.
+    """
+    scores = np.asarray(scores)
+    n = scores.shape[0]
+    if k <= 0 or n == 0:
+        return np.zeros(0, dtype=np.int64)
+    if k >= n:
+        candidates = np.arange(n, dtype=np.int64)
+    else:
+        # O(n) selection first, then widen to the full tie class of the
+        # k-th value so the boundary is score-determined, not pivot-
+        # determined.
+        rough = np.argpartition(-scores, k - 1)[:k]
+        kth = scores[rough].min()
+        candidates = np.flatnonzero(scores >= kth).astype(np.int64)
+    order = np.lexsort((candidates, -scores[candidates]))
+    return candidates[order[:min(k, n)]]
+
+
+def deterministic_topk_rows(scores: np.ndarray, k: int) -> np.ndarray:
+    """Row-wise :func:`deterministic_topk` over a 2-D score matrix;
+    returns an ``(rows, min(k, cols))`` index array."""
+    scores = np.atleast_2d(np.asarray(scores))
+    kk = max(0, min(k, scores.shape[1]))
+    out = np.empty((scores.shape[0], kk), dtype=np.int64)
+    for row in range(scores.shape[0]):
+        out[row] = deterministic_topk(scores[row], kk)
+    return out

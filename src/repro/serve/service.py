@@ -68,6 +68,9 @@ class ServeConfig:
     full_floor_ms: float = 0.0
     #: per-vertex LRU entries kept for the stale tier
     stale_capacity: int = 1024
+    #: minimum k fetched from an attached ANN index on the full tier,
+    #: so stale-cached top-k rows can also serve later, larger requests
+    index_k_floor: int = 16
     #: circuit breaker: sliding window size (calls)
     breaker_window: int = 8
     #: circuit breaker: failure rate in the window that opens it
@@ -95,6 +98,8 @@ class ServeConfig:
             raise ValueError("full_floor_ms must be non-negative")
         if self.stale_capacity < 1:
             raise ValueError("stale_capacity must be at least 1")
+        if self.index_k_floor < 1:
+            raise ValueError("index_k_floor must be at least 1")
         if not 0.0 <= self.trace_sample_rate <= 1.0:
             raise ValueError("trace_sample_rate must be in [0, 1]")
         if self.trace_capacity < 1:
@@ -190,6 +195,9 @@ class MatchService:
             self.vision_breaker.call(
                 lambda: matcher._encode_images(range(len(matcher.images))))
             self.text_breaker.call(lambda: matcher.score([probe]))
+            if matcher.search_index is not None:
+                self.text_breaker.call(
+                    lambda: matcher.score_topk([probe], 1))
             if fallback is not matcher:
                 fallback._encode_images(range(len(fallback.images)))
                 fallback.score([fallback.vertex_ids[0]])
@@ -219,7 +227,8 @@ class MatchService:
         return _Query(vertex=vertex, top_k=top_k, budget=budget)
 
     # -- scoring tiers -----------------------------------------------------
-    def _score_full(self, vertex: int, deadline: Deadline) -> np.ndarray:
+    def _score_full(self, vertex: int, deadline: Deadline,
+                    top_k: int) -> np.ndarray:
         # The pre-flight check sits *outside* the breaker: a request
         # whose budget is already dead is not evidence against the
         # encoder.  Inside, the matcher's stage hooks check the same
@@ -229,9 +238,22 @@ class MatchService:
 
         def run() -> np.ndarray:
             with self.matcher.encode_hook(deadline.check):
-                scores = self.matcher.score([vertex])
+                if self.matcher.search_index is not None:
+                    # Sublinear path: top-k through the ANN index,
+                    # returned as a dense row (-inf off the shortlist)
+                    # so the stale cache and _top_matches need no new
+                    # shape.  k is floored so the cached row can serve
+                    # later requests asking for a few more matches.
+                    k = max(top_k, self.config.index_k_floor)
+                    ids, scores = self.matcher.score_topk([vertex], k)
+                    row = np.full(len(self._image_ids), -np.inf,
+                                  dtype=np.float32)
+                    valid = ids[0] >= 0
+                    row[ids[0][valid]] = scores[0][valid]
+                else:
+                    row = self.matcher.score([vertex])[0]
             deadline.check("score_full")
-            return scores[0]
+            return row
 
         return self.text_breaker.call(run)
 
@@ -247,6 +269,11 @@ class MatchService:
             while len(self._stale) > self.config.stale_capacity:
                 self._stale.popitem(last=False)
 
+    @staticmethod
+    def _stale_covers(row: np.ndarray, top_k: int) -> bool:
+        finite = int(np.isfinite(row).sum())
+        return finite >= min(top_k, row.shape[0])
+
     def _stale_get(self, vertex: int) -> Optional[Tuple[np.ndarray, str]]:
         with self._stale_lock:
             entry = self._stale.get(vertex)
@@ -255,13 +282,14 @@ class MatchService:
             return entry
 
     def _top_matches(self, scores: np.ndarray, top_k: int) -> List[dict]:
-        k = min(top_k, scores.shape[0])
-        if k == scores.shape[0]:
-            rows = np.arange(scores.shape[0])
-        else:
-            rows = np.argpartition(-scores, k - 1)[:k]
-        order = sorted(rows.tolist(),
-                       key=lambda i: (-float(scores[i]), i))
+        from ..index.topk import deterministic_topk
+
+        # -inf marks off-shortlist entries of an index-backed row; they
+        # are never real matches.  deterministic_topk orders the rest by
+        # (-score, image position) — identical for brute and index rows.
+        finite = np.flatnonzero(np.isfinite(scores))
+        order = finite[deterministic_topk(scores[finite],
+                                          min(top_k, len(finite)))]
         return [{"image": int(self._image_ids[i]),
                  "score": float(scores[i])} for i in order]
 
@@ -285,12 +313,20 @@ class MatchService:
             try:
                 with trace_span(f"tier/{tier}"):
                     if tier == TIER_FULL:
-                        scores = self._score_full(query.vertex, deadline)
+                        scores = self._score_full(query.vertex, deadline,
+                                                  query.top_k)
                     elif tier == TIER_CACHED:
                         deadline.check("score_cached")
                         scores = self._score_cached(query.vertex)
                     else:
                         entry = self._stale_get(query.vertex)
+                        # An index-backed stale row knows only its
+                        # shortlist; if this request wants more matches
+                        # than the row holds, it is a miss, not a lie.
+                        if entry is not None and \
+                                not self._stale_covers(entry[0],
+                                                       query.top_k):
+                            entry = None
                         add_trace_event("cache", cache="stale",
                                         hit=entry is not None)
                         if entry is None:

@@ -75,6 +75,13 @@ class Vocabulary:
         """Return the id of ``token``, falling back to ``[UNK]``."""
         return self._token_to_id.get(token, self._token_to_id[UNK])
 
+    def ids_of(self, tokens: Sequence[str]) -> List[int]:
+        """Batch :meth:`id_of` with the dict lookup hoisted out of the
+        loop — the hot path for whole-corpus embedding."""
+        get = self._token_to_id.get
+        unk = self._token_to_id[UNK]
+        return [get(token, unk) for token in tokens]
+
     def token_of(self, token_id: int) -> str:
         return self._id_to_token[token_id]
 

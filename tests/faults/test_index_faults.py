@@ -1,0 +1,131 @@
+"""Fault injection against the REPROIX1 index shard.
+
+Damage is split across the two verification tiers the way serving
+relies on them: anything *structural* (truncation anywhere, torn
+header, bad magic, length mismatch, future schema) must fail the lazy
+open that the serve path uses; silent payload damage (bit flips) must
+pass lazy but fail ``verify="full"``.  Every failure surfaces as the
+one typed :class:`IndexShardCorruptError` — a
+:class:`~repro.iosafe.CorruptArtifactError` — so the existing
+quarantine machinery applies unchanged."""
+
+import numpy as np
+import pytest
+
+from repro.index import (IVFPQConfig, IndexShardCorruptError, ShardReader,
+                         build_ivfpq, load_index, save_index, write_shard)
+from repro.iosafe import CorruptArtifactError, quarantine
+
+
+@pytest.fixture(scope="module")
+def shard_bytes(tmp_path_factory):
+    rng = np.random.default_rng(5)
+    points = rng.standard_normal((120, 16)).astype(np.float32)
+    points /= np.linalg.norm(points, axis=1, keepdims=True)
+    index = build_ivfpq(points, IVFPQConfig(nlist=8, pq_m=4, seed=5))
+    path = save_index(tmp_path_factory.mktemp("shard") / "good.ix", index)
+    return path.read_bytes()
+
+
+def damaged(tmp_path, blob):
+    path = tmp_path / "damaged.ix"
+    path.write_bytes(blob)
+    return path
+
+
+class TestLazyTierCatchesStructuralDamage:
+    def test_truncation_at_every_region_fails_lazy_open(self, shard_bytes,
+                                                        tmp_path):
+        """Cut the file in the magic, the header length, the header
+        JSON, and the payload — every cut must fail the *lazy* open
+        (the tier serving uses), as a typed error."""
+        total = len(shard_bytes)
+        cuts = [4, 12, 40, total // 2, total - 1]
+        for cut in cuts:
+            path = damaged(tmp_path, shard_bytes[:cut])
+            with pytest.raises(IndexShardCorruptError):
+                ShardReader(path, verify="lazy")
+
+    def test_bad_magic(self, shard_bytes, tmp_path):
+        blob = b"NOTANIDX" + shard_bytes[8:]
+        with pytest.raises(IndexShardCorruptError, match="magic"):
+            ShardReader(damaged(tmp_path, blob))
+
+    def test_garbage_header_length(self, shard_bytes, tmp_path):
+        blob = shard_bytes[:8] + (2 ** 62).to_bytes(8, "little") \
+            + shard_bytes[16:]
+        with pytest.raises(IndexShardCorruptError, match="length"):
+            ShardReader(damaged(tmp_path, blob))
+
+    def test_appended_garbage_fails_length_check(self, shard_bytes,
+                                                 tmp_path):
+        path = damaged(tmp_path, shard_bytes + b"\x00" * 32)
+        with pytest.raises(IndexShardCorruptError, match="mismatch"):
+            ShardReader(path)
+
+    def test_future_schema_is_refused(self, tmp_path):
+        path = write_shard(tmp_path / "s.ix",
+                           {"a": np.arange(4, dtype=np.float32)})
+        blob = path.read_bytes()
+        header_len = int.from_bytes(blob[8:16], "little")
+        header = blob[16:16 + header_len].replace(
+            b'"schema": 1', b'"schema": 9')
+        assert header != blob[16:16 + header_len]
+        path.write_bytes(blob[:16] + header + blob[16 + header_len:])
+        with pytest.raises(IndexShardCorruptError, match="schema"):
+            ShardReader(path)
+
+    def test_missing_file_stays_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            ShardReader(tmp_path / "never.ix")
+
+
+class TestFullTierCatchesBitRot:
+    def flip_payload_bit(self, shard_bytes):
+        header_len = int.from_bytes(shard_bytes[8:16], "little")
+        data_start = 16 + header_len
+        flip_at = data_start + (len(shard_bytes) - data_start) // 2
+        blob = bytearray(shard_bytes)
+        blob[flip_at] ^= 0x40
+        return bytes(blob)
+
+    def test_bitflip_passes_lazy_but_fails_full(self, shard_bytes,
+                                                tmp_path):
+        path = damaged(tmp_path, self.flip_payload_bit(shard_bytes))
+        ShardReader(path, verify="lazy")  # structural tier can't see it
+        with pytest.raises(IndexShardCorruptError, match="digest"):
+            ShardReader(path, verify="full")
+
+    def test_load_index_full_verify_rejects_bitflip(self, shard_bytes,
+                                                    tmp_path):
+        path = damaged(tmp_path, self.flip_payload_bit(shard_bytes))
+        with pytest.raises(IndexShardCorruptError):
+            load_index(path, verify="full")
+
+
+class TestQuarantineAndTyping:
+    def test_corrupt_shard_quarantines_like_any_artifact(self, shard_bytes,
+                                                         tmp_path):
+        path = damaged(tmp_path, shard_bytes[: len(shard_bytes) // 3])
+        try:
+            ShardReader(path)
+        except CorruptArtifactError:
+            moved = quarantine(path)
+        assert moved is not None
+        assert not path.exists()
+        assert moved.name.startswith("damaged.ix.corrupt")
+
+    def test_error_is_the_shared_corruption_type(self, shard_bytes,
+                                                 tmp_path):
+        path = damaged(tmp_path, shard_bytes[:20])
+        with pytest.raises(CorruptArtifactError):
+            ShardReader(path)
+
+    def test_wrong_kind_is_typed_not_keyerror(self, tmp_path):
+        """A valid shard that is not an index (e.g. a bare embedding
+        store) must fail load_index with the typed error."""
+        path = write_shard(tmp_path / "s.ix",
+                           {"a": np.arange(6, dtype=np.float32)},
+                           meta={"kind": "something-else"})
+        with pytest.raises(IndexShardCorruptError, match="kind"):
+            load_index(path)

@@ -1,0 +1,231 @@
+"""IVF-PQ search contracts on a seeded clustered world.
+
+The load-bearing guarantees: an exhaustive probe is *bit-identical* to
+brute force (ids and scores), probed search returns exact scores in
+deterministic ``(-score, id)`` order with real ids only, recall@10
+clears a floor on clustered data, and a shard round-trip changes
+nothing."""
+
+import numpy as np
+import pytest
+
+from repro.index import (IVFPQConfig, IVFPQIndex, build_ivfpq,
+                         deterministic_topk_rows, load_index, save_index)
+
+
+def clustered_world(num_points, dim, num_centers, num_queries, seed=0,
+                    noise=0.08):
+    rng = np.random.default_rng(seed)
+    centers = rng.standard_normal((num_centers, dim)).astype(np.float32)
+    centers /= np.linalg.norm(centers, axis=1, keepdims=True)
+    owner = rng.integers(0, num_centers, size=num_points)
+    points = centers[owner] + noise * rng.standard_normal(
+        (num_points, dim)).astype(np.float32)
+    points /= np.linalg.norm(points, axis=1, keepdims=True)
+    queries = centers[rng.integers(0, num_centers, size=num_queries)] \
+        + 0.06 * rng.standard_normal((num_queries, dim)).astype(np.float32)
+    queries /= np.linalg.norm(queries, axis=1, keepdims=True)
+    return np.ascontiguousarray(points), np.ascontiguousarray(queries)
+
+
+def brute_topk(points, queries, k):
+    scores = queries @ points.T
+    ids = deterministic_topk_rows(scores, k)
+    return ids, np.take_along_axis(scores, ids, axis=1)
+
+
+@pytest.fixture(scope="module")
+def world():
+    return clustered_world(3000, 32, 48, 24)
+
+
+@pytest.fixture(scope="module")
+def built(world):
+    points, _ = world
+    return build_ivfpq(points, IVFPQConfig(nlist=32, nprobe=4, pq_m=8,
+                                           refine=8, seed=1))
+
+
+class TestBuild:
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            build_ivfpq(np.zeros((1, 4), dtype=np.float32))
+        with pytest.raises(ValueError):
+            build_ivfpq(np.zeros(8, dtype=np.float32))
+
+    def test_build_is_deterministic_under_seed(self, world):
+        points, queries = world
+        config = IVFPQConfig(nlist=16, pq_m=4, seed=3)
+        a = build_ivfpq(points, config)
+        b = build_ivfpq(points, config)
+        ra = a.search(queries, 5)
+        rb = b.search(queries, 5)
+        np.testing.assert_array_equal(ra.ids, rb.ids)
+        np.testing.assert_array_equal(ra.scores, rb.scores)
+
+    def test_inverted_lists_partition_all_vectors(self, built, world):
+        points, _ = world
+        assert built.list_offsets[0] == 0
+        assert built.list_offsets[-1] == len(points)
+        assert sorted(built.list_ids.tolist()) == list(range(len(points)))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            IVFPQConfig(nlist=0)
+        with pytest.raises(ValueError):
+            IVFPQConfig(pq_bits=9)
+        with pytest.raises(ValueError):
+            IVFPQConfig(refine=0)
+
+
+class TestExhaustiveFallback:
+    def test_nprobe_at_nlist_is_bit_identical_to_brute(self, built, world):
+        points, queries = world
+        want_ids, want_scores = brute_topk(points, queries, 10)
+        result = built.search(queries, 10, nprobe=built.nlist)
+        assert result.exhaustive
+        np.testing.assert_array_equal(result.ids, want_ids)
+        np.testing.assert_array_equal(result.scores, want_scores)
+
+    def test_nprobe_beyond_nlist_also_exhaustive(self, built, world):
+        points, queries = world
+        want_ids, _ = brute_topk(points, queries, 3)
+        result = built.search(queries, 3, nprobe=built.nlist * 4)
+        assert result.exhaustive
+        np.testing.assert_array_equal(result.ids, want_ids)
+
+    def test_exhaustive_recall_proxy_is_one(self, built, world):
+        _, queries = world
+        assert built.search(queries, 5, nprobe=built.nlist).recall_proxy \
+            == pytest.approx(1.0)
+
+
+class TestProbedSearch:
+    def test_returned_scores_are_full_precision(self, built, world):
+        """Shortlist membership is approximate; returned scores never
+        are — each is the full-precision inner product (up to the BLAS
+        kernel's last-ulp rounding; ADC estimates would be off by
+        orders of magnitude more)."""
+        points, queries = world
+        result = built.search(queries, 10)
+        exact = queries @ points.T
+        got = result.scores
+        want = np.take_along_axis(exact, result.ids, axis=1)
+        np.testing.assert_allclose(got, want, rtol=1e-5, atol=1e-6)
+
+    def test_rows_are_in_deterministic_order(self, built, world):
+        _, queries = world
+        result = built.search(queries, 10)
+        for q in range(len(queries)):
+            pairs = list(zip(-result.scores[q], result.ids[q]))
+            assert pairs == sorted(pairs)
+
+    def test_recall_at_10_clears_floor_on_clustered_world(self, built,
+                                                          world):
+        points, queries = world
+        oracle, _ = brute_topk(points, queries, 10)
+        result = built.search(queries, 10)
+        hits = sum(len(set(oracle[q].tolist())
+                       & set(result.ids[q].tolist()))
+                   for q in range(len(queries)))
+        recall = hits / oracle.size
+        assert recall >= 0.90, f"recall@10 {recall:.3f} below floor"
+
+    def test_underfilled_probes_escalate_to_exact(self, world):
+        """Probing one cell of a tiny index can expose fewer than k
+        candidates; such queries must escalate to an exact scan
+        instead of returning -1 padding."""
+        points, queries = world
+        small = build_ivfpq(points[:40], IVFPQConfig(nlist=32, pq_m=4,
+                                                     refine=1, seed=2))
+        result = small.search(queries, 5, nprobe=1)
+        assert (result.ids >= 0).all()
+        escalated = np.flatnonzero(result.probes == small.nlist)
+        assert len(escalated), "no query escalated — world too clumped"
+        want_ids, want_scores = brute_topk(points[:40], queries, 5)
+        np.testing.assert_array_equal(result.ids[escalated],
+                                      want_ids[escalated])
+        np.testing.assert_array_equal(result.scores[escalated],
+                                      want_scores[escalated])
+
+    def test_empty_lists_are_harmless(self, world):
+        """nlist close to n leaves cells empty after coarse assignment;
+        probing them must neither crash nor pad the output."""
+        points, queries = world
+        tiny = build_ivfpq(points[:50], IVFPQConfig(nlist=48, pq_m=4,
+                                                    refine=4, seed=0))
+        sizes = np.diff(tiny.list_offsets)
+        result = tiny.search(queries, 3, nprobe=8)
+        assert (result.ids >= 0).all()
+        assert np.isfinite(result.scores).all()
+
+    def test_k_larger_than_count_clamps(self, built, world):
+        points, queries = world
+        small = build_ivfpq(points[:12], IVFPQConfig(nlist=4, pq_m=4,
+                                                     seed=0))
+        result = small.search(queries[:3], 50)
+        assert result.ids.shape == (3, 12)
+        assert (result.ids >= 0).all()
+
+    def test_single_1d_query(self, built, world):
+        _, queries = world
+        result = built.search(queries[0], 5)
+        assert result.ids.shape == (1, 5)
+
+    def test_more_probes_never_lose_recall(self, built, world):
+        points, queries = world
+        oracle, _ = brute_topk(points, queries, 10)
+        last = -1.0
+        for nprobe in (1, 4, 16, 32):
+            result = built.search(queries, 10, nprobe=nprobe)
+            hits = sum(len(set(oracle[q].tolist())
+                           & set(result.ids[q].tolist()))
+                       for q in range(len(queries)))
+            recall = hits / oracle.size
+            assert recall >= last - 1e-9
+            last = recall
+
+
+class TestPersistence:
+    def test_save_load_round_trip_is_identical(self, built, world, tmp_path):
+        _, queries = world
+        path = save_index(tmp_path / "w.ix", built, meta={"note": "t"})
+        loaded = load_index(path, verify="full")
+        assert loaded.meta.get("note") == "t"
+        a = built.search(queries, 10)
+        b = loaded.search(queries, 10)
+        np.testing.assert_array_equal(a.ids, b.ids)
+        np.testing.assert_array_equal(a.scores, b.scores)
+
+    def test_load_nprobe_override(self, built, tmp_path):
+        path = save_index(tmp_path / "w.ix", built)
+        assert load_index(path, nprobe=17).nprobe == 17
+
+    def test_budgeted_load_serves_without_materializing(self, built, world,
+                                                        tmp_path):
+        """A 1 KiB budget is far below the embedding matrix — search
+        must still answer (shortlist rows only touch mapped pages)."""
+        _, queries = world
+        path = save_index(tmp_path / "w.ix", built)
+        loaded = load_index(path, memory_budget_bytes=1024)
+        a = built.search(queries, 10)
+        b = loaded.search(queries, 10)
+        np.testing.assert_array_equal(a.ids, b.ids)
+        np.testing.assert_array_equal(a.scores, b.scores)
+
+    def test_budgeted_exhaustive_fallback_still_works(self, built, world,
+                                                      tmp_path):
+        """Exhaustive scans stream the memmap — a tight budget must not
+        break the nprobe >= nlist path either."""
+        points, queries = world
+        path = save_index(tmp_path / "w.ix", built)
+        loaded = load_index(path, memory_budget_bytes=1024)
+        want_ids, _ = brute_topk(points, queries, 5)
+        result = loaded.search(queries, 5, nprobe=loaded.nlist)
+        np.testing.assert_array_equal(result.ids, want_ids)
+
+    def test_describe_shapes(self, built):
+        info = built.describe()
+        assert info["kind"] == "ivfpq"
+        assert info["vectors"] == built.count
+        assert info["nlist"] == built.nlist
