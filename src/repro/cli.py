@@ -98,6 +98,17 @@ def _non_negative_float(text: str) -> float:
     return value
 
 
+def _address(text: str) -> str:
+    """A HOST:PORT spec, validated now, parsed again where used."""
+    from .loadgen.socketdrv import parse_address
+
+    try:
+        parse_address(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+    return text
+
+
 def _rate(text: str) -> float:
     """A float in (0, 1] (a failure-rate threshold)."""
     value = _positive_float(text)
@@ -239,12 +250,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         trace_sample_rate=args.trace_sample_rate,
         trace_capacity=args.trace_capacity)
     service = MatchService(matcher, config=config).warmup()
-    # Diagnostics go to stderr; stdout carries only response JSONL.
-    print(f"serving {dataset.name} / {args.method}: "
-          f"{len(matcher.vertex_ids)} vertices, {len(matcher.images)} "
-          f"images — one JSON request per stdin line", file=sys.stderr)
-    served = serve_loop(service, sys.stdin, sys.stdout)
-    print(f"served {served} responses", file=sys.stderr)
+    exit_code = 0
+    if args.listen:
+        from .loadgen.socketdrv import parse_address
+        from .netserve import NetServeConfig, NetServer
+
+        host, port = parse_address(args.listen)
+        server = NetServer(service, NetServeConfig(
+            host=host, port=port,
+            batch_window_ms=args.batch_window_ms,
+            max_batch=args.max_batch, max_pending=args.max_pending,
+            conn_inflight=args.conn_inflight,
+            batch_workers=args.batch_workers,
+            drain_timeout_s=args.drain_timeout_s))
+
+        def _announce(bound) -> None:
+            # stderr, flushed: scripts poll for this line (or the port)
+            print(f"listening on {bound[0]}:{bound[1]} — "
+                  f"{dataset.name} / {args.method}, "
+                  f"window {args.batch_window_ms:g}ms, "
+                  f"max batch {args.max_batch}", file=sys.stderr,
+                  flush=True)
+
+        exit_code = server.run(ready=_announce)
+        print(f"drained ({'clean' if exit_code == 0 else 'timed out'})",
+              file=sys.stderr)
+    else:
+        # Diagnostics go to stderr; stdout carries only response JSONL.
+        print(f"serving {dataset.name} / {args.method}: "
+              f"{len(matcher.vertex_ids)} vertices, {len(matcher.images)} "
+              f"images — one JSON request per stdin line", file=sys.stderr)
+        served = serve_loop(service, sys.stdin, sys.stdout)
+        print(f"served {served} responses", file=sys.stderr)
     if args.metrics_out:
         rows = export_jsonl(args.metrics_out,
                             meta={"benchmark": args.benchmark,
@@ -255,7 +292,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               file=sys.stderr)
         prom_path = export_prom(Path(args.metrics_out).with_suffix(".prom"))
         print(f"wrote OpenMetrics snapshot to {prom_path}", file=sys.stderr)
-    return 0
+    return exit_code
 
 
 def _cmd_obs_report(args: argparse.Namespace) -> int:
@@ -404,19 +441,39 @@ def _emit_load_artifacts(report, args: argparse.Namespace) -> None:
         print(f"wrote OpenMetrics snapshot to {prom_path}", file=sys.stderr)
 
 
+def _remote_vertices(args: argparse.Namespace):
+    """``(address, vertex space)`` for a ``--connect`` run: the server's
+    ``info`` handshake replaces local fitting entirely."""
+    from .loadgen import fetch_info, parse_address
+
+    address = parse_address(args.connect)
+    info = fetch_info(address)
+    print(f"connected to {address[0]}:{address[1]}: "
+          f"{len(info['vertices'])} vertices, {info['images']} images, "
+          f"window {info.get('batch_window_ms', '?')}ms, "
+          f"max batch {info.get('max_batch', '?')}", file=sys.stderr)
+    return address, info["vertices"]
+
+
 def _cmd_load_run(args: argparse.Namespace) -> int:
-    from .loadgen import build_schedule, run_schedule
+    from .loadgen import SocketDriver, build_schedule, run_schedule
 
     _reset_telemetry(args)
-    matcher, dataset = _fit_for_load(args)
+    if args.connect:
+        address, vertices = _remote_vertices(args)
+        target, source = SocketDriver(address), args.connect
+    else:
+        matcher, dataset = _fit_for_load(args)
+        vertices, source = matcher.vertex_ids, dataset.name
+        target = _service_for_load(matcher, args)
     config = _load_config_from_args(args)
-    schedule = build_schedule(config, matcher.vertex_ids)
-    print(f"load run on {dataset.name}: {len(schedule)} requests, "
+    schedule = build_schedule(config, vertices)
+    print(f"load run on {source}: {len(schedule)} requests, "
           f"{config.process} arrivals at {config.rate:g}/s for "
           f"{config.duration:g}s", file=sys.stderr)
-    service = _service_for_load(matcher, args)
-    report = run_schedule(service, schedule,
+    report = run_schedule(target, schedule,
                           meta={"benchmark": args.benchmark,
+                                "connect": args.connect,
                                 "config": config.describe()})
     _emit_load_artifacts(report, args)
     return 0
@@ -432,18 +489,32 @@ def _cmd_load_sweep(args: argparse.Namespace) -> int:
               "objective flag (e.g. --p99-ms)", file=sys.stderr)
         return 2
     _reset_telemetry(args)
-    matcher, _ = _fit_for_load(args)
+    if args.connect:
+        from .loadgen import SocketDriver
+
+        address, vertices = _remote_vertices(args)
+
+        def make_target():
+            # fresh connection per point: each measurement starts from
+            # a clean server-side outstanding count
+            return SocketDriver(address)
+    else:
+        matcher, _ = _fit_for_load(args)
+        vertices = matcher.vertex_ids
+
+        def make_target():
+            return _service_for_load(matcher, args)
 
     def run_point(rate: float) -> dict:
         config = _load_config_from_args(args, rate=rate)
-        schedule = build_schedule(config, matcher.vertex_ids)
-        service = _service_for_load(matcher, args)
-        report = run_schedule(service, schedule)
+        schedule = build_schedule(config, vertices)
+        report = run_schedule(make_target(), schedule)
         return report.summary()
 
     doc = sweep_frontier(
         run_point, args.rates, spec,
         meta={"benchmark": args.benchmark, "seed": args.seed,
+              "connect": args.connect,
               "process": args.process, "duration": args.duration,
               "workers": args.workers, "capacity": args.capacity},
         progress=lambda message: print(message, file=sys.stderr))
@@ -682,6 +753,29 @@ def build_parser() -> argparse.ArgumentParser:
                             "index shard (repro index build)")
     serve.add_argument("--nprobe", type=_positive_int, default=None,
                        help="override the shard's probed-cell count")
+    serve.add_argument("--listen", type=_address, default=None,
+                       metavar="HOST:PORT",
+                       help="serve over TCP instead of stdin/stdout "
+                            "(port 0 binds an ephemeral port); SIGTERM "
+                            "drains gracefully")
+    serve.add_argument("--batch-window-ms", type=_non_negative_float,
+                       default=2.0, metavar="MS",
+                       help="micro-batch coalescing window for --listen "
+                            "(0 disables batching)")
+    serve.add_argument("--max-batch", type=_positive_int, default=16,
+                       help="flush a micro-batch at this many requests "
+                            "without waiting out the window")
+    serve.add_argument("--max-pending", type=_positive_int, default=256,
+                       help="requests queued + in flight before the "
+                            "batcher sheds (--listen)")
+    serve.add_argument("--conn-inflight", type=_positive_int, default=32,
+                       help="per-connection outstanding-response cap "
+                            "(--listen)")
+    serve.add_argument("--batch-workers", type=_positive_int, default=2,
+                       help="threads running fused scoring (--listen)")
+    serve.add_argument("--drain-timeout-s", type=_positive_float,
+                       default=30.0, metavar="S",
+                       help="seconds the drain waits for in-flight work")
     serve.set_defaults(func=_cmd_serve)
 
     # shared flag groups for the load subcommands (argparse parents)
@@ -768,6 +862,11 @@ def build_parser() -> argparse.ArgumentParser:
                           metavar="R",
                           help="offered rate in requests/second "
                                "(base rate for bursty)")
+    load_run.add_argument("--connect", type=_address, default=None,
+                          metavar="HOST:PORT",
+                          help="drive a running TCP server "
+                               "(repro serve --listen) instead of "
+                               "fitting an in-process service")
     load_run.set_defaults(func=_cmd_load_run)
 
     load_sweep = load_commands.add_parser(
@@ -777,6 +876,11 @@ def build_parser() -> argparse.ArgumentParser:
     load_sweep.add_argument("--rates", type=_rate_list, required=True,
                             metavar="R1,R2,...",
                             help="ascending offered rates to sweep")
+    load_sweep.add_argument("--connect", type=_address, default=None,
+                            metavar="HOST:PORT",
+                            help="sweep a running TCP server "
+                                 "(repro serve --listen); one fresh "
+                                 "connection per rate point")
     load_sweep.set_defaults(func=_cmd_load_sweep)
 
     load_replay = load_commands.add_parser(
@@ -901,7 +1005,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if getattr(args, "benchmark_opt", None):
         args.benchmark = args.benchmark_opt
-    if getattr(args, "benchmark", "-") is None:
+    if getattr(args, "benchmark", "-") is None and \
+            not getattr(args, "connect", None):
+        # --connect runs need no local fit, hence no benchmark
         parser.error("a benchmark is required (positional or --benchmark)")
     return args.func(args)
 

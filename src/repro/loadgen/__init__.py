@@ -16,6 +16,10 @@ mixes, and records latency without coordinated omission.
   (ok/degraded/shed/deadline/error/lost), exact mergeable
   fixed-bucket latency histograms, JSON artifacts, registry
   publication.
+* :mod:`repro.loadgen.socketdrv` — the same harness pointed at a
+  networked server (``repro serve --listen``) over one TCP
+  connection, plus the ``info`` handshake that replaces local
+  fitting for remote runs.
 
 SLO evaluation and latency/throughput frontier sweeps over these runs
 live in :mod:`repro.obs.slo` and :mod:`repro.obs.frontier`.
@@ -28,6 +32,7 @@ from .arrivals import (bursty_arrivals, poisson_arrivals, replay_offsets,
 from .harness import LoadConfig, LoadHarness, build_schedule, run_schedule
 from .mix import QueryMix
 from .report import OUTCOMES, LoadReport, Sample, classify_response
+from .socketdrv import SocketDriver, fetch_info, parse_address
 
 __all__ = [
     "uniform_arrivals", "poisson_arrivals", "bursty_arrivals",
@@ -35,4 +40,5 @@ __all__ = [
     "QueryMix",
     "LoadConfig", "LoadHarness", "build_schedule", "run_schedule",
     "OUTCOMES", "LoadReport", "Sample", "classify_response",
+    "SocketDriver", "fetch_info", "parse_address",
 ]

@@ -1,0 +1,32 @@
+"""Networked serving: a TCP front end over :class:`MatchService`.
+
+The stdin/stdout loop (:mod:`repro.serve.loop`) serves one client; this
+package serves many, over a socket, with the same JSONL framing and the
+same response schema — a client that worked against ``repro serve``
+pipes works unchanged against ``repro serve --listen``.  The pieces:
+
+* :mod:`repro.netserve.batcher` — the dynamic micro-batcher: concurrent
+  single-vertex queries arriving within a latency-bounded window are
+  coalesced into one fused :meth:`MatchService.handle_batch` call
+  (N GEMV-shaped requests become tile-shaped GEMMs) without changing
+  any answer bit (DESIGN.md §13).
+* :mod:`repro.netserve.server` — the asyncio TCP server: per-connection
+  JSONL framing, bounded write queues with typed ``overloaded``
+  rejections for slow readers, and graceful drain on SIGTERM/SIGINT.
+* :mod:`repro.netserve.protocol` — shared framing helpers and the
+  ``info`` handshake answering repository metadata (vertex ids, sizes)
+  so remote load generators need no local fit.
+
+See README "Networked serving" and DESIGN.md §13 for the window-vs-
+deadline semantics and the batched-exactness argument.
+"""
+
+from .batcher import BatchWindow, MicroBatcher, bypasses_window
+from .protocol import decode_line, encode_response, info_payload
+from .server import NetServeConfig, NetServer
+
+__all__ = [
+    "BatchWindow", "MicroBatcher", "bypasses_window",
+    "decode_line", "encode_response", "info_payload",
+    "NetServeConfig", "NetServer",
+]

@@ -1,0 +1,298 @@
+"""The dynamic micro-batcher: windowed coalescing of match queries.
+
+Many clients each send single-vertex queries; served one at a time,
+every query is a GEMV-shaped scoring call.  The batcher holds each
+arriving request for at most one *window* (``batch_window_ms``), fusing
+everything that arrives meanwhile into one
+:meth:`MatchService.handle_batch` call — N GEMV-shaped requests become
+tile-shaped GEMMs — and demultiplexes the positional responses back to
+their callers.  Answers are bit-identical to unbatched serving because
+``handle_batch`` scores through fixed-shape row tiles (DESIGN.md §13);
+the batcher only changes *when* scoring runs, never *what* it computes.
+
+Three latency rules, in priority order:
+
+1. **Full batch beats the window** — the moment ``max_batch`` requests
+   are pending the batch flushes, without waiting the window out.
+2. **Deadlines beat the window** — a request whose ``budget_ms`` is too
+   tight to survive a worst-case window wait (see
+   :func:`bypasses_window`) skips coalescing and dispatches alone,
+   immediately.  The window is an offer of amortization, never a tax on
+   an urgent request.
+3. **The window bounds everyone else** — no request waits longer than
+   one window for its batch to form.
+
+:class:`BatchWindow` is the pure, clock-free decision core (tested on a
+fake clock); :class:`MicroBatcher` adds the real threads: a flusher
+that times windows out and a worker pool that runs the fused calls.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..obs import get_logger, registry
+
+__all__ = ["BatchWindow", "MicroBatcher", "bypasses_window",
+           "BYPASS_SLACK"]
+
+_log = get_logger("repro.netserve.batcher")
+
+#: a request only joins a window if its budget covers at least this
+#: many windows — waiting the window out must not eat a large fraction
+#: of the budget, or the wait itself manufactures deadline failures
+BYPASS_SLACK = 2.0
+
+
+def bypasses_window(budget_ms: Any, window_ms: float,
+                    slack: float = BYPASS_SLACK) -> bool:
+    """Should a request with this budget skip the batching window?
+
+    True when ``budget_ms`` is a finite positive budget smaller than
+    ``slack`` windows: in the worst case a request waits one full
+    window before scoring even starts, so joining the window would
+    spend ``1/slack`` (or more) of the budget on queueing.  Unbounded
+    or malformed budgets never bypass — malformed ones must flow into
+    the service to be answered ``bad_request`` like anywhere else.
+    """
+    if window_ms <= 0:
+        return True  # windowless configuration: everything immediate
+    if isinstance(budget_ms, bool) or not isinstance(budget_ms, (int, float)):
+        return False
+    if budget_ms <= 0:
+        return False
+    return float(budget_ms) < slack * window_ms
+
+
+class BatchWindow:
+    """Pure batching-decision state: what is pending, when to flush.
+
+    Not thread-safe and never reads a clock — callers pass ``now`` in,
+    which is what makes the window semantics testable on a fake clock.
+    The window opens when the first item arrives into an empty batch
+    and closes ``window_s`` later (or immediately on reaching
+    ``max_batch``); it does NOT slide on later arrivals, so a steady
+    trickle cannot postpone a flush indefinitely.
+    """
+
+    def __init__(self, window_s: float, max_batch: int) -> None:
+        if window_s < 0:
+            raise ValueError("window_s must be non-negative")
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        self.window_s = window_s
+        self.max_batch = max_batch
+        self._items: List[Any] = []
+        self._opened_at: Optional[float] = None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def add(self, item: Any, now: float) -> bool:
+        """Admit ``item``; returns True when the batch is now full and
+        must flush without waiting for the window to expire."""
+        if not self._items:
+            self._opened_at = now
+        self._items.append(item)
+        return len(self._items) >= self.max_batch
+
+    def flush_at(self) -> Optional[float]:
+        """The absolute time this window expires; None while empty."""
+        if self._opened_at is None:
+            return None
+        return self._opened_at + self.window_s
+
+    def due(self, now: float) -> bool:
+        """Has the window expired (or the batch filled) by ``now``?"""
+        if not self._items:
+            return False
+        return len(self._items) >= self.max_batch or \
+            now >= self._opened_at + self.window_s
+
+    def drain(self) -> List[Any]:
+        """Take every pending item and reset the window."""
+        items, self._items = self._items, []
+        self._opened_at = None
+        return items
+
+
+class MicroBatcher:
+    """Thread-safe batching front door over a ``MatchService``.
+
+    ``submit(request, deliver)`` enqueues one request; ``deliver`` is
+    later called exactly once — from a worker thread — with the JSON
+    response dict.  Requests are shed with a typed ``overloaded``
+    response once ``max_pending`` are queued or in flight, mirroring
+    the service's own admission semantics at the batching layer (the
+    fused path does not pass through the service's BoundedQueue, so it
+    needs its own honest bound).
+
+    ``drain()`` stops intake, flushes whatever is pending, and blocks
+    until every accepted request has been answered — the graceful-
+    shutdown half of the SIGTERM story.
+    """
+
+    def __init__(self, service: Any, *, window_ms: float = 2.0,
+                 max_batch: int = 16, max_pending: int = 256,
+                 workers: int = 2,
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        if max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.service = service
+        self.window_ms = float(window_ms)
+        self.max_batch = int(max_batch)
+        self.max_pending = int(max_pending)
+        self._clock = clock if clock is not None else time.monotonic
+        self._window = BatchWindow(self.window_ms / 1000.0, self.max_batch)
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._pending = 0
+        self._all_done = threading.Condition(self._lock)
+        self._stopping = False
+        self._hurry = False
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="netserve-batch")
+        reg = registry()
+        self._batch_size = reg.histogram("netserve.batch.size")
+        self._flush_total = reg.counter("netserve.batch.flush_total")
+        self._bypass_total = reg.counter("netserve.batch.bypass_total")
+        self._shed_total = reg.counter("netserve.shed_total")
+        self._pending_gauge = reg.gauge("netserve.pending")
+        self._pending_gauge.set(0)
+        self._flusher = threading.Thread(target=self._flush_loop,
+                                         name="netserve-flusher",
+                                         daemon=True)
+        self._flusher.start()
+
+    # -- intake ------------------------------------------------------------
+    def submit(self, request: Any,
+               deliver: Callable[[dict], None]) -> None:
+        """Enqueue one request; ``deliver`` receives its response later.
+
+        Never raises for per-request conditions: shed, shutdown and
+        malformed requests all flow back through ``deliver`` as typed
+        error responses, exactly like the service's own ``submit``.
+        """
+        request_id = request.get("id") if isinstance(request, dict) else None
+        with self._lock:
+            if self._stopping:
+                self._shed_total.inc()
+                deliver(rejection_response(request_id, "unavailable",
+                                   "server is draining and no longer "
+                                   "admits requests"))
+                return
+            if self._pending >= self.max_pending:
+                self._shed_total.inc()
+                deliver(rejection_response(
+                    request_id, "overloaded",
+                    f"batcher at capacity ({self._pending}/"
+                    f"{self.max_pending}); request shed"))
+                return
+            self._pending += 1
+            self._pending_gauge.set(self._pending)
+            budget_ms = request.get("budget_ms") \
+                if isinstance(request, dict) else None
+            if self._hurry or bypasses_window(budget_ms, self.window_ms):
+                # Too urgent to wait: dispatch alone, right now.  Still
+                # through handle_batch, so the scoring kernel (and thus
+                # every answer bit) matches the batched path.
+                self._bypass_total.inc()
+                self._pool.submit(self._run_batch, [(request, deliver)])
+                return
+            full = self._window.add((request, deliver), self._clock())
+            self._wakeup.notify()
+            if full:
+                batch = self._window.drain()
+                self._pool.submit(self._run_batch, batch)
+
+    # -- flushing ----------------------------------------------------------
+    def _flush_loop(self) -> None:
+        while True:
+            with self._lock:
+                if self._stopping and not len(self._window):
+                    return
+                flush_at = self._window.flush_at()
+                if flush_at is None:
+                    if self._stopping:
+                        return
+                    self._wakeup.wait(timeout=0.1)
+                    continue
+                now = self._clock()
+                if not self._stopping and not self._hurry \
+                        and not self._window.due(now):
+                    self._wakeup.wait(timeout=max(flush_at - now, 0.0))
+                    continue
+                batch = self._window.drain()
+            if batch:
+                self._pool.submit(self._run_batch, batch)
+
+    def _run_batch(self,
+                   batch: List[Tuple[Any, Callable[[dict], None]]]) -> None:
+        requests = [request for request, _ in batch]
+        try:
+            responses = self.service.handle_batch(requests)
+        except Exception as exc:  # handle_batch answers per-request;
+            # reaching here is a bug, but callers still get answers
+            _log.error("fused batch call failed", error=str(exc),
+                       batch=len(batch))
+            responses = [rejection_response(
+                r.get("id") if isinstance(r, dict) else None,
+                "serve_error", f"internal batch failure: {exc}")
+                for r in requests]
+        self._flush_total.inc()
+        self._batch_size.observe(float(len(batch)))
+        for (_, deliver), response in zip(batch, responses):
+            try:
+                deliver(response)
+            except Exception as exc:
+                _log.warning("response delivery failed", error=str(exc))
+        with self._all_done:
+            self._pending -= len(batch)
+            self._pending_gauge.set(self._pending)
+            if self._pending == 0:
+                self._all_done.notify_all()
+
+    # -- shutdown ----------------------------------------------------------
+    def hurry(self) -> None:
+        """Stop windowing, keep serving: flush whatever is pending now
+        and dispatch every later submit immediately.  The drain
+        sequence calls this first — once shutdown has begun, latency
+        amortization is over and every held request is pure delay.
+        Non-blocking; intake stays open until :meth:`drain`."""
+        with self._lock:
+            self._hurry = True
+            self._wakeup.notify_all()
+
+    def drain(self, timeout: Optional[float] = 30.0) -> bool:
+        """Stop intake, flush pending work, wait for in-flight answers.
+
+        Returns True if everything accepted was answered within
+        ``timeout`` seconds.  Idempotent.
+        """
+        with self._lock:
+            self._stopping = True
+            self._wakeup.notify_all()
+        self._flusher.join(timeout=timeout)
+        with self._all_done:
+            if self._pending:
+                self._all_done.wait_for(lambda: self._pending == 0,
+                                        timeout=timeout)
+            drained = self._pending == 0
+        self._pool.shutdown(wait=True)
+        return drained
+
+
+def rejection_response(request_id: Any, code: str, message: str) -> dict:
+    """A typed error response minted at the batching layer (the request
+    never reached the service, so no service-side trace exists)."""
+    registry().counter("serve.requests_total").inc()
+    registry().counter("serve.error_total").inc()
+    registry().counter(f"serve.error.{code}").inc()
+    return {"id": request_id, "ok": False,
+            "error": {"type": code, "message": message},
+            "elapsed_ms": 0.0}

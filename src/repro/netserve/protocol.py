@@ -1,0 +1,63 @@
+"""Wire protocol of the TCP front end.
+
+The framing is exactly the stdio loop's: one JSON object per line,
+``\\n``-terminated, responses correlated by ``id`` and allowed to
+arrive out of submission order.  This module holds the few pieces both
+the server and the socket load-generator driver need to agree on, so
+neither grows a private copy.
+
+Beyond match requests, the server answers one control operation:
+
+``{"op": "info", "id": ...}`` →
+``{"id": ..., "ok": true, "info": {...}}``
+
+carrying repository metadata (entity vertices, image count, batching
+limits).  Remote load generators use it to discover queryable vertices
+without fitting a local matcher — the socket equivalent of what
+``repro load`` reads off the in-process service.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+__all__ = ["MAX_LINE_BYTES", "decode_line", "encode_response",
+           "info_payload"]
+
+#: hard per-line cap; a longer line is answered ``bad_request`` and the
+#: connection closed, so one hostile client cannot balloon server memory
+MAX_LINE_BYTES = 1 << 20
+
+
+def decode_line(raw: bytes) -> Any:
+    """Decode one request line; raises ``ValueError`` on bad UTF-8 or
+    bad JSON (both are framing failures, answered identically)."""
+    return json.loads(raw.decode("utf-8"))
+
+
+def encode_response(response: dict) -> bytes:
+    """One response, compactly encoded, newline-terminated."""
+    return json.dumps(response, separators=(",", ":")).encode("utf-8") \
+        + b"\n"
+
+
+def info_payload(service: Any, *, max_batch: Optional[int] = None,
+                 window_ms: Optional[float] = None) -> dict:
+    """The ``info`` operation's body, read off a live service.
+
+    ``vertices`` lists every queryable entity vertex so a remote client
+    can build a workload; ``images`` bounds meaningful ``top_k``.
+    """
+    matcher = service.matcher
+    info = {
+        "vertices": [int(v) for v in matcher.vertex_ids],
+        "images": len(matcher.images),
+        "top_k_default": service.config.top_k_default,
+        "indexed": matcher.search_index is not None,
+    }
+    if max_batch is not None:
+        info["max_batch"] = max_batch
+    if window_ms is not None:
+        info["batch_window_ms"] = window_ms
+    return info

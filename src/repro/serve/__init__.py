@@ -27,18 +27,18 @@ from .deadline import Deadline
 from .degrade import (LADDER, TIER_CACHED, TIER_FULL, TIER_STALE,
                       DegradationPolicy, DegradeDecision)
 from .errors import (BadRequest, BreakerOpen, DeadlineExceeded, Overloaded,
-                     ServeError)
-from .loop import serve_loop
+                     ServeError, Unavailable)
+from .loop import bad_line_response, serve_loop
 from .service import MatchService, ServeConfig
 
 __all__ = [
     "ServeError", "BadRequest", "DeadlineExceeded", "Overloaded",
-    "BreakerOpen",
+    "Unavailable", "BreakerOpen",
     "Deadline",
     "CircuitBreaker", "STATE_CLOSED", "STATE_HALF_OPEN", "STATE_OPEN",
     "BoundedQueue",
     "DegradationPolicy", "DegradeDecision",
     "TIER_FULL", "TIER_CACHED", "TIER_STALE", "LADDER",
     "MatchService", "ServeConfig",
-    "serve_loop",
+    "serve_loop", "bad_line_response",
 ]

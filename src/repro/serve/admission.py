@@ -21,7 +21,7 @@ from collections import deque
 from typing import Any, Optional
 
 from ..obs import get_logger, registry
-from .errors import Overloaded
+from .errors import Overloaded, Unavailable
 
 __all__ = ["BoundedQueue"]
 
@@ -60,10 +60,15 @@ class BoundedQueue:
         return len(self)
 
     def put(self, item: Any) -> None:
-        """Enqueue ``item`` or raise :class:`Overloaded` if full."""
+        """Enqueue ``item``; raise :class:`Overloaded` if full, or
+        :class:`Unavailable` once the queue has been closed.
+
+        Both are typed :class:`~repro.serve.errors.ServeError`\\ s, so a
+        put racing a shutdown becomes a structured rejection response
+        upstream — never an unhandled crash out of a reader thread."""
         with self._not_empty:
             if self._closed:
-                raise RuntimeError(f"queue {self.name!r} is closed")
+                raise Unavailable(self.name)
             if len(self._items) >= self.capacity:
                 self._shed_counter.inc()
                 _log.warning("request shed", queue=self.name,

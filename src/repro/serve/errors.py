@@ -12,6 +12,9 @@ serving API:
   The request was well-formed; a retry with a larger budget may work.
 * :class:`Overloaded` — admission control shed the request because the
   work queue was full.  Retrying after backoff is appropriate.
+* :class:`Unavailable` — the service is shutting down (or already shut
+  down) and no longer admits work.  Retrying against *this* instance
+  will never help; a client should fail over.
 * :class:`BreakerOpen` — a circuit breaker is refusing calls to a
   failing backend; the degradation ladder normally absorbs this before
   it reaches a client.
@@ -25,7 +28,7 @@ from __future__ import annotations
 from typing import Optional
 
 __all__ = ["ServeError", "BadRequest", "DeadlineExceeded", "Overloaded",
-           "BreakerOpen"]
+           "Unavailable", "BreakerOpen"]
 
 
 class ServeError(RuntimeError):
@@ -69,6 +72,22 @@ class Overloaded(ServeError):
                          f"request shed")
         self.depth = depth
         self.capacity = capacity
+
+
+class Unavailable(ServeError):
+    """The service stopped admitting work (draining or shut down).
+
+    Distinct from :class:`Overloaded`: an overload is transient and
+    backoff-retryable against the same instance, while an unavailable
+    instance is going away — the honest client action is failover.
+    """
+
+    code = "unavailable"
+
+    def __init__(self, name: str = "serve.queue") -> None:
+        super().__init__(f"{name!r} is shut down and no longer "
+                         f"admits requests")
+        self.name = name
 
 
 class BreakerOpen(ServeError):

@@ -13,6 +13,13 @@ keeps serving — input corruption is a per-request failure, never a
 process failure.  Such lines are counted separately
 (``serve.requests.bad_line``) so framing corruption is distinguishable
 from well-formed-but-invalid requests in the exported telemetry.
+
+Failures in the *other* direction — the response sink going away
+mid-drain (broken pipe, closed file) — are caught in ``emit`` rather
+than propagated out of worker threads: each is counted
+(``serve.emit.failed``), and the loop stops reading and shuts down
+cleanly instead of silently losing every response after the first
+failed write.
 """
 
 from __future__ import annotations
@@ -24,9 +31,35 @@ from typing import IO, Iterable, Union
 from ..obs import get_logger, registry
 from .service import MatchService
 
-__all__ = ["serve_loop"]
+__all__ = ["serve_loop", "bad_line_response"]
 
 _log = get_logger("repro.serve.loop")
+
+
+def bad_line_response(service: MatchService, error: Exception) -> dict:
+    """The structured answer to an undecodable request line.
+
+    Counts the framing failure separately from semantic bad requests
+    and mints a flagged (thus always-retained) trace so the failure is
+    findable by id.  Shared by the stdin/stdout loop and the TCP front
+    end (:mod:`repro.netserve`), which frame identically.
+    """
+    reg = registry()
+    reg.counter("serve.requests_total").inc()
+    reg.counter("serve.requests.bad_line").inc()
+    reg.counter("serve.error_total").inc()
+    reg.counter("serve.error.bad_request").inc()
+    trace = service.tracer.start("serve.request")
+    trace.flag("error")
+    trace.add_event("error", code="bad_request")
+    trace.finish()
+    response = {"id": None, "ok": False,
+                "error": {"type": "bad_request",
+                          "message": f"invalid JSON: {error}"},
+                "elapsed_ms": 0.0}
+    if trace.trace_id is not None:
+        response["trace_id"] = trace.trace_id
+    return response
 
 
 def serve_loop(service: MatchService, source: Iterable[str],
@@ -35,30 +68,47 @@ def serve_loop(service: MatchService, source: Iterable[str],
 
     Starts the service's worker pool, feeds it every non-blank line,
     emits one JSON response line per request (shed and parse failures
-    answered inline by the reader), and shuts the pool down at EOF.
-    Returns the number of responses written.
+    answered inline by the reader), and shuts the pool down at EOF —
+    or as soon as the sink stops accepting writes.  Returns the number
+    of responses written.
     """
     emit_lock = threading.Lock()
     written = [0]
+    # Sink failure is remembered across emits: once the pipe is broken
+    # every subsequent write would fail identically, so workers skip
+    # straight past it and the reader loop below winds down.
+    sink_failed = threading.Event()
     # instrument handles hoisted out of the loop: the bad-line path is
     # exactly where input is arriving malformed at rate, so it should
     # not pay a registry lock + dict lookup per counter per line
     reg = registry()
-    requests_total = reg.counter("serve.requests_total")
-    bad_line_total = reg.counter("serve.requests.bad_line")
-    error_total = reg.counter("serve.error_total")
-    bad_request_total = reg.counter("serve.error.bad_request")
+    emit_failed_total = reg.counter("serve.emit.failed")
 
     def emit(response: dict) -> None:
+        if sink_failed.is_set():
+            emit_failed_total.inc()
+            return
         line = json.dumps(response, separators=(",", ":"))
         with emit_lock:
-            sink.write(line + "\n")
-            sink.flush()
+            try:
+                sink.write(line + "\n")
+                sink.flush()
+            except Exception as exc:
+                # The reader of our responses went away (broken pipe,
+                # closed sink).  A worker thread must not die on this —
+                # count it, remember it, and let the loop drain out.
+                emit_failed_total.inc()
+                sink_failed.set()
+                _log.warning("response sink failed; shutting down",
+                             error=f"{type(exc).__name__}: {exc}")
+                return
             written[0] += 1
 
     service.start(emit)
     try:
         for raw in source:
+            if sink_failed.is_set():
+                break  # nobody is reading responses: stop taking work
             line = raw.strip()
             if not line:
                 continue
@@ -66,23 +116,7 @@ def serve_loop(service: MatchService, source: Iterable[str],
                 request: Union[dict, object] = json.loads(line)
             except ValueError as exc:
                 _log.warning("undecodable request line", error=str(exc))
-                requests_total.inc()
-                bad_line_total.inc()
-                error_total.inc()
-                bad_request_total.inc()
-                # Even an undecodable line gets a (flagged, thus always
-                # retained) trace so the failure is findable by id.
-                trace = service.tracer.start("serve.request")
-                trace.flag("error")
-                trace.add_event("error", code="bad_request")
-                trace.finish()
-                response = {"id": None, "ok": False,
-                            "error": {"type": "bad_request",
-                                      "message": f"invalid JSON: {exc}"},
-                            "elapsed_ms": 0.0}
-                if trace.trace_id is not None:
-                    response["trace_id"] = trace.trace_id
-                emit(response)
+                emit(bad_line_response(service, exc))
                 continue
             rejection = service.submit(request)
             if rejection is not None:

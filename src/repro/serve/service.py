@@ -32,7 +32,7 @@ import dataclasses
 import threading
 import time
 from collections import OrderedDict
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -45,7 +45,8 @@ from .admission import BoundedQueue
 from .breaker import CircuitBreaker
 from .deadline import Deadline
 from .degrade import (TIER_CACHED, TIER_FULL, TIER_STALE, DegradationPolicy)
-from .errors import BadRequest, DeadlineExceeded, Overloaded, ServeError
+from .errors import (BadRequest, DeadlineExceeded, Overloaded, ServeError,
+                     Unavailable)
 
 __all__ = ["ServeConfig", "MatchService"]
 
@@ -71,6 +72,12 @@ class ServeConfig:
     #: minimum k fetched from an attached ANN index on the full tier,
     #: so stale-cached top-k rows can also serve later, larger requests
     index_k_floor: int = 16
+    #: fixed row-tile width of the fused batch scoring path
+    #: (:meth:`MatchService.handle_batch`): every fused request is
+    #: scored through an operand of exactly this many rows (padded with
+    #: duplicates), which pins the BLAS kernel and makes batched
+    #: answers bit-identical to one-at-a-time answers (DESIGN.md §13)
+    batch_tile: int = 8
     #: circuit breaker: sliding window size (calls)
     breaker_window: int = 8
     #: circuit breaker: failure rate in the window that opens it
@@ -100,6 +107,8 @@ class ServeConfig:
             raise ValueError("stale_capacity must be at least 1")
         if self.index_k_floor < 1:
             raise ValueError("index_k_floor must be at least 1")
+        if self.batch_tile < 1:
+            raise ValueError("batch_tile must be at least 1")
         if not 0.0 <= self.trace_sample_rate <= 1.0:
             raise ValueError("trace_sample_rate must be in [0, 1]")
         if self.trace_capacity < 1:
@@ -199,8 +208,15 @@ class MatchService:
                 self.text_breaker.call(
                     lambda: matcher.score_topk([probe], 1))
             if fallback is not matcher:
-                fallback._encode_images(range(len(fallback.images)))
-                fallback.score([fallback.vertex_ids[0]])
+                # The fallback's bulk encode is encoder work like any
+                # other: run it through the breakers too, so a hung
+                # fallback backend trips a breaker here instead of
+                # stalling warmup with no circuit ever opening.
+                self.vision_breaker.call(
+                    lambda: fallback._encode_images(
+                        range(len(fallback.images))))
+                self.text_breaker.call(
+                    lambda: fallback.score([fallback.vertex_ids[0]]))
         self._warm = True
         return self
 
@@ -216,6 +232,11 @@ class MatchService:
         top_k = request.get("top_k", self.config.top_k_default)
         if isinstance(top_k, bool) or not isinstance(top_k, int) or top_k < 1:
             raise BadRequest("field 'top_k' must be a positive integer")
+        # Clamp to the repository size: there are only so many images
+        # to return, and an unclamped top_k=10**9 would otherwise size
+        # allocations in _top_matches and the index_k_floor over-fetch.
+        # The response simply carries the clamped (achievable) count.
+        top_k = min(top_k, len(self._image_ids))
         budget_ms = request.get("budget_ms", self.config.default_budget_ms)
         budget = None
         if budget_ms is not None:
@@ -257,6 +278,51 @@ class MatchService:
 
         return self.text_breaker.call(run)
 
+    def _score_rows_fused(self, vertices: List[int], top_k: int,
+                          deadline: Deadline) -> np.ndarray:
+        """Full-tier score rows for many vertices in one breaker-guarded
+        call, computed in fixed ``batch_tile``-row tiles.
+
+        The fixed operand shape is the exactness argument (DESIGN.md
+        §13): BLAS kernels round differently per operand *shape*, but
+        for a pinned shape each output row depends only on its own
+        query row.  Padding every tile to exactly ``batch_tile`` rows
+        (with duplicate vertices) therefore makes each row of a fused
+        batch bit-identical to the same request scored alone through
+        this same path, regardless of batch composition.
+
+        ``deadline`` is the tightest budget in the group; the matcher's
+        stage hooks re-check it between tiles, so a hung encoder
+        surfaces as DeadlineExceeded — which the breaker counts.
+        """
+        deadline.check("score_full")
+        tile = self.config.batch_tile
+        matcher = self.matcher
+        n_images = len(self._image_ids)
+
+        def run() -> np.ndarray:
+            rows = np.empty((len(vertices), n_images), dtype=np.float32)
+            with matcher.encode_hook(deadline.check):
+                for start in range(0, len(vertices), tile):
+                    chunk = vertices[start:start + tile]
+                    padded = chunk + [chunk[-1]] * (tile - len(chunk))
+                    if matcher.search_index is not None:
+                        k = max(top_k, self.config.index_k_floor)
+                        ids, scores = matcher.score_topk(padded, k)
+                        block = np.full((len(chunk), n_images), -np.inf,
+                                        dtype=np.float32)
+                        for r in range(len(chunk)):
+                            valid = ids[r] >= 0
+                            block[r][ids[r][valid]] = scores[r][valid]
+                        rows[start:start + len(chunk)] = block
+                    else:
+                        rows[start:start + len(chunk)] = \
+                            matcher.score(padded)[:len(chunk)]
+                    deadline.check("score_full")
+            return rows
+
+        return self.text_breaker.call(run)
+
     def _score_cached(self, vertex: int) -> np.ndarray:
         # Pure cache: slices the discrete-prompt embedding matrix and
         # one GEMM row — no encoder call, nothing for a breaker to trip.
@@ -294,14 +360,20 @@ class MatchService:
                  "score": float(scores[i])} for i in order]
 
     # -- the ladder --------------------------------------------------------
-    def _execute(self, query: _Query,
-                 deadline: Deadline) -> Tuple[List[dict], str, Optional[str]]:
+    def _execute(self, query: _Query, deadline: Deadline,
+                 full_row: Optional[np.ndarray] = None,
+                 ) -> Tuple[List[dict], str, Optional[str]]:
         """Walk the degradation ladder; returns (matches, tier, reason).
 
         ``reason`` is ``None`` for an undegraded full-tier answer,
         otherwise why the service fell below full.  A DeadlineExceeded
         mid-ladder skips straight to the stale tier — once the budget is
         blown, only a free tier is honest to run.
+
+        ``full_row`` is a precomputed full-tier score row from the
+        fused batch path (:meth:`handle_batch`); when present the full
+        tier consumes it instead of scoring again, everything else —
+        deadlines, stale refill, degradation — unchanged.
         """
         reg = registry()
         decision = self.policy.plan(deadline)
@@ -313,8 +385,13 @@ class MatchService:
             try:
                 with trace_span(f"tier/{tier}"):
                     if tier == TIER_FULL:
-                        scores = self._score_full(query.vertex, deadline,
-                                                  query.top_k)
+                        if full_row is not None:
+                            deadline.check("score_full")
+                            scores = full_row
+                        else:
+                            scores = self._score_full(query.vertex,
+                                                      deadline,
+                                                      query.top_k)
                     elif tier == TIER_CACHED:
                         deadline.check("score_cached")
                         scores = self._score_cached(query.vertex)
@@ -359,7 +436,9 @@ class MatchService:
         raise last_error
 
     # -- request lifecycle -------------------------------------------------
-    def handle(self, request: Any) -> dict:
+    def handle(self, request: Any, *,
+               full_row: Optional[np.ndarray] = None,
+               started: Optional[float] = None) -> dict:
         """Process one request synchronously; always returns a response
         dict (carrying its ``trace_id``), never raises (per-request
         isolation).
@@ -368,19 +447,27 @@ class MatchService:
         sampling policy's call at finish — errors, degraded answers and
         deadline blows are always kept (their flags are set on the way
         through :meth:`_error_response` / :meth:`_handle`).
+
+        ``full_row`` and ``started`` belong to the fused batch path
+        (:meth:`handle_batch`): a precomputed full-tier score row, and
+        the batch's admission time so ``elapsed_ms`` charges this
+        request its share of the shared scoring call.
         """
         trace = self.tracer.start("serve.request")
         with trace.activate():
-            response = self._handle(request)
+            response = self._handle(request, full_row=full_row,
+                                    started=started)
         trace.finish()
         if trace.trace_id is not None:
             response["trace_id"] = trace.trace_id
         return response
 
-    def _handle(self, request: Any) -> dict:
+    def _handle(self, request: Any, *,
+                full_row: Optional[np.ndarray] = None,
+                started: Optional[float] = None) -> dict:
         reg = registry()
         reg.counter("serve.requests_total").inc()
-        started = self._clock()
+        started = self._clock() if started is None else started
         request_id = request.get("id") if isinstance(request, dict) else None
         try:
             self.warmup()
@@ -400,9 +487,12 @@ class MatchService:
         add_trace_event("request", vertex=query.vertex, top_k=query.top_k,
                         budget_ms=None if query.budget is None
                         else round(query.budget * 1e3, 4))
+        if full_row is not None:
+            add_trace_event("batch", fused=True)
         deadline = Deadline(query.budget, clock=self._clock)
         try:
-            matches, tier, reason = self._execute(query, deadline)
+            matches, tier, reason = self._execute(query, deadline,
+                                                  full_row=full_row)
         except ServeError as exc:
             return self._error_response(request_id, exc.code, str(exc),
                                         started)
@@ -429,6 +519,85 @@ class MatchService:
         if degraded and reason is not None:
             response["reason"] = reason
         return response
+
+    # -- fused batch mode --------------------------------------------------
+    def _fusible(self, query: _Query) -> bool:
+        """Would this request enter the ladder at the full tier right
+        now?  Mirrors :meth:`DegradationPolicy.plan` (breaker admits
+        encoder calls, budget clears the full floor) without emitting
+        its trace event — evaluated once at fuse time; the per-request
+        ladder re-plans with full accounting afterwards."""
+        if not self.text_breaker.allows_call():
+            return False
+        if query.budget is None:
+            return True
+        return query.budget >= self.policy.full_floor
+
+    def handle_batch(self, requests: Sequence[Any]) -> List[dict]:
+        """Answer many independent requests, fusing their full-tier
+        scoring into tile-shaped batched calls — the micro-batch path
+        behind :mod:`repro.netserve`.
+
+        Responses align positionally with ``requests``.  Semantics are
+        identical to calling :meth:`handle` once per request — same
+        parsing, deadlines, degradation ladder, per-request isolation,
+        metrics and traces — except that requests eligible for the full
+        tier share one breaker-guarded scoring call per ``top_k``
+        group, so N GEMV-shaped queries become tile-shaped GEMMs.
+        Answers are bit-identical to one-at-a-time calls of this same
+        method (the fixed-tile argument, DESIGN.md §13).  If a fused
+        call fails — deadline, breaker, encoder bug — every member
+        falls back to its own per-request ladder; a batch never turns
+        one failure into N undiagnosed ones.
+        """
+        if not requests:
+            return []
+        started = self._clock()
+        warm = True
+        try:
+            self.warmup()
+        except Exception:
+            # Per-request handling below reports the warmup failure
+            # with full error accounting; nothing to fuse meanwhile.
+            warm = False
+        rows: Dict[int, np.ndarray] = {}
+        if warm and len(requests) >= 1:
+            # Group fusible requests by their effective index fetch
+            # width: with an ANN index attached, k shapes the shortlist
+            # and therefore the answer, so only like-k requests may
+            # share a call.  Brute-force scoring ignores k (one group).
+            groups: Dict[int, List[int]] = {}
+            queries: Dict[int, _Query] = {}
+            for position, request in enumerate(requests):
+                try:
+                    query = self._parse(request)
+                except Exception:
+                    continue  # re-parsed with accounting in _handle
+                if not self._fusible(query):
+                    continue
+                queries[position] = query
+                k = max(query.top_k, self.config.index_k_floor) \
+                    if self.matcher.search_index is not None else 0
+                groups.setdefault(k, []).append(position)
+            reg = registry()
+            for k, positions in groups.items():
+                fused = [queries[p] for p in positions]
+                finite = [q.budget for q in fused if q.budget is not None]
+                deadline = Deadline(min(finite) if finite else None,
+                                    clock=self._clock)
+                try:
+                    block = self._score_rows_fused(
+                        [q.vertex for q in fused], max(k, 1), deadline)
+                except Exception:
+                    continue  # per-request ladders take over below
+                reg.counter("serve.batch.fused_total").inc(len(fused))
+                reg.histogram("serve.batch.group_size").observe(
+                    float(len(fused)))
+                for row, position in enumerate(positions):
+                    rows[position] = block[row]
+        return [self.handle(request, full_row=rows.get(position),
+                            started=started)
+                for position, request in enumerate(requests)]
 
     def _error_response(self, request_id: Any, code: str, message: str,
                         started: float) -> dict:
@@ -462,12 +631,28 @@ class MatchService:
         """Admit ``request`` to the work queue.
 
         Returns ``None`` when enqueued (the response will reach ``emit``
-        later) or an immediate ``overloaded`` error response when
-        admission control sheds the request.
+        later) or an immediate typed error response: ``overloaded`` when
+        admission control sheds the request, ``unavailable`` when the
+        submit races (or follows) :meth:`shutdown`.  Never raises — a
+        reader thread pumping requests into a closing service sees a
+        structured rejection, not a crash.
         """
         try:
             self.queue.put(request)
             return None
+        except Unavailable as exc:
+            registry().counter("serve.requests_total").inc()
+            request_id = request.get("id") if isinstance(request, dict) \
+                else None
+            trace = self.tracer.start("serve.request")
+            with trace.activate():
+                trace.add_event("rejected", code=exc.code)
+                response = self._error_response(request_id, exc.code,
+                                                str(exc), self._clock())
+            trace.finish()
+            if trace.trace_id is not None:
+                response["trace_id"] = trace.trace_id
+            return response
         except Overloaded as exc:
             registry().counter("serve.requests_total").inc()
             request_id = request.get("id") if isinstance(request, dict) \

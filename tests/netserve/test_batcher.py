@@ -1,0 +1,221 @@
+"""Micro-batcher semantics, provable on a fake clock and a stub.
+
+:class:`BatchWindow` is pure state — these tests drive it with
+explicit timestamps, so window expiry, max-batch flush, and the
+non-sliding-window property are exact claims, not sleeps and hopes.
+:class:`MicroBatcher` tests use a stub service (recording
+``handle_batch`` calls) to pin coalescing, bypass, shedding, and drain
+behaviour without a matcher in sight.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.netserve.batcher import (BatchWindow, MicroBatcher,
+                                    bypasses_window)
+
+
+class TestBypassesWindow:
+    def test_unbounded_budget_never_bypasses(self):
+        assert bypasses_window(None, window_ms=5.0) is False
+
+    def test_tight_budget_bypasses(self):
+        # default slack 2: anything under two windows dispatches alone
+        assert bypasses_window(9.9, window_ms=5.0) is True
+        assert bypasses_window(1.0, window_ms=5.0) is True
+
+    def test_roomy_budget_joins_the_window(self):
+        assert bypasses_window(10.0, window_ms=5.0) is False
+        assert bypasses_window(500.0, window_ms=5.0) is False
+
+    def test_zero_window_always_bypasses(self):
+        assert bypasses_window(None, window_ms=0.0) is True
+        assert bypasses_window(1000.0, window_ms=0.0) is True
+
+    def test_malformed_budgets_flow_into_the_service(self):
+        # they must reach _parse to be answered bad_request
+        assert bypasses_window("soon", window_ms=5.0) is False
+        assert bypasses_window(True, window_ms=5.0) is False
+        assert bypasses_window(-3.0, window_ms=5.0) is False
+
+
+class TestBatchWindow:
+    def test_opens_on_first_item_only(self):
+        window = BatchWindow(window_s=0.010, max_batch=8)
+        assert window.flush_at() is None
+        window.add("a", now=100.0)
+        assert window.flush_at() == pytest.approx(100.010)
+        # later arrivals do NOT slide the deadline
+        window.add("b", now=100.008)
+        assert window.flush_at() == pytest.approx(100.010)
+
+    def test_due_at_expiry_not_before(self):
+        window = BatchWindow(window_s=0.010, max_batch=8)
+        window.add("a", now=0.0)
+        assert window.due(0.009) is False
+        assert window.due(0.010) is True
+        assert window.due(5.0) is True
+
+    def test_full_batch_is_due_immediately(self):
+        window = BatchWindow(window_s=10.0, max_batch=2)
+        assert window.add("a", now=0.0) is False
+        assert window.add("b", now=0.0) is True
+        assert window.due(0.0) is True  # no waiting ten seconds
+
+    def test_drain_resets_the_window(self):
+        window = BatchWindow(window_s=0.010, max_batch=8)
+        window.add("a", now=0.0)
+        window.add("b", now=0.001)
+        assert window.drain() == ["a", "b"]
+        assert len(window) == 0
+        assert window.flush_at() is None
+        assert window.due(99.0) is False
+        # the next batch opens a fresh window at its own arrival
+        window.add("c", now=7.0)
+        assert window.flush_at() == pytest.approx(7.010)
+
+    def test_trickle_cannot_postpone_flush_forever(self):
+        """One item per 9ms into a 10ms window: the flush deadline is
+        pinned by the FIRST item, so the second trickle arrival is
+        already past due — a steady sub-window trickle flushes every
+        window, it does not accumulate unboundedly."""
+        window = BatchWindow(window_s=0.010, max_batch=1000)
+        now = 0.0
+        window.add(0, now)
+        flush_at = window.flush_at()
+        for i in range(1, 5):
+            now += 0.009
+            window.add(i, now)
+            assert window.flush_at() == flush_at
+        assert window.due(now) is True
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchWindow(window_s=-1.0, max_batch=8)
+        with pytest.raises(ValueError):
+            BatchWindow(window_s=0.01, max_batch=0)
+
+
+class StubService:
+    """Records every handle_batch call; optionally blocks until
+    released (for shed/backpressure tests)."""
+
+    def __init__(self, hold: bool = False) -> None:
+        self.batches = []
+        self.release = threading.Event()
+        if not hold:
+            self.release.set()
+
+    def handle_batch(self, requests):
+        assert self.release.wait(timeout=30)
+        self.batches.append([r["id"] for r in requests])
+        return [{"id": r["id"], "ok": True, "tier": "full",
+                 "matches": [], "elapsed_ms": 0.0} for r in requests]
+
+
+def collect():
+    responses = []
+    lock = threading.Lock()
+
+    def deliver(response):
+        with lock:
+            responses.append(response)
+
+    return responses, deliver
+
+
+def wait_until(predicate, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.002)
+    return False
+
+
+class TestMicroBatcher:
+    def test_concurrent_submissions_coalesce(self):
+        stub = StubService()
+        batcher = MicroBatcher(stub, window_ms=50.0, max_batch=16)
+        responses, deliver = collect()
+        for i in range(5):
+            batcher.submit({"id": i, "vertex": i}, deliver)
+        assert wait_until(lambda: len(responses) == 5)
+        assert batcher.drain()
+        # all five rode one fused call
+        assert stub.batches == [[0, 1, 2, 3, 4]]
+
+    def test_max_batch_flushes_without_waiting(self):
+        stub = StubService()
+        batcher = MicroBatcher(stub, window_ms=60_000.0, max_batch=3)
+        responses, deliver = collect()
+        started = time.monotonic()
+        for i in range(3):
+            batcher.submit({"id": i, "vertex": i}, deliver)
+        assert wait_until(lambda: len(responses) == 3)
+        # a minute-long window did not make anyone wait a minute
+        assert time.monotonic() - started < 10.0
+        assert batcher.drain()
+        assert stub.batches == [[0, 1, 2]]
+
+    def test_tight_deadline_bypasses_the_window(self):
+        stub = StubService()
+        batcher = MicroBatcher(stub, window_ms=60_000.0, max_batch=16)
+        responses, deliver = collect()
+        batcher.submit({"id": "urgent", "vertex": 1, "budget_ms": 50.0},
+                       deliver)
+        # no companions, a minute of window left — answered anyway
+        assert wait_until(lambda: len(responses) == 1)
+        assert responses[0]["ok"] is True
+        assert batcher.drain()
+        assert stub.batches == [["urgent"]]
+
+    def test_sheds_typed_overloaded_at_max_pending(self):
+        stub = StubService(hold=True)  # nothing completes until released
+        batcher = MicroBatcher(stub, window_ms=60_000.0, max_batch=100,
+                               max_pending=3)
+        responses, deliver = collect()
+        for i in range(3):
+            batcher.submit({"id": i, "vertex": i}, deliver)
+        batcher.submit({"id": "extra", "vertex": 9}, deliver)
+        shed = [r for r in responses if not r["ok"]]
+        assert len(shed) == 1
+        assert shed[0]["id"] == "extra"
+        assert shed[0]["error"]["type"] == "overloaded"
+        stub.release.set()
+        assert batcher.drain()
+        assert wait_until(lambda: len(responses) == 4)
+
+    def test_drain_answers_everything_then_rejects(self):
+        stub = StubService()
+        batcher = MicroBatcher(stub, window_ms=60_000.0, max_batch=100)
+        responses, deliver = collect()
+        for i in range(4):
+            batcher.submit({"id": i, "vertex": i}, deliver)
+        # still parked in the minute-long window — drain must flush it
+        assert batcher.drain()
+        assert len(responses) == 4
+        assert all(r["ok"] for r in responses)
+        # and the door is closed, with a typed answer
+        batcher.submit({"id": "late", "vertex": 0}, deliver)
+        late = responses[-1]
+        assert late["id"] == "late"
+        assert late["error"]["type"] == "unavailable"
+
+    def test_fused_call_failure_still_answers_everyone(self):
+        class ExplodingService:
+            def handle_batch(self, requests):
+                raise RuntimeError("boom")
+
+        batcher = MicroBatcher(ExplodingService(), window_ms=1.0,
+                               max_batch=4)
+        responses, deliver = collect()
+        for i in range(3):
+            batcher.submit({"id": i, "vertex": i}, deliver)
+        assert wait_until(lambda: len(responses) == 3)
+        assert all(r["ok"] is False for r in responses)
+        assert batcher.drain()

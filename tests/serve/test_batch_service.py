@@ -1,0 +1,152 @@
+"""The fused batch path: N answers, zero changed bits.
+
+The acceptance bar of the micro-batching work: a response produced
+inside a fused batch is byte-for-byte the response the same request
+gets served alone.  ``handle_batch`` earns this by construction —
+every fused request is scored through a fixed ``batch_tile``-row
+operand (padded with duplicate rows), so the BLAS kernel never depends
+on batch composition (DESIGN.md §13) — and these tests hold it to
+that, brute-force and index-backed, plus the isolation properties: a
+malformed request in a batch hurts nobody, and a fused-call failure
+degrades to per-request handling rather than failing N requests.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.matcher import CrossEM, CrossEMConfig
+from repro.obs import registry
+from repro.serve import MatchService, ServeConfig
+
+
+def canonical(response: dict) -> str:
+    """A response minus its timing/trace fields, serialised — the
+    'same answer' relation used throughout: every semantic field, none
+    of the wall-clock ones."""
+    body = {key: value for key, value in response.items()
+            if key not in ("elapsed_ms", "trace_id")}
+    return json.dumps(body, sort_keys=True)
+
+
+class TestBatchedBitIdentity:
+    def test_batched_equals_one_at_a_time(self, make_service, fitted_soft):
+        service = make_service(capacity=64)
+        vertices = list(fitted_soft.vertex_ids)
+        requests = [{"id": f"b{i}", "vertex": v, "top_k": (i % 3) + 1}
+                    for i, v in enumerate(vertices)]
+        batched = service.handle_batch(requests)
+        singles = [service.handle_batch([request])[0]
+                   for request in requests]
+        assert [canonical(r) for r in batched] == \
+            [canonical(r) for r in singles]
+        assert all(r["ok"] and r["tier"] == "full" for r in batched)
+
+    def test_composition_does_not_change_answers(self, make_service,
+                                                 fitted_soft):
+        """The same request fused with *different* companions gets the
+        same bits — the batch is invisible to each member."""
+        service = make_service(capacity=64)
+        vertices = list(fitted_soft.vertex_ids)
+        probe = {"id": "probe", "vertex": vertices[0], "top_k": 3}
+        alone = service.handle_batch([probe])[0]
+        for companions in (vertices[1:3], vertices[3:9], vertices[1:]):
+            batch = [probe] + [{"id": f"c{i}", "vertex": v}
+                               for i, v in enumerate(companions)]
+            fused = service.handle_batch(batch)[0]
+            assert canonical(fused) == canonical(alone)
+
+    def test_bad_requests_isolated_inside_batch(self, make_service,
+                                                fitted_soft):
+        service = make_service(capacity=64)
+        vertex = fitted_soft.vertex_ids[0]
+        responses = service.handle_batch([
+            {"id": "ok1", "vertex": vertex, "top_k": 2},
+            {"id": "bad1", "vertex": "not-a-vertex"},
+            {"id": "bad2", "vertex": 10 ** 9},
+            {"id": "ok2", "vertex": fitted_soft.vertex_ids[1]},
+        ])
+        assert [r["id"] for r in responses] == ["ok1", "bad1", "bad2", "ok2"]
+        assert responses[0]["ok"] and responses[3]["ok"]
+        assert responses[1]["error"]["type"] == "bad_request"
+        assert responses[2]["error"]["type"] == "bad_request"
+
+    def test_empty_batch(self, make_service):
+        assert make_service().handle_batch([]) == []
+
+    def test_fused_failure_falls_back_per_request(self, make_service,
+                                                  fitted_soft,
+                                                  monkeypatch):
+        """If the fused scoring call blows up, every member still gets
+        answered through its own ladder — never N errors for one bug."""
+        service = make_service(capacity=64, breaker_min_calls=100)
+        real_score = type(service.matcher).score
+
+        def fussy_score(self, vertices, **kwargs):
+            if len(vertices) > 1:
+                raise RuntimeError("injected fused-path failure")
+            return real_score(self, vertices, **kwargs)
+
+        monkeypatch.setattr(type(service.matcher), "score", fussy_score)
+        requests = [{"id": i, "vertex": v}
+                    for i, v in enumerate(fitted_soft.vertex_ids[:4])]
+        responses = service.handle_batch(requests)
+        assert all(r["ok"] for r in responses)
+        # and nothing was served off the fused path
+        assert registry().counter("serve.batch.fused_total").value == 0
+
+
+class TestIndexedBatchedBitIdentity:
+    @pytest.fixture()
+    def indexed_service(self, tiny_bundle, tiny_dataset):
+        matcher = CrossEM(tiny_bundle, CrossEMConfig(prompt="hard",
+                                                     epochs=0, seed=3))
+        matcher.fit(tiny_dataset.graph, tiny_dataset.images,
+                    tiny_dataset.entity_vertices)
+        from repro.index import IVFPQConfig
+
+        # nprobe == nlist: exhaustive search, no escalation path, so
+        # index answers are deterministic across batch compositions
+        matcher.build_index(IVFPQConfig(nlist=4, nprobe=4, pq_m=4,
+                                        refine=8, seed=0))
+        service = MatchService(matcher,
+                               config=ServeConfig(capacity=64,
+                                                  workers=1)).warmup()
+        yield service
+        service.shutdown(timeout=5.0)
+
+    def test_batched_equals_one_at_a_time_with_index(self,
+                                                     indexed_service):
+        vertices = list(indexed_service.matcher.vertex_ids)
+        requests = [{"id": i, "vertex": v, "top_k": (i % 2) + 1}
+                    for i, v in enumerate(vertices)]
+        batched = indexed_service.handle_batch(requests)
+        singles = [indexed_service.handle_batch([request])[0]
+                   for request in requests]
+        assert [canonical(r) for r in batched] == \
+            [canonical(r) for r in singles]
+        assert all(r["ok"] and r["tier"] == "full" for r in batched)
+
+
+class TestBatchTileConfig:
+    def test_tile_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ServeConfig(batch_tile=0)
+
+    def test_tile_width_does_not_change_answers(self, fitted_soft):
+        """Different tile widths pick different (fixed) kernels; each
+        is internally consistent, and each matches its own singleton
+        path — the invariant is *within* a config, per DESIGN.md §13."""
+        for tile in (2, 8):
+            service = MatchService(
+                fitted_soft, config=ServeConfig(capacity=64,
+                                                batch_tile=tile)).warmup()
+            requests = [{"id": i, "vertex": v}
+                        for i, v in enumerate(fitted_soft.vertex_ids[:5])]
+            batched = service.handle_batch(requests)
+            singles = [service.handle_batch([request])[0]
+                       for request in requests]
+            assert [canonical(r) for r in batched] == \
+                [canonical(r) for r in singles]

@@ -1,0 +1,133 @@
+"""The serve-layer bug sweep: warmup breakers, top_k clamp, emit death.
+
+Three previously-latent bugs, each pinned by a regression test:
+
+* ``warmup()`` used to run the fallback matcher's encode/score outside
+  the circuit breakers, so a wedged encoder could stall startup forever
+  with no breaker ever noticing — now every warmup encode/score is a
+  breaker-guarded call.
+* ``_parse`` accepted any positive ``top_k`` (``10**9`` included) and
+  downstream code dutifully tried to honour it; now it clamps to the
+  image repository size and answers with that many matches.
+* ``serve_loop``'s ``emit`` let a sink write failure propagate out of a
+  worker thread mid-drain, silently killing the worker; now it is
+  caught, counted (``serve.emit.failed``), and triggers a clean stop.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs import registry
+from repro.serve import MatchService, ServeConfig, serve_loop
+
+
+class TestWarmupThroughBreakers:
+    def test_fallback_warmup_counts_breaker_calls(self, fitted_soft):
+        """Every fallback encode/score in warmup shows up in breaker
+        telemetry — proof the calls run *inside* the breakers."""
+        service = MatchService(fitted_soft,
+                               config=ServeConfig(capacity=4, workers=1))
+        vision_before = registry().counter(
+            "serve.breaker.vision.successes_total").value
+        text_before = registry().counter(
+            "serve.breaker.text.successes_total").value
+        service.warmup()
+        assert registry().counter(
+            "serve.breaker.vision.successes_total").value > vision_before
+        assert registry().counter(
+            "serve.breaker.text.successes_total").value > text_before
+        service.shutdown(timeout=5.0)
+
+    def test_wedged_fallback_encoder_fails_loud_not_silent(self,
+                                                           fitted_soft,
+                                                           monkeypatch):
+        """A fallback whose image tower raises must surface through the
+        vision breaker (counted as a breaker failure), not bypass it."""
+        service = MatchService(fitted_soft,
+                               config=ServeConfig(capacity=4, workers=1))
+        fallback = service.fallback
+
+        def broken_encode(indices):
+            raise RuntimeError("image tower wedged")
+
+        monkeypatch.setattr(fallback, "_encode_images", broken_encode)
+        failures_before = registry().counter(
+            "serve.breaker.vision.failures_total").value
+        with pytest.raises(RuntimeError):
+            service.warmup()
+        assert registry().counter(
+            "serve.breaker.vision.failures_total").value > failures_before
+
+
+class TestTopKClamp:
+    def test_huge_top_k_clamped_to_repository(self, make_service,
+                                              fitted_soft):
+        service = make_service()
+        n_images = len(service.matcher.images)
+        response = service.handle({"id": 1,
+                                   "vertex": fitted_soft.vertex_ids[0],
+                                   "top_k": 10 ** 9})
+        assert response["ok"] is True
+        assert len(response["matches"]) == n_images
+
+    def test_exact_repository_size_unchanged(self, make_service,
+                                             fitted_soft):
+        service = make_service()
+        n_images = len(service.matcher.images)
+        response = service.handle({"id": 1,
+                                   "vertex": fitted_soft.vertex_ids[0],
+                                   "top_k": n_images})
+        assert response["ok"] is True
+        assert len(response["matches"]) == n_images
+
+    def test_nonpositive_top_k_still_bad_request(self, make_service,
+                                                 fitted_soft):
+        service = make_service()
+        response = service.handle({"id": 1,
+                                   "vertex": fitted_soft.vertex_ids[0],
+                                   "top_k": 0})
+        assert response["ok"] is False
+        assert response["error"]["type"] == "bad_request"
+
+
+class _FailingSink(io.StringIO):
+    """A sink that dies after ``survive`` successful writes."""
+
+    def __init__(self, survive: int) -> None:
+        super().__init__()
+        self.survive = survive
+        self.writes = 0
+
+    def write(self, text: str) -> int:
+        self.writes += 1
+        if self.writes > self.survive:
+            raise BrokenPipeError("reader went away")
+        return super().write(text)
+
+
+class TestEmitFailure:
+    def test_sink_failure_stops_loop_cleanly(self, make_service,
+                                             fitted_soft):
+        """A broken response sink ends the loop (counted, logged) —
+        no exception escapes, no worker thread dies screaming."""
+        service = make_service(capacity=16)
+        vertex = fitted_soft.vertex_ids[0]
+        lines = [json.dumps({"id": i, "vertex": vertex})
+                 for i in range(8)]
+        source = io.StringIO("".join(line + "\n" for line in lines))
+        sink = _FailingSink(survive=1)
+        written = serve_loop(service, source, sink)  # must not raise
+        assert written == 1
+        assert registry().counter("serve.emit.failed").value >= 1
+
+    def test_healthy_sink_counts_nothing(self, make_service, fitted_soft):
+        service = make_service()
+        source = io.StringIO(json.dumps(
+            {"id": 1, "vertex": fitted_soft.vertex_ids[0]}) + "\n")
+        written = serve_loop(service, source, io.StringIO())
+        assert written == 1
+        assert registry().counter("serve.emit.failed").value == 0
