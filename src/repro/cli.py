@@ -75,6 +75,18 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _non_negative_int(text: str) -> int:
+    """An integer >= 0 (a shard slot)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be non-negative, got {text}")
+    return value
+
+
 def _positive_float(text: str) -> float:
     """A float > 0."""
     try:
@@ -234,6 +246,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     reset_spans()
     trace_recorder().reset()
 
+    if (args.shard_slot is None) != (args.shard_count is None):
+        print("--shard-slot and --shard-count must be given together",
+              file=sys.stderr)
+        return 2
+    if args.shard_count is not None and \
+            not args.shard_slot < args.shard_count:
+        print("--shard-slot must be below --shard-count", file=sys.stderr)
+        return 2
+    if args.port_file and not args.listen:
+        print("--port-file requires --listen", file=sys.stderr)
+        return 2
     bundle, dataset = _load(args.benchmark, args.seed)
     matcher = _make_matcher(args, bundle)
     matcher.fit(dataset.graph, dataset.images, dataset.entity_vertices)
@@ -248,7 +271,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         breaker_min_calls=args.breaker_min_calls,
         breaker_cooldown_ms=args.breaker_cooldown_ms,
         trace_sample_rate=args.trace_sample_rate,
-        trace_capacity=args.trace_capacity)
+        trace_capacity=args.trace_capacity,
+        shard_slot=args.shard_slot, shard_count=args.shard_count)
     service = MatchService(matcher, config=config).warmup()
     exit_code = 0
     if args.listen:
@@ -266,11 +290,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
         def _announce(bound) -> None:
             # stderr, flushed: scripts poll for this line (or the port)
+            shard = "" if args.shard_count is None else \
+                f", shard {args.shard_slot}/{args.shard_count}"
             print(f"listening on {bound[0]}:{bound[1]} — "
                   f"{dataset.name} / {args.method}, "
                   f"window {args.batch_window_ms:g}ms, "
-                  f"max batch {args.max_batch}", file=sys.stderr,
+                  f"max batch {args.max_batch}{shard}", file=sys.stderr,
                   flush=True)
+            if args.port_file:
+                # atomic: a supervisor polling this file never reads a
+                # half-written address
+                from .iosafe import atomic_write_bytes
+
+                atomic_write_bytes(
+                    Path(args.port_file),
+                    f"{bound[0]}:{bound[1]}\n".encode("utf-8"))
 
         exit_code = server.run(ready=_announce)
         print(f"drained ({'clean' if exit_code == 0 else 'timed out'})",
@@ -287,6 +321,92 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                             meta={"benchmark": args.benchmark,
                                   "method": args.method,
                                   "command": "serve",
+                                  "seed": args.seed})
+        print(f"wrote {rows} metric rows to {args.metrics_out}",
+              file=sys.stderr)
+        prom_path = export_prom(Path(args.metrics_out).with_suffix(".prom"))
+        print(f"wrote OpenMetrics snapshot to {prom_path}", file=sys.stderr)
+    return exit_code
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    import tempfile
+    from pathlib import Path
+
+    from .loadgen.socketdrv import parse_address
+    from .obs import export_jsonl, export_prom
+    from .shard import (RouterConfig, ShardRouter, SupervisorConfig,
+                        WorkerSupervisor)
+
+    _reset_telemetry(args)
+    host, port = parse_address(args.listen)
+    work_dir = Path(args.work_dir) if args.work_dir else \
+        Path(tempfile.mkdtemp(prefix="repro-shards-"))
+
+    def command_for_slot(slot: int, port_file: Path) -> list:
+        # each worker is an ordinary `repro serve --listen` on an
+        # ephemeral port, fitted identically (same benchmark, same
+        # seed) and told which slice of the image space it owns
+        command = [sys.executable, "-m", "repro",
+                   "--seed", str(args.seed),
+                   "serve", args.benchmark,
+                   "--method", args.method,
+                   "--epochs", str(args.epochs), "--lr", str(args.lr),
+                   "--top-k", str(args.top_k),
+                   "--capacity", str(args.capacity),
+                   "--workers", str(args.workers),
+                   "--batch-window-ms", str(args.batch_window_ms),
+                   "--listen", "127.0.0.1:0",
+                   "--port-file", str(port_file),
+                   "--shard-slot", str(slot),
+                   "--shard-count", str(args.shards)]
+        if args.default_budget_ms is not None:
+            command += ["--default-budget-ms",
+                        str(args.default_budget_ms)]
+        if args.log_level:
+            command += ["--log-level", args.log_level]
+        return command
+
+    supervisor = WorkerSupervisor(
+        command_for_slot, args.shards, work_dir,
+        SupervisorConfig(spawn_timeout_s=args.spawn_timeout_s,
+                         backoff_base_s=args.restart_backoff_s,
+                         flap_max=args.flap_max,
+                         flap_window_s=args.flap_window_s))
+    print(f"spawning {args.shards} shard workers "
+          f"({args.benchmark} / {args.method}; logs in {work_dir})",
+          file=sys.stderr, flush=True)
+    try:
+        supervisor.start(wait_healthy=True)
+    except RuntimeError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    router = ShardRouter(supervisor, RouterConfig(
+        host=host, port=port,
+        shard_timeout_ms=args.shard_timeout_ms,
+        hedge_fraction=args.hedge_fraction,
+        conn_inflight=args.conn_inflight,
+        drain_timeout_s=args.drain_timeout_s,
+        breaker_window=args.breaker_window,
+        breaker_failure_threshold=args.breaker_threshold,
+        breaker_min_calls=args.breaker_min_calls,
+        breaker_cooldown_ms=args.breaker_cooldown_ms))
+
+    def _announce(bound) -> None:
+        # stderr, flushed: scripts poll for this line (or the port)
+        print(f"routing on {bound[0]}:{bound[1]} — {args.shards} shards "
+              f"({args.benchmark} / {args.method})", file=sys.stderr,
+              flush=True)
+
+    exit_code = router.run(ready=_announce)
+    print(f"drained ({'clean' if exit_code == 0 else 'timed out'})",
+          file=sys.stderr)
+    if args.metrics_out:
+        rows = export_jsonl(args.metrics_out,
+                            meta={"benchmark": args.benchmark,
+                                  "method": args.method,
+                                  "command": "route",
+                                  "shards": args.shards,
                                   "seed": args.seed})
         print(f"wrote {rows} metric rows to {args.metrics_out}",
               file=sys.stderr)
@@ -776,7 +896,91 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--drain-timeout-s", type=_positive_float,
                        default=30.0, metavar="S",
                        help="seconds the drain waits for in-flight work")
+    serve.add_argument("--port-file", default=None, metavar="PATH",
+                       help="write the bound HOST:PORT here once "
+                            "listening (the shard supervisor's spawn "
+                            "handshake; requires --listen)")
+    serve.add_argument("--shard-slot", type=_non_negative_int,
+                       default=None, metavar="SLOT",
+                       help="serve only image positions p with "
+                            "p %% shard-count == slot (requires "
+                            "--shard-count)")
+    serve.add_argument("--shard-count", type=_positive_int, default=None,
+                       metavar="N",
+                       help="total shards in the partition this worker "
+                            "belongs to")
     serve.set_defaults(func=_cmd_serve)
+
+    route = commands.add_parser(
+        "route", help="scatter/gather router over N shard workers")
+    _add_benchmark_argument(route)
+    route.add_argument("--shards", type=_positive_int, default=3,
+                       metavar="N", help="worker processes to spawn")
+    route.add_argument("--listen", type=_address, required=True,
+                       metavar="HOST:PORT",
+                       help="router bind address (port 0 = ephemeral); "
+                            "SIGTERM drains router then workers")
+    route.add_argument("--method", default="hard",
+                       choices=("baseline", "hard", "soft", "plus"))
+    route.add_argument("--epochs", type=_positive_int, default=1,
+                       help="training epochs in each worker")
+    route.add_argument("--lr", type=float, default=1e-3)
+    route.add_argument("--top-k", type=_positive_int, default=1,
+                       help="worker default when a request names none")
+    route.add_argument("--capacity", type=_positive_int, default=16,
+                       help="per-worker queue slots before shedding")
+    route.add_argument("--workers", type=_positive_int, default=1,
+                       help="scoring threads per worker process")
+    route.add_argument("--batch-window-ms", type=_non_negative_float,
+                       default=2.0, metavar="MS",
+                       help="per-worker micro-batch window")
+    route.add_argument("--default-budget-ms", type=_positive_float,
+                       default=None, metavar="MS",
+                       help="worker deadline for requests without one")
+    route.add_argument("--work-dir", default=None, metavar="DIR",
+                       help="port/pid/log files per worker land here "
+                            "(default: a fresh temp dir)")
+    route.add_argument("--shard-timeout-ms", type=_positive_float,
+                       default=2000.0, metavar="MS",
+                       help="ceiling on waiting for any one shard")
+    route.add_argument("--hedge-fraction", type=_positive_float,
+                       default=0.5, metavar="F",
+                       help="hedge an unanswered shard after this "
+                            "fraction of its budget (>= 1 disables)")
+    route.add_argument("--conn-inflight", type=_positive_int, default=64,
+                       help="per-connection outstanding-request cap")
+    route.add_argument("--spawn-timeout-s", type=_positive_float,
+                       default=300.0, metavar="S",
+                       help="per-worker budget to fit and answer info")
+    route.add_argument("--restart-backoff-s", type=_positive_float,
+                       default=0.5, metavar="S",
+                       help="first-restart backoff (doubles per death)")
+    route.add_argument("--flap-max", type=_positive_int, default=5,
+                       help="deaths in the flap window that mark a "
+                            "worker dead for good")
+    route.add_argument("--flap-window-s", type=_positive_float,
+                       default=60.0, metavar="S",
+                       help="sliding window the deaths are counted in")
+    route.add_argument("--breaker-window", type=_positive_int, default=8,
+                       help="per-shard breaker sliding window (calls)")
+    route.add_argument("--breaker-threshold", type=_rate, default=0.5,
+                       metavar="RATE",
+                       help="failure rate in the window that opens it")
+    route.add_argument("--breaker-min-calls", type=_positive_int,
+                       default=3,
+                       help="calls in the window before it can open")
+    route.add_argument("--breaker-cooldown-ms", type=_positive_float,
+                       default=1000.0, metavar="MS",
+                       help="open time before a half-open probe")
+    route.add_argument("--drain-timeout-s", type=_positive_float,
+                       default=30.0, metavar="S",
+                       help="seconds the drain waits for in-flight work")
+    route.add_argument("--log-level", default=None, choices=_LOG_LEVELS,
+                       help="override REPRO_LOG_LEVEL for this run")
+    route.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write router metrics as JSONL on exit "
+                            "(plus an OpenMetrics .prom snapshot)")
+    route.set_defaults(func=_cmd_route)
 
     # shared flag groups for the load subcommands (argparse parents)
     load_service = argparse.ArgumentParser(add_help=False)

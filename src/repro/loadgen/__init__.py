@@ -32,7 +32,7 @@ from .arrivals import (bursty_arrivals, poisson_arrivals, replay_offsets,
 from .harness import LoadConfig, LoadHarness, build_schedule, run_schedule
 from .mix import QueryMix
 from .report import OUTCOMES, LoadReport, Sample, classify_response
-from .socketdrv import SocketDriver, fetch_info, parse_address
+from .socketdrv import SocketDriver, fetch_info, parse_address, probe_info
 
 __all__ = [
     "uniform_arrivals", "poisson_arrivals", "bursty_arrivals",
@@ -40,5 +40,5 @@ __all__ = [
     "QueryMix",
     "LoadConfig", "LoadHarness", "build_schedule", "run_schedule",
     "OUTCOMES", "LoadReport", "Sample", "classify_response",
-    "SocketDriver", "fetch_info", "parse_address",
+    "SocketDriver", "fetch_info", "parse_address", "probe_info",
 ]

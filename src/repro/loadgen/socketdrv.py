@@ -18,7 +18,9 @@ fully-accounted run.
 
 :func:`fetch_info` performs the ``info`` handshake on a throwaway
 connection, giving remote runs their vertex space without fitting a
-local matcher.
+local matcher; :func:`probe_info` is its never-raising form — a typed
+``unavailable`` response instead of an exception — which is what the
+shard supervisor's health checks poll (:mod:`repro.shard`).
 """
 
 from __future__ import annotations
@@ -30,7 +32,7 @@ from typing import Any, Callable, Optional, Tuple
 
 from ..obs import get_logger
 
-__all__ = ["SocketDriver", "fetch_info", "parse_address"]
+__all__ = ["SocketDriver", "fetch_info", "parse_address", "probe_info"]
 
 _log = get_logger("repro.loadgen.socketdrv")
 
@@ -52,8 +54,34 @@ def parse_address(spec: str) -> Tuple[str, int]:
 
 
 def fetch_info(address: Tuple[str, int], *,
-               timeout: float = 10.0) -> dict:
-    """The server's ``info`` payload, via a short-lived connection."""
+               timeout: float = 10.0, attempts: int = 2) -> dict:
+    """The server's ``info`` payload, via a short-lived connection.
+
+    ``timeout`` bounds every socket operation of one attempt (connect
+    *and* the answer read — the socket timeout set by
+    ``create_connection`` persists onto reads), so a hung server costs
+    at most ``attempts * timeout`` instead of stalling the harness
+    forever.  One retry by default: a server mid-restart or a dropped
+    SYN should not fail a whole load run, but a genuinely dead one
+    should fail it fast.
+    """
+    if attempts < 1:
+        raise ValueError("attempts must be at least 1")
+    last: Exception = ConnectionError("unreachable")
+    for _ in range(attempts):
+        try:
+            return _fetch_info_once(address, timeout)
+        except (OSError, ValueError, RuntimeError) as exc:
+            # OSError covers refused/reset/timeout; ValueError a
+            # garbled response line; RuntimeError a typed server error
+            last = exc
+            _log.warning("info handshake failed", host=address[0],
+                         port=address[1], error=f"{type(exc).__name__}: "
+                                                f"{exc}")
+    raise last
+
+
+def _fetch_info_once(address: Tuple[str, int], timeout: float) -> dict:
     with socket.create_connection(address, timeout=timeout) as sock:
         sock.sendall(b'{"op":"info","id":"info"}\n')
         stream = sock.makefile("rb")
@@ -65,6 +93,28 @@ def fetch_info(address: Tuple[str, int], *,
     if not response.get("ok"):
         raise RuntimeError(f"info request failed: {response.get('error')}")
     return response["info"]
+
+
+def probe_info(address: Tuple[str, int], *, timeout: float = 2.0,
+               attempts: int = 1) -> dict:
+    """:func:`fetch_info` as a health check: never raises.
+
+    Returns ``{"ok": True, "info": {...}}`` from a live server, or a
+    synthesized typed failure ``{"ok": False, "error": {"type":
+    "unavailable", ...}}`` matching the serve error taxonomy — so a
+    poller (the shard supervisor, a script) branches on a response
+    shape it already knows instead of a zoo of socket exceptions.
+    """
+    try:
+        return {"ok": True,
+                "info": fetch_info(address, timeout=timeout,
+                                   attempts=attempts)}
+    except Exception as exc:
+        return {"ok": False,
+                "error": {"type": "unavailable",
+                          "message": f"info probe of {address[0]}:"
+                                     f"{address[1]} failed: "
+                                     f"{type(exc).__name__}: {exc}"}}
 
 
 class SocketDriver:

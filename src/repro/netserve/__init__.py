@@ -22,11 +22,13 @@ deadline semantics and the batched-exactness argument.
 """
 
 from .batcher import BatchWindow, MicroBatcher, bypasses_window
-from .protocol import decode_line, encode_response, info_payload
+from .protocol import (LineReader, OversizedLine, decode_line,
+                       encode_response, info_payload)
 from .server import NetServeConfig, NetServer
 
 __all__ = [
     "BatchWindow", "MicroBatcher", "bypasses_window",
+    "LineReader", "OversizedLine",
     "decode_line", "encode_response", "info_payload",
     "NetServeConfig", "NetServer",
 ]

@@ -22,12 +22,94 @@ from __future__ import annotations
 import json
 from typing import Any, Optional
 
-__all__ = ["MAX_LINE_BYTES", "decode_line", "encode_response",
-           "info_payload"]
+__all__ = ["MAX_LINE_BYTES", "LineReader", "OversizedLine", "decode_line",
+           "encode_response", "info_payload"]
 
-#: hard per-line cap; a longer line is answered ``bad_request`` and the
-#: connection closed, so one hostile client cannot balloon server memory
+#: hard per-line cap; a longer line is answered ``bad_request`` with the
+#: offending bytes discarded, so one hostile client cannot balloon
+#: server memory — and, since framing resynchronises at the next
+#: newline, cannot kill its own connection's other requests either
 MAX_LINE_BYTES = 1 << 20
+
+
+class OversizedLine(ValueError):
+    """A request line exceeded the per-line cap.
+
+    The line's bytes were discarded and the stream is positioned at the
+    start of the next line: the caller can answer a typed
+    ``bad_request`` (id ``null`` — the request was never parsed) and
+    keep reading, instead of hanging up on the whole connection.
+    """
+
+    def __init__(self, limit: int) -> None:
+        super().__init__(f"request line exceeded {limit} bytes; "
+                         f"line discarded")
+        self.limit = limit
+
+
+class LineReader:
+    """Newline framing over an ``asyncio.StreamReader`` that survives
+    oversized lines.
+
+    ``StreamReader.readline`` raises on a too-long line *after*
+    clearing its buffer mid-line, which leaves the stream unframed —
+    the only safe continuation is to close the connection (the pre-PR-9
+    behaviour).  This reader buffers for itself on top of ``read()``:
+    when a line exceeds ``max_line_bytes`` it discards through the next
+    newline (never holding more than one chunk of the oversized body in
+    memory) and raises :class:`OversizedLine` with the stream
+    resynchronised, so the connection keeps serving.
+
+    Returned lines include their trailing newline, and EOF yields
+    ``b""`` — the same contract as ``StreamReader.readline`` minus the
+    connection-killing failure mode.
+    """
+
+    def __init__(self, reader: Any, *, max_line_bytes: int = MAX_LINE_BYTES,
+                 chunk_bytes: int = 1 << 16) -> None:
+        self._reader = reader
+        self._max = max_line_bytes
+        self._chunk = chunk_bytes
+        self._buffer = bytearray()
+        self._eof = False
+
+    async def readline(self) -> bytes:
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline >= 0:
+                if newline > self._max:
+                    del self._buffer[:newline + 1]
+                    raise OversizedLine(self._max)
+                line = bytes(self._buffer[:newline + 1])
+                del self._buffer[:newline + 1]
+                return line
+            if len(self._buffer) > self._max:
+                await self._discard_to_newline()
+                raise OversizedLine(self._max)
+            if self._eof:
+                # trailing unterminated line (or empty buffer = clean EOF)
+                line = bytes(self._buffer)
+                self._buffer.clear()
+                return line
+            data = await self._reader.read(self._chunk)
+            if not data:
+                self._eof = True
+            else:
+                self._buffer.extend(data)
+
+    async def _discard_to_newline(self) -> None:
+        """Drop the oversized partial line, keep whatever follows the
+        next newline (the start of the next, innocent request)."""
+        self._buffer.clear()
+        while not self._eof:
+            data = await self._reader.read(self._chunk)
+            if not data:
+                self._eof = True
+                return
+            newline = data.find(b"\n")
+            if newline >= 0:
+                self._buffer.extend(data[newline + 1:])
+                return
 
 
 def decode_line(raw: bytes) -> Any:
@@ -60,4 +142,11 @@ def info_payload(service: Any, *, max_batch: Optional[int] = None,
         info["max_batch"] = max_batch
     if window_ms is not None:
         info["batch_window_ms"] = window_ms
+    if service.config.shard_count is not None:
+        # a shard worker advertises its partition so a router (or a
+        # human with netcat) can see which slice of the image space
+        # this process answers for
+        info["shard"] = {"slot": service.config.shard_slot,
+                         "count": service.config.shard_count,
+                         "owned_images": service.owned_images}
     return info

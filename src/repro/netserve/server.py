@@ -45,8 +45,8 @@ from ..obs import get_logger, registry
 from ..serve.loop import bad_line_response
 from ..serve.service import MatchService
 from .batcher import MicroBatcher, rejection_response
-from .protocol import (MAX_LINE_BYTES, decode_line, encode_response,
-                       info_payload)
+from .protocol import (MAX_LINE_BYTES, LineReader, OversizedLine,
+                       decode_line, encode_response, info_payload)
 
 __all__ = ["NetServeConfig", "NetServer"]
 
@@ -229,9 +229,10 @@ class NetServer:
             loop.call_soon_threadsafe(out_queue.put_nowait, (response, True))
 
         drain_wait = asyncio.ensure_future(self._drain_event.wait())
+        line_reader = LineReader(reader)
         try:
             while not self._drain_event.is_set():
-                line_task = asyncio.ensure_future(reader.readline())
+                line_task = asyncio.ensure_future(line_reader.readline())
                 done, _ = await asyncio.wait(
                     {line_task, drain_wait},
                     return_when=asyncio.FIRST_COMPLETED)
@@ -243,11 +244,13 @@ class NetServer:
                     break
                 try:
                     raw = line_task.result()
-                except ValueError as exc:
-                    # line longer than MAX_LINE_BYTES: answer and hang up
+                except OversizedLine as exc:
+                    # the reader discarded the line and resynchronised:
+                    # answer a typed bad_request, keep the connection
+                    registry().counter("netserve.oversized_line").inc()
                     await out_queue.put((bad_line_response(
                         self.service, exc), False))
-                    break
+                    continue
                 except (ConnectionError, OSError):
                     break
                 if not raw:

@@ -19,7 +19,14 @@ Every transition is recorded in the :mod:`repro.obs` metrics registry:
 a backend was considered dead, and counters track successes, failures,
 rejections and total opens.
 
-The clock is injectable for deterministic tests; all methods are
+The clock is injectable **per instance** for deterministic tests: each
+breaker reads cooldowns only from its own ``self._clock``, and holds no
+class-level or module-level time state — two breakers driven by two
+independent fake clocks in one test (the shard router's per-shard
+breaker suite does exactly this) cannot interfere through timing.  The
+only cross-instance state is the metrics registry, keyed by breaker
+*name*: give concurrently-live breakers distinct names or their
+``serve.breaker.<name>.*`` instruments are shared.  All methods are
 thread-safe (the serve worker pool shares one breaker per backend).
 """
 

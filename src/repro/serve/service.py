@@ -91,6 +91,14 @@ class ServeConfig:
     trace_sample_rate: float = 1.0
     #: sampled traces retained in the bounded recorder (newest win)
     trace_capacity: int = 256
+    #: shard membership (both set or both None): this worker answers
+    #: only for image positions ``p`` with ``p % shard_count ==
+    #: shard_slot``.  Scoring is unchanged — the full score row is
+    #: computed exactly as single-process — the mask applies only at
+    #: top-k selection, which is what makes the router's cross-shard
+    #: merge bit-identical (DESIGN.md §14).
+    shard_slot: Optional[int] = None
+    shard_count: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.capacity < 1:
@@ -113,6 +121,15 @@ class ServeConfig:
             raise ValueError("trace_sample_rate must be in [0, 1]")
         if self.trace_capacity < 1:
             raise ValueError("trace_capacity must be at least 1")
+        if (self.shard_slot is None) != (self.shard_count is None):
+            raise ValueError("shard_slot and shard_count must be set "
+                             "together")
+        if self.shard_count is not None:
+            if self.shard_count < 1:
+                raise ValueError("shard_count must be at least 1")
+            if not 0 <= self.shard_slot < self.shard_count:
+                raise ValueError("shard_slot must be in "
+                                 "[0, shard_count)")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -163,6 +180,14 @@ class MatchService:
             else self._build_fallback()
         self._vertex_set = set(matcher.vertex_ids)
         self._image_ids = [img.image_id for img in matcher.images]
+        self._owned_mask: Optional[np.ndarray] = None
+        if self.config.shard_count is not None:
+            # Lazy import: repro.shard's package __init__ pulls the
+            # router, which imports this module.
+            from ..shard.partition import owned_mask
+            self._owned_mask = owned_mask(len(self._image_ids),
+                                          self.config.shard_count,
+                                          self.config.shard_slot)
         self._stale: "OrderedDict[int, Tuple[np.ndarray, str]]" = OrderedDict()
         self._stale_lock = threading.Lock()
         self._emit: Optional[Callable[[dict], None]] = None
@@ -347,13 +372,28 @@ class MatchService:
                 self._stale.move_to_end(vertex)
             return entry
 
+    @property
+    def owned_images(self) -> int:
+        """Images this worker answers for (all of them unsharded)."""
+        if self._owned_mask is None:
+            return len(self._image_ids)
+        return int(self._owned_mask.sum())
+
     def _top_matches(self, scores: np.ndarray, top_k: int) -> List[dict]:
         from ..index.topk import deterministic_topk
 
         # -inf marks off-shortlist entries of an index-backed row; they
         # are never real matches.  deterministic_topk orders the rest by
         # (-score, image position) — identical for brute and index rows.
-        finite = np.flatnonzero(np.isfinite(scores))
+        # A shard worker additionally masks to its owned positions:
+        # the scores themselves are full-row exact, only selection is
+        # partitioned, so a router merging per-shard lists by
+        # (-score, image id) reconstructs the unsharded answer bit for
+        # bit (DESIGN.md §14).
+        keep = np.isfinite(scores)
+        if self._owned_mask is not None:
+            keep &= self._owned_mask
+        finite = np.flatnonzero(keep)
         order = finite[deterministic_topk(scores[finite],
                                           min(top_k, len(finite)))]
         return [{"image": int(self._image_ids[i]),

@@ -1,0 +1,96 @@
+"""Deterministic partition of the image space + exact top-k merge.
+
+The scale-out contract in two halves:
+
+**Partition** — image repository position ``p`` is owned by shard
+``p % count``.  Round-robin by *position* (not id hashing) because it
+is balanced to within one image by construction, needs no coordination,
+and every worker can compute it locally from nothing but ``(count,
+slot)``.  A shard worker scores the *full* row exactly as the
+single-process service does (same matcher, same seed, same fused
+kernels — scoring never sees the partition) and masks to its owned
+positions only at top-k selection, so the per-image scores on any two
+shards are the same float32 bits the unsharded service would produce.
+
+**Merge** — the router concatenates per-shard match lists and re-sorts
+by ``(-score, image id)``, the same total order
+:func:`repro.index.topk.deterministic_topk` imposes by ``(-score,
+image position)``.  These orders coincide because every bundled
+repository assigns ``image_id`` ascending with position (0, 1, 2, …,
+see ``vision/image.py``); that equivalence is the one repository-level
+assumption of the scale-out layer and is stated in DESIGN.md §14.
+Together: disjoint owned sets that cover every position + bitwise-equal
+scores + the same tie order ⇒ the merged top-k is bit-identical to the
+single-process answer whenever every shard answers.
+
+This module must stay import-free of the rest of ``repro`` (the serve
+layer imports it lazily to build its owned mask; a cycle here would
+deadlock package init).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["owned_positions", "owned_mask", "merge_matches", "worst_tier"]
+
+#: tier badness order, mirroring repro.serve.degrade.LADDER — a merged
+#: response is only as good as its worst contributing shard
+_TIER_RANK: Dict[str, int] = {"full": 0, "cached": 1, "stale": 2}
+
+
+def _validate(total: int, count: int, slot: int) -> None:
+    if total < 0:
+        raise ValueError("total must be non-negative")
+    if count < 1:
+        raise ValueError("count must be at least 1")
+    if not 0 <= slot < count:
+        raise ValueError(f"slot must be in [0, {count}), got {slot}")
+
+
+def owned_positions(total: int, count: int, slot: int) -> np.ndarray:
+    """Repository positions shard ``slot`` of ``count`` answers for."""
+    _validate(total, count, slot)
+    return np.arange(slot, total, count, dtype=np.int64)
+
+
+def owned_mask(total: int, count: int, slot: int) -> np.ndarray:
+    """Boolean mask over repository positions, True where owned."""
+    _validate(total, count, slot)
+    mask = np.zeros(total, dtype=bool)
+    mask[slot::count] = True
+    return mask
+
+
+def merge_matches(per_shard: Sequence[Sequence[dict]],
+                  top_k: int) -> List[dict]:
+    """Cross-shard top-k: concatenate and re-sort by ``(-score, id)``.
+
+    Match dicts pass through untouched (the shards already formatted
+    them), so the merged list is made of the exact objects a
+    single-process server would have emitted — the router adds nothing
+    that could perturb byte-identity.
+    """
+    if top_k < 1:
+        raise ValueError("top_k must be at least 1")
+    pool: List[dict] = []
+    for matches in per_shard:
+        pool.extend(matches)
+    pool.sort(key=lambda match: (-float(match["score"]),
+                                 int(match["image"])))
+    return pool[:top_k]
+
+
+def worst_tier(tiers: Iterable[str]) -> Optional[str]:
+    """The lowest serving tier among contributing shards (``None`` for
+    an empty iterable).  Unknown tier strings rank worst: a router must
+    never report a merged answer as healthier than its parts."""
+    worst: Optional[str] = None
+    worst_rank = -1
+    for tier in tiers:
+        rank = _TIER_RANK.get(tier, len(_TIER_RANK))
+        if rank > worst_rank:
+            worst, worst_rank = tier, rank
+    return worst

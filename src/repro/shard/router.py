@@ -1,0 +1,555 @@
+"""The scatter/gather front door (``repro route``).
+
+:class:`ShardRouter` speaks the exact JSONL protocol of
+``repro serve --listen`` (:mod:`repro.netserve.protocol`) on its client
+side, and fans each match query out to every shard worker on its back
+side, merging the per-shard top-k lists with the shared ``(-score,
+image id)`` total order (:mod:`repro.shard.partition`).  A client that
+worked against a single server works against the router unchanged —
+same requests, same response schema, and, when every shard answers,
+*bit-identical* response payloads (DESIGN.md §14).
+
+The headline is what happens when shards misbehave:
+
+* **per-shard circuit breakers** — each shard's calls run through its
+  own :class:`~repro.serve.breaker.CircuitBreaker`; a shard that keeps
+  failing or timing out is skipped entirely for the cooldown instead
+  of taxing every request with a doomed wait;
+* **hedged retries** — when a shard has not answered by
+  ``hedge_fraction`` of its budget, the router re-sends the query on a
+  fresh one-shot connection (never queued behind the stalled pooled
+  socket); first answer wins, and a shard that answers neither in
+  time is marked *late* (a breaker failure), not waited on;
+* **partial-result degradation** — open-breaker/late/dead shards cost
+  coverage, not availability: the router answers from the shards that
+  did respond, typed ``degraded: true, reason: "partial"`` with
+  ``shards_answered``/``shards_total``, extending the serve ladder's
+  honesty contract across processes.  Only when *no* shard answers
+  does a request fail (typed ``unavailable``);
+* **deadline budgets** — a request's ``budget_ms`` is forwarded to the
+  shards verbatim (their serve-side deadline machinery applies
+  unchanged) and additionally caps how long the router itself waits,
+  so the router never holds a request past what the client paid for.
+
+Graceful drain (SIGTERM/SIGINT) is ordered: stop accepting → finish
+every in-flight fan-out and flush → close shard connections → SIGTERM
+the workers through the supervisor and reap them → exit 0.
+
+Everything observable exports through the ordinary registry:
+``shard.router.*`` (requests, partials, sheds, drain) and
+``shard.<slot>.*`` (latency, hedges, lates, breaker state, restarts
+from the supervisor) — one OpenMetrics snapshot shows the whole fleet.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import dataclasses
+import signal
+import time
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from ..netserve.protocol import (LineReader, OversizedLine, decode_line,
+                                 encode_response)
+from ..obs import get_logger, registry
+from ..serve.breaker import STATE_CODES, CircuitBreaker
+from .client import ShardClient, ShardUnavailable
+from .partition import merge_matches, worst_tier
+
+__all__ = ["RouterConfig", "ShardRouter"]
+
+_log = get_logger("repro.shard.router")
+
+
+@dataclasses.dataclass
+class RouterConfig:
+    """Tuning knobs of the scatter/gather front end."""
+
+    #: bind address; port 0 binds an ephemeral port (tests)
+    host: str = "127.0.0.1"
+    port: int = 0
+    #: ceiling on how long the router waits for any shard, and the
+    #: effective budget for requests that carry none
+    shard_timeout_ms: float = 2000.0
+    #: fraction of the shard budget after which an unanswered shard is
+    #: hedged on a fresh connection; >= 1 disables hedging
+    hedge_fraction: float = 0.5
+    #: per-connection outstanding-request cap (typed shed beyond it)
+    conn_inflight: int = 64
+    #: budget of the proxied ``info`` handshake
+    info_timeout_ms: float = 2000.0
+    #: seconds the drain waits for in-flight fan-outs to finish
+    drain_timeout_s: float = 30.0
+    #: per-shard circuit breaker: sliding window (calls)
+    breaker_window: int = 8
+    #: per-shard circuit breaker: failure rate that opens it
+    breaker_failure_threshold: float = 0.5
+    #: per-shard circuit breaker: minimum calls before it can open
+    breaker_min_calls: int = 3
+    #: per-shard circuit breaker: open time before a half-open probe
+    breaker_cooldown_ms: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.shard_timeout_ms <= 0:
+            raise ValueError("shard_timeout_ms must be positive")
+        if self.hedge_fraction <= 0:
+            raise ValueError("hedge_fraction must be positive "
+                             "(>= 1 disables hedging)")
+        if self.conn_inflight < 1:
+            raise ValueError("conn_inflight must be at least 1")
+        if self.info_timeout_ms <= 0:
+            raise ValueError("info_timeout_ms must be positive")
+        if self.drain_timeout_s <= 0:
+            raise ValueError("drain_timeout_s must be positive")
+        if self.breaker_window < 1:
+            raise ValueError("breaker_window must be at least 1")
+        if not 0.0 < self.breaker_failure_threshold <= 1.0:
+            raise ValueError("breaker_failure_threshold must be in (0, 1]")
+        if self.breaker_min_calls < 1:
+            raise ValueError("breaker_min_calls must be at least 1")
+        if self.breaker_cooldown_ms <= 0:
+            raise ValueError("breaker_cooldown_ms must be positive")
+
+
+class ShardRouter:
+    """Scatter/gather over an *endpoint provider*.
+
+    ``endpoints`` supplies the fleet: ``count`` (total slots),
+    ``address_of(slot)`` (``None`` while a worker is down — the
+    supervisor's restarts surface here as address changes), and
+    optionally ``live_count()`` (for the info payload) and ``stop()``
+    (called at the tail of the drain; the supervisor's ordered
+    SIGTERM + reap).  Tests pass a trivial static provider; production
+    passes a :class:`~repro.shard.supervisor.WorkerSupervisor`.
+    """
+
+    def __init__(self, endpoints: Any,
+                 config: Optional[RouterConfig] = None) -> None:
+        self.endpoints = endpoints
+        self.config = config if config is not None else RouterConfig()
+        self.bound: Optional[Tuple[str, int]] = None
+        cooldown = self.config.breaker_cooldown_ms / 1000.0
+        self._breakers = [
+            CircuitBreaker(f"shard{slot}", window=self.config.breaker_window,
+                           failure_threshold=(
+                               self.config.breaker_failure_threshold),
+                           min_calls=self.config.breaker_min_calls,
+                           cooldown=cooldown)
+            for slot in range(endpoints.count)]
+        self._clients: List[ShardClient] = []
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._drain_event: Optional[asyncio.Event] = None
+        self._conn_tasks: Set[asyncio.Task] = set()
+        self._info_cache: Optional[dict] = None
+
+    # -- lifecycle ----------------------------------------------------------
+    def run(self, *, install_signals: bool = True,
+            ready: Optional[Callable[[Tuple[str, int]], None]] = None) -> int:
+        """Blocking entry point; returns the process exit code (0 for a
+        clean drain, 1 when in-flight work outlived the timeout)."""
+        return asyncio.run(self._main(install_signals, ready))
+
+    def trigger_drain(self) -> None:
+        """Thread-safe drain initiation (the programmatic SIGTERM)."""
+        loop, event = self._loop, self._drain_event
+        if loop is None or event is None:
+            return
+        try:
+            loop.call_soon_threadsafe(event.set)
+        except RuntimeError:
+            pass  # loop already closed: the drain it would ask for is done
+
+    async def _main(self, install_signals: bool,
+                    ready: Optional[Callable[[Tuple[str, int]], None]]) -> int:
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        self._drain_event = asyncio.Event()
+        self._clients = [
+            ShardClient(slot, self._address_getter(slot))
+            for slot in range(self.endpoints.count)]
+        if install_signals:
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                loop.add_signal_handler(sig, self._on_signal, sig)
+        clean = await self._serve(ready)
+        return 0 if clean else 1
+
+    def _address_getter(self, slot: int) -> Callable[[], Optional[Tuple]]:
+        return lambda: self.endpoints.address_of(slot)
+
+    def _on_signal(self, sig: int) -> None:
+        registry().counter("shard.router.drain.signals").inc()
+        _log.info("drain signal received", signal=signal.Signals(sig).name)
+        self._drain_event.set()
+
+    async def _serve(
+            self,
+            ready: Optional[Callable[[Tuple[str, int]], None]]) -> bool:
+        cfg = self.config
+        reg = registry()
+        self._conns_gauge = reg.gauge("shard.router.conns")
+        self._conns_gauge.set(0)
+        server = await asyncio.start_server(
+            self._on_connection, cfg.host, cfg.port)
+        sockname = server.sockets[0].getsockname()
+        self.bound = (sockname[0], sockname[1])
+        _log.info("routing", host=self.bound[0], port=self.bound[1],
+                  shards=self.endpoints.count)
+        if ready is not None:
+            ready(self.bound)
+        await self._drain_event.wait()
+
+        # -- ordered drain ------------------------------------------------
+        started = time.monotonic()
+        _log.info("draining", conns=len(self._conn_tasks))
+        server.close()
+        await server.wait_closed()  # 1. stop accepting
+        pending: Set[asyncio.Task] = set()
+        if self._conn_tasks:  # 2. finish in-flight fan-outs, flush
+            _, pending = await asyncio.wait(
+                set(self._conn_tasks), timeout=cfg.drain_timeout_s)
+            for task in pending:
+                task.cancel()
+        for client in self._clients:  # 3. close shard connections
+            await client.close()
+        if hasattr(self.endpoints, "stop"):  # 4. SIGTERM workers, reap
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.endpoints.stop)
+        clean = not pending
+        elapsed_ms = (time.monotonic() - started) * 1e3
+        reg.histogram("shard.router.drain.duration_ms").observe(elapsed_ms)
+        reg.gauge("shard.router.drain.clean").set(1.0 if clean else 0.0)
+        _log.info("drain complete", clean=clean,
+                  duration_ms=round(elapsed_ms, 3))
+        return clean
+
+    # -- per-connection handling -------------------------------------------
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        registry().counter("shard.router.conns_total").inc()
+        self._conns_gauge.set(float(len(self._conn_tasks)))
+        try:
+            await self._connection_loop(reader, writer)
+        except Exception as exc:  # a broken conn must never kill routing
+            _log.warning("connection failed",
+                         error=f"{type(exc).__name__}: {exc}")
+        finally:
+            self._conn_tasks.discard(task)
+            self._conns_gauge.set(float(len(self._conn_tasks)))
+            with contextlib.suppress(Exception):
+                writer.close()
+
+    async def _connection_loop(self, reader: asyncio.StreamReader,
+                               writer: asyncio.StreamWriter) -> None:
+        cfg = self.config
+        lines = LineReader(reader)
+        write_lock = asyncio.Lock()
+        state = {"broken": False}
+        inflight: Set[asyncio.Task] = set()
+
+        async def respond(response: dict) -> None:
+            if state["broken"]:
+                return
+            async with write_lock:
+                try:
+                    writer.write(encode_response(response))
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    # client went away mid-write: stop writing, keep
+                    # answering so fan-outs still complete and drain
+                    state["broken"] = True
+                    registry().counter(
+                        "shard.router.conn.broken_total").inc()
+
+        drain_wait = asyncio.ensure_future(self._drain_event.wait())
+        try:
+            while not self._drain_event.is_set():
+                line_task = asyncio.ensure_future(lines.readline())
+                done, _ = await asyncio.wait(
+                    {line_task, drain_wait},
+                    return_when=asyncio.FIRST_COMPLETED)
+                if line_task not in done:
+                    line_task.cancel()
+                    with contextlib.suppress(asyncio.CancelledError):
+                        await line_task
+                    break
+                try:
+                    raw = line_task.result()
+                except OversizedLine as exc:
+                    registry().counter(
+                        "shard.router.oversized_line").inc()
+                    await respond(self._bad_line_response(exc))
+                    continue
+                except (ConnectionError, OSError):
+                    break
+                if not raw:
+                    break  # EOF: client half-closed, flush and finish
+                if not raw.strip():
+                    continue
+                try:
+                    request = decode_line(raw)
+                except ValueError as exc:
+                    await respond(self._bad_line_response(exc))
+                    continue
+                if isinstance(request, dict) and request.get("op") == "info":
+                    await respond(await self._info_response(
+                        request.get("id")))
+                    continue
+                if len(inflight) >= cfg.conn_inflight:
+                    registry().counter(
+                        "shard.router.conn.overloaded_total").inc()
+                    request_id = request.get("id") \
+                        if isinstance(request, dict) else None
+                    await respond(self._rejection(
+                        request_id, "overloaded",
+                        f"connection has {len(inflight)} requests in "
+                        f"flight (cap {cfg.conn_inflight}); read before "
+                        f"writing more"))
+                    continue
+                request_task = asyncio.ensure_future(
+                    self._answer_and_respond(request, respond))
+                inflight.add(request_task)
+                request_task.add_done_callback(inflight.discard)
+        finally:
+            drain_wait.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await drain_wait
+            if inflight:
+                # every fan-out is bounded by the shard timeout, so
+                # this resolves; the drain timeout is the backstop
+                await asyncio.wait(set(inflight),
+                                   timeout=self.config.drain_timeout_s)
+            if not state["broken"]:
+                with contextlib.suppress(Exception):
+                    await writer.drain()
+
+    async def _answer_and_respond(
+            self, request: Any,
+            respond: Callable[[dict], Any]) -> None:
+        try:
+            response = await self._answer(request)
+        except Exception as exc:  # isolate a router bug to its request
+            registry().counter("shard.router.internal_errors_total").inc()
+            _log.error("internal error routing request",
+                       error=f"{type(exc).__name__}: {exc}")
+            request_id = request.get("id") \
+                if isinstance(request, dict) else None
+            response = self._rejection(
+                request_id, "internal", f"{type(exc).__name__}: {exc}")
+        await respond(response)
+
+    # -- scatter/gather -----------------------------------------------------
+    async def _answer(self, request: Any) -> dict:
+        cfg = self.config
+        reg = registry()
+        reg.counter("shard.router.requests_total").inc()
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        if not isinstance(request, dict):
+            # same wording the serve layer's validation uses
+            return self._rejection(None, "bad_request",
+                                   "request must be a JSON object")
+        request_id = request.get("id")
+        budget_s = cfg.shard_timeout_ms / 1000.0
+        budget_ms = request.get("budget_ms")
+        if isinstance(budget_ms, (int, float)) \
+                and not isinstance(budget_ms, bool) and budget_ms > 0:
+            # the shard applies the same budget server-side (the field
+            # is forwarded verbatim); this caps the router's own wait
+            budget_s = min(budget_s, float(budget_ms) / 1000.0)
+        hedge_after_s = budget_s * cfg.hedge_fraction \
+            if cfg.hedge_fraction < 1.0 else None
+        count = self.endpoints.count
+        results = await asyncio.gather(
+            *(self._call_shard(slot, request, budget_s, hedge_after_s)
+              for slot in range(count)))
+        elapsed_ms = (loop.time() - started) * 1e3
+        reg.histogram("shard.router.request_ms").observe(elapsed_ms)
+        oks = [r for r in results if r is not None and r.get("ok")]
+        errors = [r for r in results if r is not None and not r.get("ok")]
+        if oks:
+            response = await self._merged_response(request, request_id,
+                                                   oks, count, elapsed_ms)
+        elif errors:
+            # every answering shard refused identically (bad request,
+            # shed): forward the lowest slot's error under our id
+            reg.counter("shard.router.error_total").inc()
+            response = {"id": request_id, "ok": False,
+                        "error": errors[0].get("error"),
+                        "elapsed_ms": round(elapsed_ms, 3)}
+        else:
+            reg.counter("shard.router.unavailable_total").inc()
+            response = self._rejection(
+                request_id, "unavailable",
+                f"no shard answered (0/{count})")
+        return response
+
+    async def _merged_response(self, request: dict, request_id: Any,
+                               oks: List[dict], count: int,
+                               elapsed_ms: float) -> dict:
+        reg = registry()
+        top_k = request.get("top_k")
+        if isinstance(top_k, bool) or not isinstance(top_k, int) \
+                or top_k < 1:
+            # shards answered, so at least one is reachable for info;
+            # their default is authoritative (all spawned identically)
+            top_k = await self._top_k_default(
+                max(len(r.get("matches", [])) for r in oks))
+        matches = merge_matches([r.get("matches", []) for r in oks], top_k)
+        tier = worst_tier(r.get("tier", "full") for r in oks) or "full"
+        partial = len(oks) < count
+        shard_degraded = [r for r in oks if r.get("degraded")]
+        degraded = partial or bool(shard_degraded) or tier != "full"
+        response = {"id": request_id, "ok": True,
+                    "vertex": oks[0].get("vertex"), "tier": tier,
+                    "degraded": degraded, "matches": matches,
+                    "elapsed_ms": round(elapsed_ms, 3)}
+        reg.counter("shard.router.ok_total").inc()
+        if partial:
+            reg.counter("shard.router.partial_total").inc()
+            response["reason"] = "partial"
+            response["shards_answered"] = len(oks)
+            response["shards_total"] = count
+        elif degraded:
+            reasons = [r.get("reason") for r in shard_degraded
+                       if r.get("reason")]
+            if reasons:
+                response["reason"] = reasons[0]
+        if degraded:
+            reg.counter("shard.router.degraded_total").inc()
+        return response
+
+    async def _call_shard(self, slot: int, request: dict, budget_s: float,
+                          hedge_after_s: Optional[float]) -> Optional[dict]:
+        """One shard's answer, through its breaker, with hedging.
+        Returns the shard's response dict, or ``None`` when the shard
+        was skipped (open breaker), failed, or never answered in time —
+        the partial-degradation cases."""
+        reg = registry()
+        breaker = self._breakers[slot]
+        reg.gauge(f"shard.{slot}.breaker_state").set(
+            float(STATE_CODES[breaker.state()]))
+        if not breaker.allows_call():
+            reg.counter(f"shard.{slot}.skipped_total").inc()
+            return None
+        client = self._clients[slot]
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        deadline_at = started + budget_s
+        attempts: Set[asyncio.Task] = {
+            asyncio.ensure_future(client.request(request,
+                                                 timeout=budget_s))}
+        hedged = hedge_after_s is None
+        response: Optional[dict] = None
+        failed: Optional[BaseException] = None
+        try:
+            while attempts and response is None:
+                now = loop.time()
+                remaining = deadline_at - now
+                if remaining <= 0:
+                    break
+                if not hedged:
+                    remaining = min(remaining,
+                                    started + hedge_after_s - now)
+                done, attempts = await asyncio.wait(
+                    attempts, timeout=max(remaining, 0.001),
+                    return_when=asyncio.FIRST_COMPLETED)
+                for attempt in done:
+                    if attempt.cancelled():
+                        continue
+                    error = attempt.exception()
+                    if error is None:
+                        if response is None:
+                            response = attempt.result()
+                    elif not isinstance(error, asyncio.TimeoutError):
+                        # a timed-out attempt is "late", not "failed" —
+                        # the deadline accounting below covers it
+                        failed = error
+                if response is None and not hedged \
+                        and loop.time() >= started + hedge_after_s:
+                    hedged = True
+                    remaining = deadline_at - loop.time()
+                    if remaining > 0:
+                        reg.counter(f"shard.{slot}.hedges_total").inc()
+                        attempts.add(asyncio.ensure_future(
+                            client.request_once(request,
+                                                timeout=remaining)))
+        finally:
+            for attempt in attempts:
+                attempt.cancel()
+            if attempts:
+                await asyncio.gather(*attempts, return_exceptions=True)
+        latency_ms = (loop.time() - started) * 1e3
+        reg.histogram(f"shard.{slot}.latency_ms").observe(latency_ms)
+        if response is not None:
+            breaker.record_success()
+            reg.counter(f"shard.{slot}.answered_total").inc()
+            return response
+        breaker.record_failure()
+        if failed is None:
+            # no attempt errored — the shard simply never answered
+            reg.counter(f"shard.{slot}.late_total").inc()
+            _log.warning("shard late", slot=slot,
+                         budget_ms=round(budget_s * 1e3, 1))
+        else:
+            reg.counter(f"shard.{slot}.failed_total").inc()
+            detail = f"{type(failed).__name__}: {failed}" \
+                if not isinstance(failed, ShardUnavailable) else str(failed)
+            _log.warning("shard call failed", slot=slot, error=detail)
+        return None
+
+    # -- control responses --------------------------------------------------
+    async def _shard_info(self) -> Optional[dict]:
+        """One worker's info payload (cached after the first success) —
+        the fleet is homogeneous, so any live shard speaks for all on
+        repository metadata."""
+        if self._info_cache is not None:
+            return self._info_cache
+        timeout = self.config.info_timeout_ms / 1000.0
+        for slot in range(self.endpoints.count):
+            try:
+                answer = await self._clients[slot].request(
+                    {"op": "info"}, timeout=timeout)
+            except (ShardUnavailable, asyncio.TimeoutError):
+                continue
+            if isinstance(answer, dict) and answer.get("ok"):
+                info = dict(answer.get("info", {}))
+                info.pop("shard", None)  # per-worker detail, not fleet
+                self._info_cache = info
+                return info
+        return None
+
+    async def _top_k_default(self, fallback: int) -> int:
+        info = await self._shard_info()
+        if info is not None and isinstance(info.get("top_k_default"), int):
+            return max(1, info["top_k_default"])
+        return max(1, fallback)
+
+    async def _info_response(self, request_id: Any) -> dict:
+        info = await self._shard_info()
+        if info is None:
+            return self._rejection(request_id, "unavailable",
+                                   "no shard reachable for info")
+        live = self.endpoints.live_count() \
+            if hasattr(self.endpoints, "live_count") \
+            else sum(1 for b in self._breakers if b.state() != "open")
+        payload = dict(info)
+        payload["shards"] = {"total": self.endpoints.count, "live": live}
+        return {"id": request_id, "ok": True, "info": payload}
+
+    def _bad_line_response(self, error: Exception) -> dict:
+        reg = registry()
+        reg.counter("shard.router.requests_total").inc()
+        reg.counter("shard.router.requests.bad_line").inc()
+        return self._rejection(None, "bad_request",
+                               f"invalid JSON: {error}")
+
+    @staticmethod
+    def _rejection(request_id: Any, code: str, message: str) -> dict:
+        reg = registry()
+        reg.counter(f"shard.router.error.{code}").inc()
+        return {"id": request_id, "ok": False,
+                "error": {"type": code, "message": message},
+                "elapsed_ms": 0.0}

@@ -8,13 +8,16 @@ lost, nothing raised into the dispatch loop.
 
 from __future__ import annotations
 
+import json
+import socket
 import threading
 import time
 
 import pytest
 
 from repro.loadgen import (LoadConfig, SocketDriver, build_schedule,
-                           fetch_info, parse_address, run_schedule)
+                           fetch_info, parse_address, probe_info,
+                           run_schedule)
 from repro.netserve import NetServeConfig, NetServer
 
 
@@ -122,3 +125,91 @@ class TestSocketDriver:
         assert synthesized["error"]["type"] == "unavailable"
         assert synthesized["id"] == "after-loss"
         driver.shutdown()
+
+
+@pytest.fixture()
+def flaky_info_server():
+    """A listener whose first N connections hang up without answering
+    and whose later ones answer ``info`` properly — the mid-restart
+    server the retry exists for."""
+    server = socket.create_server(("127.0.0.1", 0))
+    server.settimeout(0.2)
+    stop = threading.Event()
+    state = {"failures_left": 0, "connections": 0}
+
+    def loop():
+        while not stop.is_set():
+            try:
+                conn, _ = server.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            state["connections"] += 1
+            if state["failures_left"] > 0:
+                state["failures_left"] -= 1
+                conn.close()  # EOF before any response line
+                continue
+            stream = conn.makefile("rwb")
+            line = stream.readline()
+            request = json.loads(line)
+            stream.write((json.dumps(
+                {"id": request.get("id"), "ok": True,
+                 "info": {"images": 9, "top_k_default": 2}}) +
+                "\n").encode("utf-8"))
+            stream.flush()
+            conn.close()
+
+    thread = threading.Thread(target=loop, daemon=True)
+    thread.start()
+    yield server.getsockname()[:2], state
+    stop.set()
+    server.close()
+    thread.join(timeout=5.0)
+
+
+class TestInfoRetry:
+    def test_one_dropped_connection_is_absorbed(self, flaky_info_server):
+        address, state = flaky_info_server
+        state["failures_left"] = 1
+        info = fetch_info(address, timeout=5.0)
+        assert info["images"] == 9
+        assert state["connections"] == 2, "exactly one retry"
+
+    def test_retries_are_bounded(self, flaky_info_server):
+        address, state = flaky_info_server
+        state["failures_left"] = 10
+        with pytest.raises((OSError, ValueError)):
+            fetch_info(address, timeout=5.0, attempts=2)
+        assert state["connections"] == 2, "attempts is a hard cap"
+
+    def test_single_attempt_fails_fast(self, flaky_info_server):
+        address, state = flaky_info_server
+        state["failures_left"] = 1
+        with pytest.raises((OSError, ValueError)):
+            fetch_info(address, timeout=5.0, attempts=1)
+
+    def test_zero_attempts_rejected(self):
+        with pytest.raises(ValueError):
+            fetch_info(("127.0.0.1", 9), attempts=0)
+
+
+class TestProbeInfo:
+    def test_live_server_probes_ok(self, flaky_info_server):
+        address, _ = flaky_info_server
+        probe = probe_info(address, timeout=5.0)
+        assert probe["ok"] is True
+        assert probe["info"]["images"] == 9
+
+    def test_dead_address_synthesizes_typed_unavailable(self):
+        probe = probe_info(("127.0.0.1", 9), timeout=1.0)
+        assert probe["ok"] is False
+        assert probe["error"]["type"] == "unavailable"
+        assert "127.0.0.1:9" in probe["error"]["message"]
+
+    def test_never_raises_even_on_garbage(self, flaky_info_server):
+        address, state = flaky_info_server
+        state["failures_left"] = 5
+        probe = probe_info(address, timeout=1.0)
+        assert probe["ok"] is False
+        assert probe["error"]["type"] == "unavailable"

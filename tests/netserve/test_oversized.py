@@ -1,0 +1,106 @@
+"""Oversized request lines: answered and survived, never fatal.
+
+A client that pastes a huge blob into one line used to lose its
+connection (and every pipelined request behind it) because
+``StreamReader.readline`` cannot resync past its buffer limit.
+:class:`LineReader` can: the oversized line is discarded through its
+newline, answered with a typed ``bad_request`` (id ``null`` — the id
+was inside the line we refused to buffer), and the very next line on
+the same connection is served normally.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.netserve import LineReader, OversizedLine
+from repro.netserve.protocol import MAX_LINE_BYTES
+from repro.obs import registry
+
+from .test_server import Client
+
+
+class TestOversizedOverTheWire:
+    def test_answered_typed_and_connection_survives(self, run_server,
+                                                    fitted_hard):
+        _, address = run_server()
+        client = Client(address)
+        huge = b'{"id": "big", "padding": "' + \
+            b"x" * (MAX_LINE_BYTES + 1024) + b'"}'
+        response = client.ask(huge)
+        assert response["ok"] is False
+        assert response["id"] is None
+        assert response["error"]["type"] == "bad_request"
+        assert registry().counter("netserve.oversized_line").value == 1
+        # the connection is still perfectly serviceable
+        good = client.ask({"id": "after",
+                           "vertex": int(fitted_hard.vertex_ids[0])})
+        client.close()
+        assert good["ok"] is True and good["id"] == "after"
+
+    def test_many_oversized_lines_each_answered(self, run_server,
+                                                fitted_hard):
+        _, address = run_server()
+        client = Client(address)
+        blob = b"y" * (MAX_LINE_BYTES + 1)
+        for _ in range(3):
+            response = client.ask(blob)
+            assert response["ok"] is False
+            assert response["error"]["type"] == "bad_request"
+        good = client.ask({"id": "still-here",
+                           "vertex": int(fitted_hard.vertex_ids[0])})
+        client.close()
+        assert good["ok"] is True
+        assert registry().counter("netserve.oversized_line").value == 3
+
+
+class TestLineReaderUnit:
+    def run(self, coro):
+        return asyncio.run(coro)
+
+    def test_ordinary_lines_pass_through(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(b"one\ntwo\n")
+            reader.feed_eof()
+            lines = LineReader(reader, max_line_bytes=16)
+            return [await lines.readline() for _ in range(3)]
+
+        assert self.run(scenario()) == [b"one\n", b"two\n", b""]
+
+    def test_oversized_line_raises_then_resyncs(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(b"z" * 64 + b"\nnext\n")
+            reader.feed_eof()
+            lines = LineReader(reader, max_line_bytes=16, chunk_bytes=8)
+            with pytest.raises(OversizedLine) as blown:
+                await lines.readline()
+            assert blown.value.limit == 16
+            return await lines.readline()
+
+        assert self.run(scenario()) == b"next\n"
+
+    def test_unterminated_tail_returned_at_eof(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(b"tail-without-newline")
+            reader.feed_eof()
+            lines = LineReader(reader, max_line_bytes=64)
+            return await lines.readline(), await lines.readline()
+
+        assert self.run(scenario()) == (b"tail-without-newline", b"")
+
+    def test_oversized_tail_without_newline_still_raises(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(b"w" * 64)
+            reader.feed_eof()
+            lines = LineReader(reader, max_line_bytes=16, chunk_bytes=8)
+            with pytest.raises(OversizedLine):
+                await lines.readline()
+            return await lines.readline()
+
+        assert self.run(scenario()) == b""

@@ -137,3 +137,53 @@ class TestAdminControls:
     def test_bad_settings_rejected(self, kwargs):
         with pytest.raises(ValueError):
             make_breaker(FakeClock(), **kwargs)
+
+
+class TestClockIsolation:
+    """The clock is per *instance* — two breakers on independent fake
+    clocks must never see each other's time (the shard router runs one
+    breaker per shard, and its tests drive them separately)."""
+
+    def trip(self, breaker):
+        for _ in range(2):
+            with pytest.raises(OSError):
+                breaker.call(boom)
+        assert breaker.state() == STATE_OPEN
+
+    def test_two_breakers_on_independent_clocks(self):
+        clock_a, clock_b = FakeClock(), FakeClock()
+        a = CircuitBreaker("shard0", clock=clock_a, window=4,
+                           failure_threshold=0.5, min_calls=2,
+                           cooldown=10.0)
+        b = CircuitBreaker("shard1", clock=clock_b, window=4,
+                           failure_threshold=0.5, min_calls=2,
+                           cooldown=10.0)
+        self.trip(a)
+        self.trip(b)
+        # advance only a's clock past the cooldown
+        clock_a.now += 11.0
+        assert a.allows_call(), "a's cooldown elapsed on a's clock"
+        assert not b.allows_call(), \
+            "b must not inherit a's time — clocks are per instance"
+        # and the probe bookkeeping stays separate too
+        a.record_success()
+        assert a.state() == STATE_CLOSED
+        assert b.state() == STATE_OPEN
+
+    def test_async_records_share_no_state_across_instances(self):
+        """The router's accounting path (allows_call + record_*)
+        touches only the instance it is called on."""
+        clock = FakeClock()
+        first = CircuitBreaker("shardA", clock=clock, window=4,
+                               failure_threshold=0.5, min_calls=2,
+                               cooldown=10.0)
+        second = CircuitBreaker("shardB", clock=clock, window=4,
+                                failure_threshold=0.5, min_calls=2,
+                                cooldown=10.0)
+        for _ in range(2):
+            assert first.allows_call()
+            first.record_failure()
+        assert first.state() == STATE_OPEN
+        assert not first.allows_call()
+        assert second.state() == STATE_CLOSED
+        assert second.allows_call()

@@ -1,0 +1,108 @@
+"""The partition contract and the exact cross-shard merge.
+
+The marquee property: for any scores (ties included), masking each
+shard to its owned positions, taking per-shard top-k with the shared
+``(-score, position)`` order, and merging with ``(-score, image id)``
+reconstructs the single-process top-k exactly.  The test plants
+deliberate score ties straddling shard boundaries — the case a naive
+merge gets wrong.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.index.topk import deterministic_topk
+from repro.shard import merge_matches, owned_mask, owned_positions, worst_tier
+
+
+class TestPartition:
+    @pytest.mark.parametrize("total,count", [(10, 3), (7, 7), (5, 1),
+                                             (16, 4), (3, 5)])
+    def test_positions_cover_and_never_overlap(self, total, count):
+        seen = np.concatenate([owned_positions(total, count, slot)
+                               for slot in range(count)])
+        assert sorted(seen.tolist()) == list(range(total))
+
+    @pytest.mark.parametrize("total,count", [(10, 3), (16, 4), (3, 5)])
+    def test_mask_agrees_with_positions(self, total, count):
+        for slot in range(count):
+            mask = owned_mask(total, count, slot)
+            assert mask.dtype == np.bool_ and mask.shape == (total,)
+            assert np.flatnonzero(mask).tolist() == \
+                owned_positions(total, count, slot).tolist()
+
+    def test_slot_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            owned_positions(10, 3, 3)
+        with pytest.raises(ValueError):
+            owned_mask(10, 3, -1)
+
+
+def shard_matches(scores, image_ids, count, slot, top_k):
+    """Exactly what a masked MatchService does at selection time."""
+    finite = np.flatnonzero(owned_mask(len(scores), count, slot))
+    order = finite[deterministic_topk(scores[finite],
+                                      min(top_k, len(finite)))]
+    return [{"image": int(image_ids[i]), "score": float(scores[i])}
+            for i in order]
+
+
+class TestMerge:
+    def test_planted_ties_across_shards_match_the_oracle(self):
+        # ids ascend with position (the repository invariant the
+        # contract leans on) but are not equal to positions
+        image_ids = 100 + 3 * np.arange(12)
+        # two three-way ties, each straddling all three shards
+        scores = np.array([9.0, 9.0, 9.0, 5.0, 7.5, 7.5,
+                           7.5, 1.0, 2.0, 5.0, 0.5, 5.0])
+        for top_k in (1, 3, 5, 8, 12):
+            oracle_order = deterministic_topk(scores, top_k)
+            oracle = [{"image": int(image_ids[i]),
+                       "score": float(scores[i])} for i in oracle_order]
+            merged = merge_matches(
+                [shard_matches(scores, image_ids, 3, slot, top_k)
+                 for slot in range(3)], top_k)
+            assert merged == oracle, f"top_k={top_k}"
+
+    def test_random_scores_match_the_oracle(self):
+        rng = np.random.default_rng(42)
+        image_ids = np.arange(50)
+        for count in (2, 3, 7):
+            # quantized draws manufacture plenty of accidental ties
+            scores = rng.integers(0, 10, size=50).astype(np.float64) / 2.0
+            oracle_order = deterministic_topk(scores, 10)
+            oracle = [{"image": int(image_ids[i]),
+                       "score": float(scores[i])} for i in oracle_order]
+            merged = merge_matches(
+                [shard_matches(scores, image_ids, count, slot, 10)
+                 for slot in range(count)], 10)
+            assert merged == oracle, f"count={count}"
+
+    def test_merge_preserves_match_dicts_untouched(self):
+        """Byte-identity depends on the merge never rebuilding dicts —
+        the shards' own objects must flow through."""
+        a = {"image": 5, "score": 1.0}
+        b = {"image": 2, "score": 0.5}
+        merged = merge_matches([[a], [b]], 2)
+        assert merged[0] is a and merged[1] is b
+
+    def test_tie_breaks_by_ascending_image_id(self):
+        merged = merge_matches(
+            [[{"image": 5, "score": 1.0}, {"image": 2, "score": 0.5}],
+             [{"image": 3, "score": 1.0}, {"image": 9, "score": 0.5}]], 3)
+        assert [m["image"] for m in merged] == [3, 5, 2]
+
+
+class TestWorstTier:
+    def test_orders_the_ladder(self):
+        assert worst_tier(["full", "full"]) == "full"
+        assert worst_tier(["full", "cached"]) == "cached"
+        assert worst_tier(["cached", "stale", "full"]) == "stale"
+
+    def test_unknown_tier_ranks_worst(self):
+        assert worst_tier(["full", "mystery"]) == "mystery"
+
+    def test_empty_is_none(self):
+        assert worst_tier([]) is None

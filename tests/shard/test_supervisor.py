@@ -1,0 +1,203 @@
+"""Worker lifecycle under fault injection.
+
+These tests spawn *real* subprocesses — a tiny stand-in worker that
+speaks just enough of the protocol (port file + ``info``) to pass the
+supervisor's health check in milliseconds instead of the seconds a
+model fit costs — and then kill them, crash-loop them, and stop them,
+asserting the restart policy from the outside: via ``states()``,
+``address_of()``, the pid files, and the exported metrics.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import sys
+import time
+
+import pytest
+
+from repro.obs import registry
+from repro.shard import SupervisorConfig, WorkerSupervisor
+from repro.shard.supervisor import (STATE_BACKOFF, STATE_DEAD, STATE_LIVE,
+                                    STATE_STOPPED)
+
+FAKE_WORKER = r"""
+import json, os, signal, socket, sys, threading
+
+port_file, mode = sys.argv[1], sys.argv[2]
+if mode == "crash":
+    sys.exit(13)
+server = socket.create_server(("127.0.0.1", 0))
+host, port = server.getsockname()[:2]
+with open(port_file, "w") as handle:
+    handle.write(f"{host}:{port}\n")
+signal.signal(signal.SIGTERM, lambda *_: os._exit(0))
+
+
+def serve(conn):
+    stream = conn.makefile("rwb")
+    for line in stream:
+        try:
+            request = json.loads(line)
+        except ValueError:
+            continue
+        if request.get("op") == "info":
+            body = {"id": request.get("id"), "ok": True,
+                    "info": {"images": 4, "top_k_default": 1, "pid":
+                             os.getpid()}}
+        else:
+            body = {"id": request.get("id"), "ok": True,
+                    "vertex": request.get("vertex"), "tier": "full",
+                    "degraded": False, "matches": [], "elapsed_ms": 0.0}
+        stream.write((json.dumps(body) + "\n").encode("utf-8"))
+        stream.flush()
+
+
+while True:
+    conn, _ = server.accept()
+    threading.Thread(target=serve, args=(conn,), daemon=True).start()
+"""
+
+
+def fast_config(**overrides) -> SupervisorConfig:
+    settings = dict(spawn_timeout_s=30.0, health_timeout_s=2.0,
+                    poll_interval_s=0.05, backoff_base_s=0.1,
+                    backoff_cap_s=0.5, flap_max=4, flap_window_s=10.0,
+                    stop_timeout_s=10.0)
+    settings.update(overrides)
+    return SupervisorConfig(**settings)
+
+
+@pytest.fixture()
+def worker_script(tmp_path):
+    script = tmp_path / "fake_worker.py"
+    script.write_text(FAKE_WORKER)
+    return script
+
+
+@pytest.fixture()
+def make_supervisor(worker_script, tmp_path):
+    created = []
+
+    def make(count=2, mode="ok", config=None) -> WorkerSupervisor:
+        def command_for_slot(slot, port_file):
+            return [sys.executable, str(worker_script), str(port_file),
+                    mode]
+
+        supervisor = WorkerSupervisor(
+            command_for_slot, count, tmp_path / "work",
+            config if config is not None else fast_config())
+        created.append(supervisor)
+        return supervisor
+
+    yield make
+    for supervisor in created:
+        supervisor.stop(timeout=10.0)
+
+
+def wait_until(predicate, timeout: float, message: str) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.02)
+    raise AssertionError(message)
+
+
+class TestStartAndStop:
+    def test_start_blocks_until_every_worker_answers_info(
+            self, make_supervisor):
+        supervisor = make_supervisor(count=2).start()
+        assert supervisor.states() == [STATE_LIVE, STATE_LIVE]
+        assert supervisor.live_count() == 2
+        addresses = {supervisor.address_of(0), supervisor.address_of(1)}
+        assert None not in addresses and len(addresses) == 2
+
+    def test_pid_files_name_the_real_processes(self, make_supervisor):
+        supervisor = make_supervisor(count=2).start()
+        for slot in range(2):
+            pid = int((supervisor.work_dir /
+                       f"worker{slot}.pid").read_text())
+            os.kill(pid, 0)  # raises if no such process
+
+    def test_stop_reaps_everything(self, make_supervisor):
+        supervisor = make_supervisor(count=2).start()
+        pids = [int((supervisor.work_dir / f"worker{slot}.pid")
+                    .read_text()) for slot in range(2)]
+        supervisor.stop(timeout=10.0)
+        assert supervisor.states() == [STATE_STOPPED, STATE_STOPPED]
+        assert supervisor.address_of(0) is None
+        for pid in pids:
+            wait_until(lambda p=pid: not _alive(p), 5.0,
+                       f"worker {pid} survived stop()")
+
+    def test_start_failure_names_states_and_logs(self, make_supervisor):
+        supervisor = make_supervisor(
+            count=1, mode="crash",
+            config=fast_config(flap_max=2, spawn_timeout_s=10.0))
+        with pytest.raises(RuntimeError) as failure:
+            supervisor.start()
+        assert "dead" in str(failure.value)
+        assert str(supervisor.work_dir) in str(failure.value)
+
+
+class TestRestartPolicy:
+    def test_sigkill_is_healed_on_a_fresh_port(self, make_supervisor):
+        supervisor = make_supervisor(count=2).start()
+        before = supervisor.address_of(1)
+        pid = int((supervisor.work_dir / "worker1.pid").read_text())
+        os.kill(pid, signal.SIGKILL)
+        wait_until(lambda: supervisor.address_of(1) is None, 10.0,
+                   "death never noticed")
+        # slot 0 is untouched throughout
+        assert supervisor.address_of(0) is not None
+        wait_until(lambda: supervisor.address_of(1) is not None, 20.0,
+                   "worker never restarted")
+        after = supervisor.address_of(1)
+        assert after != before, "a respawn binds a fresh ephemeral port"
+        new_pid = int((supervisor.work_dir / "worker1.pid").read_text())
+        assert new_pid != pid
+        snapshot = registry().snapshot()
+        counters = {row["name"]: row["value"] for row in snapshot
+                    if row.get("type") == "counter"}
+        assert counters.get("shard.1.deaths_total", 0) >= 1
+        assert counters.get("shard.1.restarts_total", 0) >= 1
+        assert counters.get("shard.restarts_total", 0) >= 1
+
+    def test_flapping_worker_is_marked_dead_not_respawned_forever(
+            self, make_supervisor):
+        supervisor = make_supervisor(
+            count=1, mode="crash",
+            config=fast_config(flap_max=3, backoff_base_s=0.05))
+        supervisor.start(wait_healthy=False)
+        wait_until(lambda: supervisor.states() == [STATE_DEAD], 20.0,
+                   f"never marked dead: {supervisor.states()}")
+        # dead means dead: no further spawns after the verdict
+        deaths = registry().counter("shard.0.deaths_total").value
+        time.sleep(0.5)
+        assert supervisor.states() == [STATE_DEAD]
+        assert registry().counter("shard.0.deaths_total").value == deaths
+        assert supervisor.live_count() == 0
+
+    def test_backoff_spaces_the_restarts(self, make_supervisor):
+        supervisor = make_supervisor(
+            count=1,
+            config=fast_config(backoff_base_s=0.4, flap_max=10)).start()
+        pid = int((supervisor.work_dir / "worker0.pid").read_text())
+        killed_at = time.monotonic()
+        os.kill(pid, signal.SIGKILL)
+        wait_until(lambda: supervisor.states() == [STATE_BACKOFF], 10.0,
+                   "death never noticed")
+        wait_until(lambda: supervisor.address_of(0) is not None, 20.0,
+                   "worker never restarted")
+        # first restart waits at least the base backoff
+        assert time.monotonic() - killed_at >= 0.4
+
+
+def _alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+        return True
+    except OSError:
+        return False
