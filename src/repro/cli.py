@@ -18,13 +18,16 @@ Five commands cover the common workflows without writing code:
   and emits a latency/throughput frontier artifact with its SLO knee,
   ``load replay`` re-offers the arrival spacing and query shapes
   recorded in an exported trace JSONL.
-* ``obs`` — offline analysis of exported telemetry: ``obs report``
+* ``obs`` — telemetry analysis, offline and live: ``obs report``
   renders the span profile, bucket latency histograms and slowest
   traces, ``obs diff`` compares two exports (or frontier artifacts)
   with regression thresholds (non-zero exit on breach, the CI gate),
   ``obs slo`` evaluates an SLO spec against a load report or frontier
-  (non-zero exit on violation), ``obs prom`` re-renders an export as
-  OpenMetrics text.
+  — or, with ``--connect``, judges a *running* fleet from live scrape
+  deltas (non-zero exit on violation), ``obs prom`` re-renders an
+  export as OpenMetrics text, and ``obs scrape --connect`` pulls a
+  point-in-time fleet snapshot off a live server or router without
+  stopping it (README "Fleet observability").
 
 Dataset commands accept the benchmark positionally or via
 ``--benchmark``.  ``match`` and ``serve`` additionally expose the
@@ -390,7 +393,9 @@ def _cmd_route(args: argparse.Namespace) -> int:
         breaker_window=args.breaker_window,
         breaker_failure_threshold=args.breaker_threshold,
         breaker_min_calls=args.breaker_min_calls,
-        breaker_cooldown_ms=args.breaker_cooldown_ms))
+        breaker_cooldown_ms=args.breaker_cooldown_ms,
+        trace_sample_rate=args.trace_sample_rate,
+        trace_capacity=args.trace_capacity))
 
     def _announce(bound) -> None:
         # stderr, flushed: scripts poll for this line (or the port)
@@ -675,6 +680,111 @@ def _cmd_load_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_scrape(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .iosafe import atomic_write_bytes
+    from .loadgen.socketdrv import parse_address
+    from .obs.export import SCHEMA_VERSION
+    from .obs.promtext import render_openmetrics
+    from .obs.scrape import fetch_stats
+
+    address = parse_address(args.connect)
+    try:
+        stats = fetch_stats(address, timeout=args.timeout)
+    except (OSError, RuntimeError, ValueError) as exc:
+        print(f"scrape of {address[0]}:{address[1]} failed: {exc}",
+              file=sys.stderr)
+        return 1
+    metrics = list(stats.get("metrics") or [])
+    spans = list(stats.get("spans") or [])
+    shards = stats.get("shards")
+    where = f"{address[0]}:{address[1]}"
+    if isinstance(shards, dict):
+        print(f"scraped {where}: {shards.get('answered')}/"
+              f"{shards.get('total')} shards answered, "
+              f"{len(metrics)} metric rows", file=sys.stderr)
+    else:
+        print(f"scraped {where}: {len(metrics)} metric rows "
+              f"(single process)", file=sys.stderr)
+    if args.out:
+        # the same shape the exporter writes, so obs report / diff /
+        # prom consume a live scrape and a --metrics-out file alike
+        meta = {"type": "meta", "schema_version": SCHEMA_VERSION,
+                "command": "obs scrape", "connect": args.connect,
+                "captured_unix": stats.get("captured_unix")}
+        if isinstance(shards, dict):
+            meta["shards"] = shards
+        rows = [meta] + metrics + spans
+        payload = "".join(_json.dumps(row, sort_keys=True) + "\n"
+                          for row in rows)
+        atomic_write_bytes(args.out, payload.encode("utf-8"))
+        print(f"wrote {len(rows)} rows to {args.out}", file=sys.stderr)
+    text = render_openmetrics(metrics + spans, prefix=args.prefix)
+    if args.prom:
+        atomic_write_bytes(args.prom, text.encode("utf-8"))
+        print(f"wrote OpenMetrics snapshot to {args.prom}",
+              file=sys.stderr)
+    elif not args.out:
+        sys.stdout.write(text)
+    return 0
+
+
+def _live_slo(spec, args: argparse.Namespace) -> int:
+    """Judge a live fleet: scrape deltas over a sliding window."""
+    import time as _time
+    from collections import deque
+
+    from .loadgen.socketdrv import parse_address
+    from .obs.scrape import combine_summaries, delta_summary, fetch_stats
+    from .obs.slo import evaluate_slo, format_slo
+
+    address = parse_address(args.connect)
+
+    def scrape() -> dict:
+        return fetch_stats(address, timeout=args.timeout)
+
+    try:
+        previous = scrape()
+    except (OSError, RuntimeError, ValueError) as exc:
+        print(f"scrape of {address[0]}:{address[1]} failed: {exc}",
+              file=sys.stderr)
+        return 1
+    per_shard_previous = previous.get("per_shard") or {}
+    window: deque = deque(maxlen=args.windows)
+    print(f"judging {address[0]}:{address[1]} against {spec.name!r}: "
+          f"{args.windows} window(s) of {args.interval:g}s",
+          file=sys.stderr)
+    result = None
+    for tick in range(1, args.windows + 1):
+        _time.sleep(args.interval)
+        try:
+            current = scrape()
+        except (OSError, RuntimeError, ValueError) as exc:
+            print(f"scrape failed mid-run: {exc}", file=sys.stderr)
+            return 1
+        window.append(delta_summary(previous.get("metrics") or [],
+                                    current.get("metrics") or []))
+        per_shard_current = current.get("per_shard") or {}
+        for slot in sorted(per_shard_current):
+            before = per_shard_previous.get(slot)
+            after = per_shard_current.get(slot)
+            if not isinstance(after, dict):
+                print(f"  shard {slot}: UNREACHABLE (scrape failed)",
+                      file=sys.stderr)
+                continue
+            if not isinstance(before, dict):
+                continue  # first sight of this shard: no delta yet
+            shard_result = evaluate_slo(spec, delta_summary(
+                before.get("metrics") or [], after.get("metrics") or []))
+            print(format_slo(shard_result, label=f"shard {slot}"))
+        result = evaluate_slo(spec, combine_summaries(window))
+        print(format_slo(result,
+                         label=f"fleet, window {tick}/{args.windows}"))
+        previous, per_shard_previous = current, per_shard_current
+    return 0 if result is not None and result.ok else 1
+
+
 def _cmd_obs_slo(args: argparse.Namespace) -> int:
     import json as _json
 
@@ -685,6 +795,12 @@ def _cmd_obs_slo(args: argparse.Namespace) -> int:
     if spec is None:
         print("obs slo needs an SLO: --spec FILE or at least one "
               "objective flag (e.g. --p99-ms)", file=sys.stderr)
+        return 2
+    if args.connect:
+        return _live_slo(spec, args)
+    if not args.path:
+        print("obs slo needs a report file (or --connect HOST:PORT "
+              "to judge a live fleet)", file=sys.stderr)
         return 2
     doc = _json.loads(open(args.path, encoding="utf-8").read())
     if is_frontier_doc(doc):
@@ -975,6 +1091,13 @@ def build_parser() -> argparse.ArgumentParser:
     route.add_argument("--drain-timeout-s", type=_positive_float,
                        default=30.0, metavar="S",
                        help="seconds the drain waits for in-flight work")
+    route.add_argument("--trace-sample-rate", type=_unit_interval,
+                       default=1.0, metavar="RATE",
+                       help="head-sampling rate for routed-request "
+                            "traces (errors/partial always kept)")
+    route.add_argument("--trace-capacity", type=_positive_int,
+                       default=256,
+                       help="sampled traces retained in memory")
     route.add_argument("--log-level", default=None, choices=_LOG_LEVELS,
                        help="override REPRO_LOG_LEVEL for this run")
     route.add_argument("--metrics-out", default=None, metavar="PATH",
@@ -1132,11 +1255,43 @@ def build_parser() -> argparse.ArgumentParser:
 
     slo = obs_commands.add_parser(
         "slo", parents=[slo_flags],
-        help="evaluate an SLO spec against a load report or frontier; "
-             "non-zero exit on violation")
-    slo.add_argument("path", help="load report JSON, frontier artifact, "
-                                  "or bare summary dict")
+        help="evaluate an SLO spec against a load report, frontier, or "
+             "live fleet (--connect); non-zero exit on violation")
+    slo.add_argument("path", nargs="?", default=None,
+                     help="load report JSON, frontier artifact, or bare "
+                          "summary dict (omit with --connect)")
+    slo.add_argument("--connect", type=_address, default=None,
+                     metavar="HOST:PORT",
+                     help="judge a running server/router from live "
+                          "scrape deltas instead of a file")
+    slo.add_argument("--interval", type=_positive_float, default=5.0,
+                     metavar="S",
+                     help="seconds between live scrapes (--connect)")
+    slo.add_argument("--windows", type=_positive_int, default=3,
+                     help="scrape deltas in the sliding judgement "
+                          "window; also the live run's length")
+    slo.add_argument("--timeout", type=_positive_float, default=10.0,
+                     metavar="S", help="per-scrape socket timeout")
     slo.set_defaults(func=_cmd_obs_slo)
+
+    scrape = obs_commands.add_parser(
+        "scrape", help="one-shot live scrape of a running server or "
+                       "router (stats op); OpenMetrics to stdout")
+    scrape.add_argument("--connect", type=_address, required=True,
+                        metavar="HOST:PORT",
+                        help="server (repro serve --listen) or router "
+                             "(repro route) to scrape")
+    scrape.add_argument("--prom", default=None, metavar="FILE",
+                        help="write the OpenMetrics text here instead "
+                             "of stdout")
+    scrape.add_argument("--out", default=None, metavar="FILE",
+                        help="also write the raw rows as metrics JSONL "
+                             "(consumable by obs report / diff / prom)")
+    scrape.add_argument("--prefix", default="repro",
+                        help="metric name prefix for OpenMetrics")
+    scrape.add_argument("--timeout", type=_positive_float, default=10.0,
+                        metavar="S", help="socket timeout")
+    scrape.set_defaults(func=_cmd_obs_scrape)
 
     prom = obs_commands.add_parser(
         "prom", help="render an export as OpenMetrics text")

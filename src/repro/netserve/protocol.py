@@ -6,7 +6,7 @@ arrive out of submission order.  This module holds the few pieces both
 the server and the socket load-generator driver need to agree on, so
 neither grows a private copy.
 
-Beyond match requests, the server answers one control operation:
+Beyond match requests, the server answers two control operations:
 
 ``{"op": "info", "id": ...}`` →
 ``{"id": ..., "ok": true, "info": {...}}``
@@ -15,15 +15,26 @@ carrying repository metadata (entity vertices, image count, batching
 limits).  Remote load generators use it to discover queryable vertices
 without fitting a local matcher — the socket equivalent of what
 ``repro load`` reads off the in-process service.
+
+``{"op": "stats", "id": ...}`` →
+``{"id": ..., "ok": true, "stats": {...}}``
+
+carrying a point-in-time snapshot of the process's metrics registry and
+span aggregates (:func:`stats_payload`) — the live-scrape primitive
+behind ``repro obs scrape`` and the router's fleet aggregation
+(DESIGN.md §15).  Answered inline off the event loop: a snapshot is a
+locked copy of in-memory instruments, never a scoring call, so a scrape
+cannot queue behind (or be shed by) match traffic.
 """
 
 from __future__ import annotations
 
 import json
+import time
 from typing import Any, Optional
 
 __all__ = ["MAX_LINE_BYTES", "LineReader", "OversizedLine", "decode_line",
-           "encode_response", "info_payload"]
+           "encode_response", "info_payload", "stats_payload"]
 
 #: hard per-line cap; a longer line is answered ``bad_request`` with the
 #: offending bytes discarded, so one hostile client cannot balloon
@@ -150,3 +161,25 @@ def info_payload(service: Any, *, max_batch: Optional[int] = None,
                          "count": service.config.shard_count,
                          "owned_images": service.owned_images}
     return info
+
+
+def stats_payload(service: Any = None) -> dict:
+    """The ``stats`` operation's body: the process's instruments, live.
+
+    One registry snapshot plus the span aggregate — every row read
+    under its instrument's lock, so each row is internally consistent
+    even while worker threads are mid-observation (rows are not a
+    cross-instrument atomic cut; see DESIGN.md §15).  ``captured_unix``
+    lets a scraper order snapshots and compute rates.
+    """
+    from ..obs import registry, span_snapshot  # late: avoid cycle at import
+
+    payload = {
+        "metrics": registry().snapshot(),
+        "spans": span_snapshot(),
+        "captured_unix": time.time(),
+    }
+    if service is not None and service.config.shard_count is not None:
+        payload["shard"] = {"slot": service.config.shard_slot,
+                            "count": service.config.shard_count}
+    return payload

@@ -46,7 +46,8 @@ from ..serve.loop import bad_line_response
 from ..serve.service import MatchService
 from .batcher import MicroBatcher, rejection_response
 from .protocol import (MAX_LINE_BYTES, LineReader, OversizedLine,
-                       decode_line, encode_response, info_payload)
+                       decode_line, encode_response, info_payload,
+                       stats_payload)
 
 __all__ = ["NetServeConfig", "NetServer"]
 
@@ -269,6 +270,16 @@ class NetServer:
                          "info": info_payload(
                              self.service, max_batch=cfg.max_batch,
                              window_ms=cfg.batch_window_ms)}, False))
+                    continue
+                if isinstance(request, dict) and \
+                        request.get("op") == "stats":
+                    # live scrape: answered inline like info — reading
+                    # locked in-memory instruments, never a scoring call,
+                    # so it cannot queue behind (or be shed by) matching
+                    registry().counter("netserve.stats_total").inc()
+                    await out_queue.put((
+                        {"id": request.get("id"), "ok": True,
+                         "stats": stats_payload(self.service)}, False))
                     continue
                 if outstanding["n"] >= cfg.conn_inflight:
                     # pipelining past the cap without reading responses:

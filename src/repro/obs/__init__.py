@@ -20,6 +20,9 @@ vocabulary:
   profiles + sampled traces so runs and CI can be diffed.
 * :mod:`repro.obs.promtext` — OpenMetrics/Prometheus text rendering of
   the same rows (scrape-ready ``.prom`` snapshots).
+* :mod:`repro.obs.scrape` — live fleet scraping over the ``stats``
+  protocol op: fetch, per-shard aggregation (sum / merge / label),
+  scrape-delta SLO summaries (DESIGN.md §15).
 * :mod:`repro.obs.report` / :mod:`repro.obs.diff` — the analysis layer
   behind ``repro obs report`` and ``repro obs diff``.
 
@@ -39,6 +42,8 @@ from .hist import BucketHistogram, log_bounds
 from .log import Logger, configure as configure_logging, get_logger, level_name
 from .metrics import (Counter, Gauge, Histogram, MetricsRegistry, registry)
 from .promtext import export_prom, render_openmetrics
+from .scrape import (aggregate_fleet, combine_summaries, delta_summary,
+                     fetch_stats)
 from .slo import (ObjectiveResult, SLOResult, SLOSpec, evaluate_slo,
                   format_slo, load_spec)
 from .spans import (format_profile, reset_spans, set_spans_enabled, span,
@@ -46,7 +51,8 @@ from .spans import (format_profile, reset_spans, set_spans_enabled, span,
 from .trace import (SamplePolicy, Trace, TraceRecorder, Tracer,
                     activate_context, add_trace_event, capture_context,
                     current_trace, flag_trace, set_tracing_enabled,
-                    trace_recorder, trace_span, tracer, tracing_enabled)
+                    shift_span_row, trace_recorder, trace_span, tracer,
+                    tracing_enabled)
 
 __all__ = [
     "Logger", "configure_logging", "get_logger", "level_name",
@@ -63,5 +69,6 @@ __all__ = [
     "SamplePolicy", "Trace", "TraceRecorder", "Tracer",
     "trace_recorder", "tracer", "set_tracing_enabled", "tracing_enabled",
     "current_trace", "trace_span", "add_trace_event", "flag_trace",
-    "capture_context", "activate_context",
+    "capture_context", "activate_context", "shift_span_row",
+    "fetch_stats", "aggregate_fleet", "delta_summary", "combine_summaries",
 ]

@@ -107,6 +107,36 @@ class BucketHistogram:
         self.min = min(self.min, other.min)
         self.max = max(self.max, other.max)
 
+    def delta_from(self, older: "BucketHistogram") -> "BucketHistogram":
+        """The distribution observed *between* two cumulative snapshots
+        of the same instrument (same bounds; ``older`` taken first) —
+        how a live scraper turns two point-in-time scrapes into the
+        window's latency distribution.
+
+        The window's true min/max are unrecoverable from cumulative
+        extrema, so they are bounded by the occupied buckets' edges
+        (keeping :meth:`quantile`'s clamping sane) — a quantile read off
+        the delta is still wrong by at most one bucket width.
+        """
+        if older.bounds != self.bounds:
+            raise ValueError("cannot delta histograms with different "
+                             "bucket bounds")
+        counts = [a - b for a, b in zip(self.counts, older.counts)]
+        if self.count < older.count or any(c < 0 for c in counts):
+            raise ValueError("newer snapshot is behind the older one "
+                             "(instrument was reset between scrapes?)")
+        delta = BucketHistogram(self.bounds)
+        delta.counts = counts
+        delta.count = self.count - older.count
+        delta.sum = self.sum - older.sum
+        occupied = [i for i, c in enumerate(counts) if c]
+        if occupied:
+            delta.min = 0.0 if occupied[0] == 0 \
+                else self.bounds[occupied[0] - 1]
+            delta.max = self.max if occupied[-1] >= len(self.bounds) \
+                else self.bounds[occupied[-1]]
+        return delta
+
     def cumulative(self) -> List[tuple]:
         """``(upper_bound, cumulative_count)`` pairs ending at ``+Inf``
         — the classic Prometheus ``le`` bucket series."""

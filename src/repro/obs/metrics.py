@@ -47,10 +47,15 @@ class Counter:
 
     @property
     def value(self) -> int:
-        return self._value
+        with self._lock:
+            return self._value
 
     def row(self) -> dict:
-        return {"type": "counter", "name": self.name, "value": self._value}
+        # read under the lock: a live scrape snapshots while writer
+        # threads are mid-inc, and a torn read must never surface
+        with self._lock:
+            value = self._value
+        return {"type": "counter", "name": self.name, "value": value}
 
 
 class Gauge:
@@ -81,10 +86,13 @@ class Gauge:
 
     @property
     def value(self) -> float:
-        return self._value
+        with self._lock:
+            return self._value
 
     def row(self) -> dict:
-        return {"type": "gauge", "name": self.name, "value": self._value}
+        with self._lock:
+            value = self._value
+        return {"type": "gauge", "name": self.name, "value": value}
 
 
 class Histogram:

@@ -17,6 +17,11 @@ alongside the JSONL without any client library:
 * span rows → one shared ``repro_span_seconds`` summary family with a
   ``span="fit/epoch"`` label per path
 
+Any row may additionally carry a ``labels`` dict (``{"shard": "2"}``);
+its pairs are merged into every sample the row produces — how a fleet
+scrape through the router keeps per-shard gauges and histograms apart
+in one exposition (DESIGN.md §15).
+
 Dotted names are sanitised to ``[a-zA-Z0-9_:]`` and prefixed; label
 values are escaped per the exposition format.  Trace rows are *not*
 rendered — per-request trees are unbounded-cardinality and belong in
@@ -58,6 +63,23 @@ def _fmt(value: float) -> str:
     return repr(number)
 
 
+def _row_labels(row: dict) -> str:
+    """The row's own ``labels`` dict as ``k="v"`` pairs (sorted), or
+    ``""`` — merged into every sample the row emits."""
+    labels = row.get("labels")
+    if not labels:
+        return ""
+    return ",".join(
+        f'{_BAD_CHARS.sub("_", str(key))}="{_escape_label(str(value))}"'
+        for key, value in sorted(labels.items()))
+
+
+def _braced(*parts: str) -> str:
+    """``{a,b}`` from the non-empty label fragments, or ``""``."""
+    joined = ",".join(part for part in parts if part)
+    return f"{{{joined}}}" if joined else ""
+
+
 def render_openmetrics(rows: Iterable[dict], prefix: str = "repro") -> str:
     """Render exporter-schema ``rows`` as OpenMetrics text.
 
@@ -74,8 +96,11 @@ def render_openmetrics(rows: Iterable[dict], prefix: str = "repro") -> str:
         return entry[1]
 
     span_family = f"{prefix}_span_seconds" if prefix else "span_seconds"
+    quantile_50 = 'quantile="0.5"'
+    quantile_95 = 'quantile="0.95"'
     for row in rows:
         kind = row.get("type")
+        extra = _row_labels(row)
         if kind == "counter":
             name = _metric_name(row["name"], prefix)
             # the exposition format appends _total itself; strip an
@@ -83,10 +108,11 @@ def render_openmetrics(rows: Iterable[dict], prefix: str = "repro") -> str:
             if name.endswith("_total"):
                 name = name[:-len("_total")]
             family(name, "counter").append(
-                f"{name}_total {_fmt(row['value'])}")
+                f"{name}_total{_braced(extra)} {_fmt(row['value'])}")
         elif kind == "gauge":
             name = _metric_name(row["name"], prefix)
-            family(name, "gauge").append(f"{name} {_fmt(row['value'])}")
+            family(name, "gauge").append(
+                f"{name}{_braced(extra)} {_fmt(row['value'])}")
         elif kind == "histogram":
             name = _metric_name(row["name"], prefix)
             buckets = row.get("buckets")
@@ -96,31 +122,40 @@ def render_openmetrics(rows: Iterable[dict], prefix: str = "repro") -> str:
                 for bound, count in zip(buckets["bounds"],
                                         buckets["counts"]):
                     running += int(count)
-                    lines.append(f'{name}_bucket{{le="{_fmt(bound)}"}} '
+                    le = f'le="{_fmt(bound)}"'
+                    lines.append(f"{name}_bucket{_braced(extra, le)} "
                                  f"{running}")
                 # the +Inf bucket is total count by construction — the
                 # overflow slot is the last entry of ``counts``
-                lines.append(f'{name}_bucket{{le="+Inf"}} '
+                inf = 'le="+Inf"'
+                lines.append(f"{name}_bucket{_braced(extra, inf)} "
                              f"{_fmt(row['count'])}")
-                lines.append(f"{name}_count {_fmt(row['count'])}")
-                lines.append(f"{name}_sum {_fmt(row['sum'])}")
+                lines.append(f"{name}_count{_braced(extra)} "
+                             f"{_fmt(row['count'])}")
+                lines.append(f"{name}_sum{_braced(extra)} "
+                             f"{_fmt(row['sum'])}")
             else:
                 lines = family(name, "summary")
-                lines.append(f'{name}{{quantile="0.5"}} {_fmt(row["p50"])}')
-                lines.append(f'{name}{{quantile="0.95"}} '
-                             f'{_fmt(row["p95"])}')
-                lines.append(f"{name}_count {_fmt(row['count'])}")
-                lines.append(f"{name}_sum {_fmt(row['sum'])}")
+                lines.append(f"{name}{_braced(extra, quantile_50)} "
+                             f"{_fmt(row['p50'])}")
+                lines.append(f"{name}{_braced(extra, quantile_95)} "
+                             f"{_fmt(row['p95'])}")
+                lines.append(f"{name}_count{_braced(extra)} "
+                             f"{_fmt(row['count'])}")
+                lines.append(f"{name}_sum{_braced(extra)} "
+                             f"{_fmt(row['sum'])}")
         elif kind == "span":
             label = f'span="{_escape_label(row["name"])}"'
             lines = family(span_family, "summary")
-            lines.append(f'{span_family}{{{label},quantile="0.5"}} '
-                         f'{_fmt(row["p50_seconds"])}')
-            lines.append(f'{span_family}{{{label},quantile="0.95"}} '
-                         f'{_fmt(row["p95_seconds"])}')
-            lines.append(f"{span_family}_count{{{label}}} "
+            lines.append(f"{span_family}"
+                         f"{_braced(extra, label, quantile_50)} "
+                         f"{_fmt(row['p50_seconds'])}")
+            lines.append(f"{span_family}"
+                         f"{_braced(extra, label, quantile_95)} "
+                         f"{_fmt(row['p95_seconds'])}")
+            lines.append(f"{span_family}_count{_braced(extra, label)} "
                          f"{_fmt(row['count'])}")
-            lines.append(f"{span_family}_sum{{{label}}} "
+            lines.append(f"{span_family}_sum{_braced(extra, label)} "
                          f"{_fmt(row['total_seconds'])}")
         # meta / trace rows are deliberately not scrape material
 

@@ -91,7 +91,12 @@ def _format_attrs(attrs: dict) -> str:
 
 def _emit_span(span: dict, depth: int, lines: List[str]) -> None:
     indent = "  " * depth
-    lines.append(f"{indent}{span['name']:{max(1, 42 - len(indent))}s} "
+    # subtrees grafted from another process carry a "process" marker
+    # (DESIGN.md §15) — surface the boundary in the rendered timeline
+    name = span["name"]
+    if span.get("process"):
+        name = f"[{span['process']}] {name}"
+    lines.append(f"{indent}{name:{max(1, 42 - len(indent))}s} "
                  f"@{span['start_ms']:8.2f}ms "
                  f"+{span['duration_ms']:8.2f}ms")
     # Children and events share one causal timeline inside their parent:

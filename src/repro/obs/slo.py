@@ -164,9 +164,14 @@ def evaluate_slo(spec: SLOSpec, summary: dict) -> SLOResult:
                      budget_remaining=budget_remaining)
 
 
-def format_slo(result: SLOResult) -> str:
-    """One aligned verdict line per objective, plus the budget line."""
-    lines = [f"SLO {result.spec.name!r}: "
+def format_slo(result: SLOResult, *, label: Optional[str] = None) -> str:
+    """One aligned verdict line per objective, plus the budget line.
+
+    ``label`` tags the header (e.g. ``window 3/5`` or ``shard 2``) so a
+    live judging loop can emit many verdicts tellingly.
+    """
+    tag = f" [{label}]" if label else ""
+    lines = [f"SLO {result.spec.name!r}{tag}: "
              f"{'PASS' if result.ok else 'FAIL'}"]
     for objective in result.objectives:
         measured = ("unmeasured" if objective.measured is None

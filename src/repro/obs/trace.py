@@ -17,6 +17,16 @@ raises.  A :class:`Trace` carries that per-request story:
 * a bounded in-process :class:`TraceRecorder` whose snapshot exports as
   ``{"type": "trace", ...}`` rows through the schema-v2 JSONL exporter.
 
+Cross-*process* propagation (DESIGN.md §15): every span carries a
+``span_id`` stable within its trace, and :meth:`Tracer.start` can *join*
+a caller-supplied ``trace_id``/``parent_span_id`` instead of minting —
+how a shard worker continues the router's trace across the wire.  The
+worker ships its finished span tree back compactly
+(:meth:`Trace.to_wire`); the caller re-bases the offsets with
+:func:`shift_span_row` and hangs the subtree under the attempt span that
+won (:meth:`Trace.graft`), yielding one causal timeline spanning both
+processes.
+
 Cross-thread propagation: the active (trace, span) context is
 thread-local, so worker threads do not see it by default.  A dispatcher
 captures it with :func:`capture_context` *before* handing work to a
@@ -56,7 +66,7 @@ __all__ = [
     "TraceRecorder", "Tracer", "trace_recorder", "tracer",
     "set_tracing_enabled", "tracing_enabled",
     "current_trace", "trace_span", "add_trace_event", "flag_trace",
-    "capture_context", "activate_context",
+    "capture_context", "activate_context", "shift_span_row",
 ]
 
 FLAG_ERROR = "error"
@@ -102,26 +112,55 @@ class TraceEvent:
 
 
 class TraceSpan:
-    """One timed region of a trace; children nest, events annotate."""
+    """One timed region of a trace; children nest, events annotate.
 
-    __slots__ = ("name", "start", "end", "events", "children")
+    ``span_id`` is stable within the owning trace (``s0`` is the root)
+    so a downstream process can name this span as its parent across the
+    wire.  ``grafts`` holds already-rendered span *rows* from another
+    process, re-based to this trace's epoch — they render as ordinary
+    children."""
 
-    def __init__(self, name: str, start: float) -> None:
+    __slots__ = ("name", "start", "end", "events", "children", "span_id",
+                 "grafts")
+
+    def __init__(self, name: str, start: float,
+                 span_id: Optional[str] = None) -> None:
         self.name = name
         self.start = start
         self.end: Optional[float] = None
         self.events: List[TraceEvent] = []
         self.children: List["TraceSpan"] = []
+        self.span_id = span_id
+        self.grafts: List[dict] = []
 
     def to_row(self, epoch: float) -> dict:
         end = self.end if self.end is not None else self.start
-        return {
+        row = {
             "name": self.name,
             "start_ms": round((self.start - epoch) * 1e3, 4),
             "duration_ms": round((end - self.start) * 1e3, 4),
             "events": [event.to_row(epoch) for event in self.events],
-            "children": [child.to_row(epoch) for child in self.children],
+            "children": [child.to_row(epoch) for child in self.children]
+            + list(self.grafts),
         }
+        if self.span_id is not None:
+            row["span_id"] = self.span_id
+        return row
+
+
+def shift_span_row(row: dict, delta_ms: float) -> dict:
+    """A copy of a rendered span ``row`` with every ``start_ms``/
+    ``at_ms`` offset shifted by ``delta_ms`` — how a worker subtree
+    (whose offsets are relative to the *worker's* root) is re-based to
+    the router trace's epoch before grafting."""
+    shifted = dict(row)
+    shifted["start_ms"] = round(row.get("start_ms", 0.0) + delta_ms, 4)
+    shifted["events"] = [
+        dict(event, at_ms=round(event.get("at_ms", 0.0) + delta_ms, 4))
+        for event in row.get("events", ())]
+    shifted["children"] = [shift_span_row(child, delta_ms)
+                           for child in row.get("children", ())]
+    return shifted
 
 
 class Trace:
@@ -133,13 +172,15 @@ class Trace:
     """
 
     __slots__ = ("trace_id", "name", "root", "flags", "head_sampled",
-                 "finished", "_clock", "_lock", "_recorder", "_policy")
+                 "finished", "parent_span_id", "_clock", "_lock",
+                 "_recorder", "_policy", "_span_seq")
 
     def __init__(self, trace_id: str, name: str, *,
                  clock: Callable[[], float],
                  recorder: "TraceRecorder",
                  policy: "SamplePolicy",
-                 head_sampled: bool) -> None:
+                 head_sampled: bool,
+                 parent_span_id: Optional[str] = None) -> None:
         self.trace_id = trace_id
         self.name = name
         self._clock = clock
@@ -149,14 +190,27 @@ class Trace:
         self.flags: set = set()
         self.head_sampled = head_sampled
         self.finished = False
-        self.root = TraceSpan(name, clock())
+        #: caller-side span this trace continues (a joined trace); the
+        #: wire form echoes it so the caller can stitch the subtree in
+        self.parent_span_id = parent_span_id
+        self._span_seq = 1
+        self.root = TraceSpan(name, clock(), span_id="s0")
 
     # -- structural mutation (thread-safe) ---------------------------------
     def open_span(self, name: str, parent: TraceSpan) -> TraceSpan:
-        child = TraceSpan(name, self._clock())
+        start = self._clock()
         with self._lock:
+            child = TraceSpan(name, start, span_id=f"s{self._span_seq}")
+            self._span_seq += 1
             parent.children.append(child)
         return child
+
+    def graft(self, span: TraceSpan, row: dict) -> None:
+        """Hang an already-rendered (and re-based, see
+        :func:`shift_span_row`) span row from another process under
+        ``span`` — the cross-process stitch."""
+        with self._lock:
+            span.grafts.append(row)
 
     def close_span(self, span: TraceSpan) -> None:
         span.end = self._clock()
@@ -214,7 +268,7 @@ class Trace:
 
     def to_row(self) -> dict:
         epoch = self.root.start
-        return {
+        row = {
             "type": "trace",
             "trace_id": self.trace_id,
             "name": self.name,
@@ -228,6 +282,23 @@ class Trace:
             "duration_ms": round(self.duration * 1e3, 4),
             "spans": self.root.to_row(epoch),
         }
+        if self.parent_span_id is not None:
+            row["parent_span"] = self.parent_span_id
+        return row
+
+    def to_wire(self) -> dict:
+        """The compact form shipped back to the caller that owns the
+        trace: flags + span tree only — the caller already knows the
+        trace id and will re-base the offsets to its own epoch."""
+        wire = {
+            "flags": sorted(self.flags),
+            "sampled": "head" if self.head_sampled else "forced",
+            "duration_ms": round(self.duration * 1e3, 4),
+            "spans": self.root.to_row(self.root.start),
+        }
+        if self.parent_span_id is not None:
+            wire["parent_span"] = self.parent_span_id
+        return wire
 
 
 class _NullTrace:
@@ -241,12 +312,20 @@ class _NullTrace:
     flags: FrozenSet[str] = frozenset()
     head_sampled = False
     finished = True
+    root = None
+    parent_span_id = None
 
-    def open_span(self, name, parent):  # pragma: no cover - never reached
+    def open_span(self, name, parent):
         return None
 
     def close_span(self, span) -> None:
         pass
+
+    def graft(self, span, row) -> None:
+        pass
+
+    def to_wire(self) -> dict:
+        return {}
 
     def add_event(self, kind, span=None, **attrs) -> None:
         pass
@@ -359,15 +438,29 @@ class Tracer:
         self._id_factory = id_factory if id_factory is not None \
             else (lambda: uuid.uuid4().hex[:16])
 
-    def start(self, name: str = "request"):
+    def start(self, name: str = "request", *,
+              trace_id: Optional[str] = None,
+              parent_span_id: Optional[str] = None):
         """A new active-ready trace — or :data:`NULL_TRACE` when tracing
-        is disabled (no id minted, no lock touched)."""
+        is disabled (no id minted, no lock touched).
+
+        With ``trace_id`` the trace *joins* a caller's id instead of
+        minting one (cross-process propagation); ``parent_span_id``
+        names the caller-side span this process's work continues.  The
+        head-sampling draw is still this process's own — retention is a
+        local decision either way."""
         if not _enabled:
             return NULL_TRACE
-        registry().counter("obs.trace.started").inc()
-        return Trace(self._id_factory(), name, clock=self._clock,
+        reg = registry()
+        reg.counter("obs.trace.started").inc()
+        if trace_id is not None:
+            reg.counter("obs.trace.joined").inc()
+        return Trace(trace_id if trace_id is not None
+                     else self._id_factory(),
+                     name, clock=self._clock,
                      recorder=self.recorder, policy=self.policy,
-                     head_sampled=self.policy.sample_head())
+                     head_sampled=self.policy.sample_head(),
+                     parent_span_id=parent_span_id)
 
     @contextlib.contextmanager
     def trace(self, name: str = "request") -> Iterator[Trace]:

@@ -118,6 +118,17 @@ def serve_loop(service: MatchService, source: Iterable[str],
                 _log.warning("undecodable request line", error=str(exc))
                 emit(bad_line_response(service, exc))
                 continue
+            if isinstance(request, dict) and request.get("op") == "stats":
+                # live scrape, answered inline by the reader (like the
+                # TCP front end): a locked in-memory snapshot, never a
+                # scoring call, so it cannot queue behind match traffic
+                from ..netserve.protocol import stats_payload  # late:
+                # netserve imports serve; importing it here at module
+                # top would be circular
+                reg.counter("netserve.stats_total").inc()
+                emit({"id": request.get("id"), "ok": True,
+                      "stats": stats_payload(service)})
+                continue
             rejection = service.submit(request)
             if rejection is not None:
                 emit(rejection)

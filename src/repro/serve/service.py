@@ -38,6 +38,7 @@ import numpy as np
 
 from ..core.matcher import CrossEM, CrossEMConfig
 from ..obs import get_logger, registry, span
+from ..obs.hist import DEFAULT_LATENCY_BOUNDS_MS
 from ..obs.trace import (FLAG_DEADLINE, FLAG_DEGRADED, FLAG_ERROR,
                          FLAG_SHED, SamplePolicy, Tracer, add_trace_event,
                          flag_trace, trace_recorder, trace_span)
@@ -48,9 +49,38 @@ from .degrade import (TIER_CACHED, TIER_FULL, TIER_STALE, DegradationPolicy)
 from .errors import (BadRequest, DeadlineExceeded, Overloaded, ServeError,
                      Unavailable)
 
-__all__ = ["ServeConfig", "MatchService"]
+__all__ = ["ServeConfig", "MatchService", "parse_trace_context"]
 
 _log = get_logger("repro.serve.service")
+
+
+def parse_trace_context(request: Any) -> Tuple[Optional[str],
+                                               Optional[str], bool]:
+    """The caller's trace context off a request, if any.
+
+    The wire format (DESIGN.md §15) is an optional ``trace`` field::
+
+        {"trace": {"trace_id": "...", "parent_span": "s3",
+                   "return_spans": true}}
+
+    Returns ``(trace_id, parent_span, return_spans)``.  A missing
+    context is ``(None, None, False)`` — the service mints its own
+    trace as before.  A *malformed* context (non-dict, empty or
+    non-string id) is treated the same but counted under
+    ``serve.trace.bad_context``: telemetry plumbing must never fail a
+    request that would otherwise have been answered.
+    """
+    if not isinstance(request, dict) or "trace" not in request:
+        return (None, None, False)
+    ctx = request.get("trace")
+    trace_id = ctx.get("trace_id") if isinstance(ctx, dict) else None
+    if not isinstance(trace_id, str) or not trace_id:
+        registry().counter("serve.trace.bad_context").inc()
+        return (None, None, False)
+    parent = ctx.get("parent_span")
+    if parent is not None and not isinstance(parent, str):
+        parent = None
+    return (trace_id, parent, bool(ctx.get("return_spans")))
 
 
 @dataclasses.dataclass
@@ -492,14 +522,24 @@ class MatchService:
         (:meth:`handle_batch`): a precomputed full-tier score row, and
         the batch's admission time so ``elapsed_ms`` charges this
         request its share of the shared scoring call.
+
+        A request carrying a ``trace`` context *joins* the caller's
+        trace instead of minting one, and — when the context asks for
+        ``return_spans`` and local sampling retained the trace — ships
+        its span tree back in the response's ``trace`` field so the
+        caller can stitch a cross-process timeline (DESIGN.md §15).
         """
-        trace = self.tracer.start("serve.request")
+        trace_id, parent_span, return_spans = parse_trace_context(request)
+        trace = self.tracer.start("serve.request", trace_id=trace_id,
+                                  parent_span_id=parent_span)
         with trace.activate():
             response = self._handle(request, full_row=full_row,
                                     started=started)
-        trace.finish()
+        kept = trace.finish()
         if trace.trace_id is not None:
             response["trace_id"] = trace.trace_id
+            if return_spans and kept:
+                response["trace"] = trace.to_wire()
         return response
 
     def _handle(self, request: Any, *,
@@ -552,7 +592,10 @@ class MatchService:
         if degraded:
             reg.counter("serve.degraded_total").inc()
             flag_trace(FLAG_DEGRADED)
-        reg.histogram("serve.request_ms").observe(elapsed_ms)
+        # bucket-backed so a live scrape can delta two snapshots into
+        # the window's exact latency quantiles (obs.scrape)
+        reg.histogram("serve.request_ms",
+                      buckets=DEFAULT_LATENCY_BOUNDS_MS).observe(elapsed_ms)
         response = {"id": request_id, "ok": True, "vertex": query.vertex,
                     "tier": tier, "degraded": degraded, "matches": matches,
                     "elapsed_ms": round(elapsed_ms, 3)}
@@ -647,7 +690,8 @@ class MatchService:
         flag_trace(FLAG_ERROR)
         reg.counter("serve.error_total").inc()
         reg.counter(f"serve.error.{code}").inc()
-        reg.histogram("serve.request_ms").observe(elapsed_ms)
+        reg.histogram("serve.request_ms",
+                      buckets=DEFAULT_LATENCY_BOUNDS_MS).observe(elapsed_ms)
         return {"id": request_id, "ok": False,
                 "error": {"type": code, "message": message},
                 "elapsed_ms": round(elapsed_ms, 3)}
@@ -684,31 +728,41 @@ class MatchService:
             registry().counter("serve.requests_total").inc()
             request_id = request.get("id") if isinstance(request, dict) \
                 else None
-            trace = self.tracer.start("serve.request")
+            trace_id, parent_span, return_spans = \
+                parse_trace_context(request)
+            trace = self.tracer.start("serve.request", trace_id=trace_id,
+                                      parent_span_id=parent_span)
             with trace.activate():
                 trace.add_event("rejected", code=exc.code)
                 response = self._error_response(request_id, exc.code,
                                                 str(exc), self._clock())
-            trace.finish()
+            kept = trace.finish()
             if trace.trace_id is not None:
                 response["trace_id"] = trace.trace_id
+                if return_spans and kept:
+                    response["trace"] = trace.to_wire()
             return response
         except Overloaded as exc:
             registry().counter("serve.requests_total").inc()
             request_id = request.get("id") if isinstance(request, dict) \
                 else None
+            trace_id, parent_span, return_spans = \
+                parse_trace_context(request)
             # A shed request never reaches handle(), so it gets its
             # (always-retained) trace right here on the admission path.
-            trace = self.tracer.start("serve.request")
+            trace = self.tracer.start("serve.request", trace_id=trace_id,
+                                      parent_span_id=parent_span)
             with trace.activate():
                 trace.flag(FLAG_SHED)
                 trace.add_event("shed", depth=exc.depth,
                                 capacity=exc.capacity)
                 response = self._error_response(request_id, exc.code,
                                                 str(exc), self._clock())
-            trace.finish()
+            kept = trace.finish()
             if trace.trace_id is not None:
                 response["trace_id"] = trace.trace_id
+                if return_spans and kept:
+                    response["trace"] = trace.to_wire()
             return response
 
     def _worker_main(self) -> None:

@@ -222,3 +222,19 @@ class ShardClient:
         finally:
             with contextlib.suppress(Exception):
                 writer.close()
+
+    async def scrape(self, *, timeout: float) -> dict:
+        """The worker's live ``stats`` snapshot, on a throwaway
+        connection — a scrape must not queue behind whatever match
+        traffic occupies the pooled socket.  Raises
+        :class:`ShardUnavailable` on any failure (including a worker
+        too old to know the op), so the router's fleet aggregation can
+        report a partial scrape instead of crashing."""
+        response = await self.request_once({"op": "stats"},
+                                           timeout=timeout)
+        stats = response.get("stats")
+        if not response.get("ok") or not isinstance(stats, dict):
+            raise ShardUnavailable(
+                self.slot, "stats",
+                f"worker answered {response.get('error') or response!r}")
+        return stats

@@ -39,6 +39,15 @@ Everything observable exports through the ordinary registry:
 ``shard.router.*`` (requests, partials, sheds, drain) and
 ``shard.<slot>.*`` (latency, hedges, lates, breaker state, restarts
 from the supervisor) — one OpenMetrics snapshot shows the whole fleet.
+
+The router is also the fleet's observability front door (DESIGN.md
+§15): every fan-out propagates a trace context to each shard attempt
+and stitches the returned worker subtrees into one cross-process
+timeline (hedged retries become sibling ``attempt/*`` spans with a
+``hedge_won`` event; a shard that answers nothing stitchable leaves a
+typed ``trace_gap``), and the ``stats`` op answers with a live,
+aggregated scrape of every worker — counters summed, bucket histograms
+merged, gauges/spans labeled ``shard="<slot>"``.
 """
 
 from __future__ import annotations
@@ -52,8 +61,12 @@ from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from ..netserve.protocol import (LineReader, OversizedLine, decode_line,
                                  encode_response)
-from ..obs import get_logger, registry
+from ..obs import get_logger, registry, span_snapshot
+from ..obs.scrape import aggregate_fleet
+from ..obs.trace import (FLAG_DEGRADED, FLAG_ERROR, SamplePolicy, Tracer,
+                         shift_span_row, trace_recorder)
 from ..serve.breaker import STATE_CODES, CircuitBreaker
+from ..serve.service import parse_trace_context
 from .client import ShardClient, ShardUnavailable
 from .partition import merge_matches, worst_tier
 
@@ -89,6 +102,13 @@ class RouterConfig:
     breaker_min_calls: int = 3
     #: per-shard circuit breaker: open time before a half-open probe
     breaker_cooldown_ms: float = 1000.0
+    #: head-sampling rate for route traces (degraded/partial and error
+    #: outcomes are always retained regardless)
+    trace_sample_rate: float = 1.0
+    #: sampled traces retained in the bounded recorder (newest win)
+    trace_capacity: int = 256
+    #: budget of one shard's ``stats`` scrape during fleet aggregation
+    stats_timeout_ms: float = 5000.0
 
     def __post_init__(self) -> None:
         if self.shard_timeout_ms <= 0:
@@ -110,6 +130,12 @@ class RouterConfig:
             raise ValueError("breaker_min_calls must be at least 1")
         if self.breaker_cooldown_ms <= 0:
             raise ValueError("breaker_cooldown_ms must be positive")
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise ValueError("trace_sample_rate must be in [0, 1]")
+        if self.trace_capacity < 1:
+            raise ValueError("trace_capacity must be at least 1")
+        if self.stats_timeout_ms <= 0:
+            raise ValueError("stats_timeout_ms must be positive")
 
 
 class ShardRouter:
@@ -125,9 +151,15 @@ class ShardRouter:
     """
 
     def __init__(self, endpoints: Any,
-                 config: Optional[RouterConfig] = None) -> None:
+                 config: Optional[RouterConfig] = None,
+                 tracer: Optional[Tracer] = None) -> None:
         self.endpoints = endpoints
         self.config = config if config is not None else RouterConfig()
+        if tracer is None:
+            trace_recorder().set_capacity(self.config.trace_capacity)
+            tracer = Tracer(policy=SamplePolicy(
+                rate=self.config.trace_sample_rate))
+        self.tracer = tracer
         self.bound: Optional[Tuple[str, int]] = None
         cooldown = self.config.breaker_cooldown_ms / 1000.0
         self._breakers = [
@@ -297,6 +329,11 @@ class ShardRouter:
                     await respond(await self._info_response(
                         request.get("id")))
                     continue
+                if isinstance(request, dict) and \
+                        request.get("op") == "stats":
+                    await respond(await self._stats_response(
+                        request.get("id")))
+                    continue
                 if len(inflight) >= cfg.conn_inflight:
                     registry().counter(
                         "shard.router.conn.overloaded_total").inc()
@@ -352,6 +389,13 @@ class ShardRouter:
             return self._rejection(None, "bad_request",
                                    "request must be a JSON object")
         request_id = request.get("id")
+        # join the client's trace when it sent a context, else mint —
+        # either way the fan-out below propagates *this* trace's id to
+        # every shard attempt (DESIGN.md §15).  No thread-local
+        # activation: this is asyncio, spans are passed explicitly.
+        trace_id, parent_span, return_spans = parse_trace_context(request)
+        trace = self.tracer.start("route.request", trace_id=trace_id,
+                                  parent_span_id=parent_span)
         budget_s = cfg.shard_timeout_ms / 1000.0
         budget_ms = request.get("budget_ms")
         if isinstance(budget_ms, (int, float)) \
@@ -363,7 +407,8 @@ class ShardRouter:
             if cfg.hedge_fraction < 1.0 else None
         count = self.endpoints.count
         results = await asyncio.gather(
-            *(self._call_shard(slot, request, budget_s, hedge_after_s)
+            *(self._call_shard(slot, request, budget_s, hedge_after_s,
+                               trace)
               for slot in range(count)))
         elapsed_ms = (loop.time() - started) * 1e3
         reg.histogram("shard.router.request_ms").observe(elapsed_ms)
@@ -384,6 +429,17 @@ class ShardRouter:
             response = self._rejection(
                 request_id, "unavailable",
                 f"no shard answered (0/{count})")
+        # flags drive forced retention: a partial/degraded or failed
+        # fan-out is kept even at sample rate 0
+        if not response.get("ok"):
+            trace.flag(FLAG_ERROR)
+        elif response.get("degraded"):
+            trace.flag(FLAG_DEGRADED)
+        kept = trace.finish()
+        if trace.trace_id is not None:
+            response["trace_id"] = trace.trace_id
+            if return_spans and kept:
+                response["trace"] = trace.to_wire()
         return response
 
     async def _merged_response(self, request: dict, request_id: Any,
@@ -421,28 +477,68 @@ class ShardRouter:
             reg.counter("shard.router.degraded_total").inc()
         return response
 
+    def _forwarded(self, request: dict, trace: Any,
+                   attempt_span: Any) -> dict:
+        """The request body one attempt sends downstream.  With router
+        tracing on, the attempt's span becomes the worker-side parent
+        and the worker is asked to ship its spans back for stitching;
+        with tracing off the request (including any client-supplied
+        context) passes through untouched."""
+        if trace.trace_id is None or attempt_span is None:
+            return request
+        body = dict(request)
+        body["trace"] = {"trace_id": trace.trace_id,
+                         "parent_span": attempt_span.span_id,
+                         "return_spans": True}
+        return body
+
     async def _call_shard(self, slot: int, request: dict, budget_s: float,
-                          hedge_after_s: Optional[float]) -> Optional[dict]:
+                          hedge_after_s: Optional[float],
+                          trace: Any) -> Optional[dict]:
         """One shard's answer, through its breaker, with hedging.
         Returns the shard's response dict, or ``None`` when the shard
         was skipped (open breaker), failed, or never answered in time —
-        the partial-degradation cases."""
+        the partial-degradation cases.
+
+        Tracing: the shard gets a ``shard/<slot>`` span; every attempt
+        (pooled, hedge) is a sibling child span carrying the trace
+        context downstream.  The winner's returned subtree is re-based
+        and grafted under its attempt span; a shard that answers with
+        nothing stitchable leaves a typed ``trace_gap`` event instead —
+        a hole in the timeline is data, not a crash."""
         reg = registry()
         breaker = self._breakers[slot]
         reg.gauge(f"shard.{slot}.breaker_state").set(
             float(STATE_CODES[breaker.state()]))
+        shard_span = trace.open_span(f"shard/{slot}", trace.root) \
+            if trace.trace_id is not None else None
         if not breaker.allows_call():
             reg.counter(f"shard.{slot}.skipped_total").inc()
+            if shard_span is not None:
+                trace.add_event("trace_gap", shard_span, slot=slot,
+                                reason="skipped")
+                trace.close_span(shard_span)
             return None
         client = self._clients[slot]
         loop = asyncio.get_running_loop()
         started = loop.time()
         deadline_at = started + budget_s
+        attempt_meta: Dict[asyncio.Task, Tuple[str, Any]] = {}
+
+        def launch(kind: str, call, timeout: float) -> asyncio.Task:
+            attempt_span = trace.open_span(f"attempt/{kind}", shard_span) \
+                if shard_span is not None else None
+            task = asyncio.ensure_future(
+                call(self._forwarded(request, trace, attempt_span),
+                     timeout=timeout))
+            attempt_meta[task] = (kind, attempt_span)
+            return task
+
         attempts: Set[asyncio.Task] = {
-            asyncio.ensure_future(client.request(request,
-                                                 timeout=budget_s))}
+            launch("pooled", client.request, budget_s)}
         hedged = hedge_after_s is None
         response: Optional[dict] = None
+        winner: Tuple[str, Any] = ("pooled", None)
         failed: Optional[BaseException] = None
         try:
             while attempts and response is None:
@@ -457,35 +553,65 @@ class ShardRouter:
                     attempts, timeout=max(remaining, 0.001),
                     return_when=asyncio.FIRST_COMPLETED)
                 for attempt in done:
+                    kind, attempt_span = attempt_meta.pop(
+                        attempt, ("pooled", None))
+                    if attempt_span is not None:
+                        trace.close_span(attempt_span)
                     if attempt.cancelled():
                         continue
                     error = attempt.exception()
                     if error is None:
                         if response is None:
                             response = attempt.result()
+                            winner = (kind, attempt_span)
                     elif not isinstance(error, asyncio.TimeoutError):
                         # a timed-out attempt is "late", not "failed" —
                         # the deadline accounting below covers it
                         failed = error
+                        if attempt_span is not None:
+                            trace.add_event(
+                                "attempt_failed", attempt_span,
+                                error=type(error).__name__)
                 if response is None and not hedged \
                         and loop.time() >= started + hedge_after_s:
                     hedged = True
                     remaining = deadline_at - loop.time()
                     if remaining > 0:
                         reg.counter(f"shard.{slot}.hedges_total").inc()
-                        attempts.add(asyncio.ensure_future(
-                            client.request_once(request,
-                                                timeout=remaining)))
+                        attempts.add(launch("hedge", client.request_once,
+                                            remaining))
         finally:
             for attempt in attempts:
                 attempt.cancel()
             if attempts:
                 await asyncio.gather(*attempts, return_exceptions=True)
+            for _, attempt_span in attempt_meta.values():
+                if attempt_span is not None:
+                    trace.close_span(attempt_span)
         latency_ms = (loop.time() - started) * 1e3
         reg.histogram(f"shard.{slot}.latency_ms").observe(latency_ms)
         if response is not None:
             breaker.record_success()
             reg.counter(f"shard.{slot}.answered_total").inc()
+            subtree = response.pop("trace", None)
+            if shard_span is not None:
+                win_kind, win_span = winner
+                if win_kind == "hedge":
+                    trace.add_event("hedge_won", shard_span, slot=slot,
+                                    winner="hedge")
+                target = win_span if win_span is not None else shard_span
+                if isinstance(subtree, dict) \
+                        and isinstance(subtree.get("spans"), dict):
+                    delta_ms = (target.start - trace.root.start) * 1e3
+                    row = shift_span_row(subtree["spans"], delta_ms)
+                    row["process"] = f"shard{slot}"
+                    trace.graft(target, row)
+                else:
+                    # worker sampled its side away (or predates
+                    # propagation): a typed hole, not a crash
+                    trace.add_event("trace_gap", target, slot=slot,
+                                    reason="unsampled")
+                trace.close_span(shard_span)
             return response
         breaker.record_failure()
         if failed is None:
@@ -498,6 +624,10 @@ class ShardRouter:
             detail = f"{type(failed).__name__}: {failed}" \
                 if not isinstance(failed, ShardUnavailable) else str(failed)
             _log.warning("shard call failed", slot=slot, error=detail)
+        if shard_span is not None:
+            trace.add_event("trace_gap", shard_span, slot=slot,
+                            reason="late" if failed is None else "failed")
+            trace.close_span(shard_span)
         return None
 
     # -- control responses --------------------------------------------------
@@ -538,6 +668,37 @@ class ShardRouter:
         payload = dict(info)
         payload["shards"] = {"total": self.endpoints.count, "live": live}
         return {"id": request_id, "ok": True, "info": payload}
+
+    async def _stats_response(self, request_id: Any) -> dict:
+        """Answer ``stats`` with the *fleet's* live snapshot: scrape
+        every shard concurrently, aggregate (counters summed, bucket
+        histograms merged, gauges/spans labeled per shard —
+        :func:`repro.obs.scrape.aggregate_fleet`), and append the
+        router's own instruments.  A shard that fails to answer costs
+        coverage, not the scrape: it is reported in
+        ``stats.shards.answered`` and counted per slot."""
+        reg = registry()
+        reg.counter("shard.router.stats_total").inc()
+        timeout = self.config.stats_timeout_ms / 1000.0
+
+        async def scrape(slot: int) -> Optional[dict]:
+            try:
+                return await self._clients[slot].scrape(timeout=timeout)
+            except (ShardUnavailable, asyncio.TimeoutError) as exc:
+                reg.counter(f"shard.{slot}.scrape_failed_total").inc()
+                _log.warning("shard scrape failed", slot=slot,
+                             error=f"{type(exc).__name__}: {exc}")
+                return None
+
+        results = await asyncio.gather(
+            *(scrape(slot) for slot in range(self.endpoints.count)))
+        per_shard = {str(slot): stats
+                     for slot, stats in enumerate(results)}
+        stats = aggregate_fleet(per_shard, own_rows=registry().snapshot(),
+                                own_spans=span_snapshot())
+        if stats.get("captured_unix") is None:
+            stats["captured_unix"] = time.time()
+        return {"id": request_id, "ok": True, "stats": stats}
 
     def _bad_line_response(self, error: Exception) -> dict:
         reg = registry()

@@ -133,3 +133,60 @@ class TestRegistry:
         reg.reset()
         assert reg.snapshot() == []
         assert reg.counter("x").value == 0
+
+
+class TestScrapeConsistency:
+    """The live-scrape contract (DESIGN.md §15): ``snapshot()`` stays
+    internally consistent per row while worker threads mutate every
+    instrument mid-scrape — no torn histograms, no backward counters,
+    no renderer crashes."""
+
+    def test_snapshot_under_concurrent_mutation(self):
+        from repro.obs import span, span_snapshot
+        from repro.obs.promtext import render_openmetrics
+
+        reg = MetricsRegistry()
+        stop = threading.Event()
+
+        def writer(seed: int) -> None:
+            count = 0
+            while not stop.is_set():
+                reg.counter("hammer.requests_total").inc()
+                reg.gauge("hammer.depth").set(float(count % 7))
+                reg.histogram("hammer.lat_ms",
+                              buckets=[1.0, 10.0, 100.0]) \
+                    .observe(float((count * (seed + 1)) % 120))
+                reg.histogram("hammer.res").observe(float(count % 9))
+                with span("hammer/score"):
+                    pass
+                count += 1
+
+        threads = [threading.Thread(target=writer, args=(i,), daemon=True)
+                   for i in range(4)]
+        for thread in threads:
+            thread.start()
+        last_counter = 0
+        try:
+            for _ in range(50):
+                rows = reg.snapshot() + span_snapshot()
+                by_name = {row["name"]: row for row in rows}
+                counter = by_name.get("hammer.requests_total")
+                if counter is not None:
+                    # cumulative: never moves backwards across scrapes
+                    assert counter["value"] >= last_counter
+                    last_counter = counter["value"]
+                bucketed = by_name.get("hammer.lat_ms")
+                if bucketed is not None and "buckets" in bucketed:
+                    # read under the instrument lock: the facets agree
+                    assert sum(bucketed["buckets"]["counts"]) \
+                        == bucketed["count"]
+                    assert len(bucketed["buckets"]["counts"]) \
+                        == len(bucketed["buckets"]["bounds"]) + 1
+                # and the renderer never sees a torn row
+                text = render_openmetrics(rows, prefix="hammer")
+                assert text.endswith("# EOF\n")
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10.0)
+        assert last_counter > 0, "writers never ran"

@@ -118,6 +118,67 @@ class TestRender:
         assert "_9lives_total 1" in text
 
 
+class TestShardLabels:
+    """PR 10: rows may carry ``labels`` (the fleet scrape's per-shard
+    facets) and every sample line of the family must braced-render
+    them, composing with the renderer's own ``le``/``quantile``."""
+
+    def test_labeled_counter_and_gauge(self):
+        text = render_openmetrics(
+            [{"type": "counter", "name": "serve.requests_total",
+              "value": 3, "labels": {"shard": "2"}},
+             {"type": "gauge", "name": "serve.depth", "value": 1.5,
+              "labels": {"shard": "0"}}])
+        assert 'repro_serve_requests_total{shard="2"} 3' in text
+        assert 'repro_serve_depth{shard="0"} 1.5' in text
+
+    def test_labeled_bucket_family_composes_with_le(self):
+        text = render_openmetrics(
+            [{"type": "histogram", "name": "serve.request_ms",
+              "count": 2, "sum": 6.0, "min": 1.0, "max": 5.0,
+              "p50": 1.0, "p95": 5.0,
+              "buckets": {"bounds": [1.0, 10.0], "counts": [1, 1, 0]},
+              "labels": {"shard": "1"}}])
+        assert 'repro_serve_request_ms_bucket{shard="1",le="1"} 1' in text
+        assert 'repro_serve_request_ms_bucket{shard="1",le="10"} 2' \
+            in text
+        assert 'repro_serve_request_ms_bucket{shard="1",le="+Inf"} 2' \
+            in text
+        assert 'repro_serve_request_ms_count{shard="1"} 2' in text
+        assert 'repro_serve_request_ms_sum{shard="1"} 6' in text
+
+    def test_labeled_summary_and_span_rows(self):
+        text = render_openmetrics(
+            [{"type": "histogram", "name": "lat", "count": 1, "sum": 2.0,
+              "min": 2.0, "max": 2.0, "p50": 2.0, "p95": 2.0,
+              "labels": {"shard": "0"}},
+             {"type": "span", "name": "serve/score", "count": 1,
+              "total_seconds": 0.1, "p50_seconds": 0.1,
+              "p95_seconds": 0.1, "labels": {"shard": "2"}}])
+        assert 'repro_lat{shard="0",quantile="0.5"} 2' in text
+        assert 'repro_span_seconds{shard="2",span="serve/score",' \
+               'quantile="0.5"} 0.1' in text
+        assert 'repro_span_seconds_count{shard="2",span="serve/score"} 1' \
+            in text
+
+    def test_same_family_mixes_labeled_and_unlabeled_rows(self):
+        """An aggregated family (unlabeled sum) and per-shard facets
+        coexist; unlabeled rows render byte-identically to pre-PR-10."""
+        text = render_openmetrics(
+            [{"type": "counter", "name": "hits", "value": 5},
+             {"type": "counter", "name": "hits", "value": 3,
+              "labels": {"shard": "1"}}])
+        assert "repro_hits_total 5" in text
+        assert 'repro_hits_total{shard="1"} 3' in text
+        assert text.count("# TYPE repro_hits counter") == 1
+
+    def test_label_values_escape(self):
+        text = render_openmetrics(
+            [{"type": "counter", "name": "c", "value": 1,
+              "labels": {"shard": 'we"ird\\2'}}])
+        assert 'shard="we\\"ird\\\\2"' in text
+
+
 class TestExportProm:
     def test_writes_registry_and_span_snapshot(self, tmp_path):
         registry().counter("cache.hit").inc(2)

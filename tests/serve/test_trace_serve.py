@@ -163,6 +163,93 @@ class TestForcedRetention:
         assert event["attrs"]["capacity"] == 1
 
 
+class TestTraceJoin:
+    """Cross-process propagation (DESIGN.md §15): a request carrying a
+    ``trace`` context *joins* the caller's trace instead of minting —
+    the id echoes back, the caller-side parent is recorded, and
+    ``return_spans`` ships the finished subtree in the response."""
+
+    def test_joined_id_echoes_and_records_with_parent(self, fitted_soft):
+        service, recorder = make_traced_service(fitted_soft)
+        response = service.handle(
+            {"vertex": fitted_soft.vertex_ids[0],
+             "trace": {"trace_id": "router-abc", "parent_span": "s3"}})
+        assert response["ok"] is True
+        assert response["trace_id"] == "router-abc"
+        [row] = recorder.snapshot()
+        assert row["trace_id"] == "router-abc"
+        assert row["parent_span"] == "s3"
+
+    def test_return_spans_ships_the_subtree(self, fitted_soft):
+        service, recorder = make_traced_service(fitted_soft)
+        response = service.handle(
+            {"vertex": fitted_soft.vertex_ids[0],
+             "trace": {"trace_id": "router-abc", "parent_span": "s3",
+                       "return_spans": True}})
+        wire = response["trace"]
+        assert wire["parent_span"] == "s3"
+        assert wire["spans"]["name"] == "serve.request"
+        assert "tier/full" in span_names(wire["spans"])
+
+    def test_without_return_spans_no_subtree_ships(self, fitted_soft):
+        service, _ = make_traced_service(fitted_soft)
+        response = service.handle(
+            {"vertex": fitted_soft.vertex_ids[0],
+             "trace": {"trace_id": "router-abc", "parent_span": "s3"}})
+        assert "trace" not in response
+
+    def test_return_spans_respects_local_sampling(self, fitted_soft):
+        """Rate 0 and a healthy answer: the id still echoes, but the
+        unretained subtree must not ship — retention is local."""
+        service, recorder = make_traced_service(fitted_soft, rate=0.0)
+        response = service.handle(
+            {"vertex": fitted_soft.vertex_ids[0],
+             "trace": {"trace_id": "router-abc", "return_spans": True}})
+        assert response["trace_id"] == "router-abc"
+        assert "trace" not in response
+        assert len(recorder) == 0
+
+    def test_malformed_context_mints_fresh_and_counts(self, fitted_soft):
+        from repro.obs import registry
+
+        service, _ = make_traced_service(fitted_soft)
+        bad_contexts = [17, {"trace_id": ""}, {"trace_id": 42},
+                        {"parent_span": "s1"}]
+        for i, ctx in enumerate(bad_contexts):
+            response = service.handle(
+                {"vertex": fitted_soft.vertex_ids[0], "trace": ctx})
+            assert response["trace_id"] == f"trace{i:04d}", ctx
+        assert registry().counter("serve.trace.bad_context").value \
+            == len(bad_contexts)
+
+    def test_non_string_parent_is_dropped_not_fatal(self, fitted_soft):
+        service, recorder = make_traced_service(fitted_soft)
+        response = service.handle(
+            {"vertex": fitted_soft.vertex_ids[0],
+             "trace": {"trace_id": "router-abc", "parent_span": 7}})
+        assert response["trace_id"] == "router-abc"
+        [row] = recorder.snapshot()
+        assert "parent_span" not in row
+
+    def test_shed_rejection_joins_and_ships_forced_trace(self,
+                                                         fitted_soft):
+        service, recorder = make_traced_service(fitted_soft, rate=0.0,
+                                                capacity=1)
+        vertex = fitted_soft.vertex_ids[0]
+        assert service.submit({"vertex": vertex}) is None  # fills the slot
+        shed = service.submit(
+            {"vertex": vertex,
+             "trace": {"trace_id": "router-shed", "parent_span": "s2",
+                       "return_spans": True}})
+        assert shed["ok"] is False
+        assert shed["error"]["type"] == "overloaded"
+        assert shed["trace_id"] == "router-shed"
+        assert "shed" in shed["trace"]["flags"]
+        [row] = recorder.snapshot()
+        assert row["trace_id"] == "router-shed"
+        assert row["parent_span"] == "s2"
+
+
 class TestDisabled:
     def test_disabled_tracing_omits_trace_id_and_records_nothing(
             self, fitted_soft):

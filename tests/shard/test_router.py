@@ -2,8 +2,12 @@
 
 The marquee claim: with every shard healthy, a routed response is
 *bit-identical* to the single-process server's answer for the same
-request — compared over the wire, byte for byte, modulo
-``elapsed_ms``/``trace_id``.  Then the faults: a dead shard costs
+request — compared over the wire, byte for byte, modulo ``elapsed_ms``
+alone.  The identity tests pin ``trace_id`` by sending an explicit
+trace context (DESIGN.md §15): both the router and the single-process
+server must *join* the caller's id rather than mint their own, so the
+id is part of the compared payload, not masked out of it (the PR 9
+masking debt).  Then the faults: a dead shard costs
 coverage (typed partial), not availability; an open breaker skips the
 doomed shard and heals after cooldown back to bit-identity; a stalled
 pooled connection is hedged on a fresh one; oversized and garbled
@@ -67,10 +71,17 @@ class Client:
 
 
 def match_payload(raw: bytes) -> str:
-    """A wire response minus the fields allowed to differ."""
+    """A wire response minus the only field allowed to differ
+    (``elapsed_ms``).  ``trace_id`` stays in: the callers send an
+    explicit trace context, so both sides must echo that exact id."""
     body = {key: value for key, value in json.loads(raw).items()
-            if key not in ("elapsed_ms", "trace_id")}
+            if key != "elapsed_ms"}
     return json.dumps(body, sort_keys=True)
+
+
+def trace_ctx(trace_id: str) -> dict:
+    """A caller-minted trace context, as a downstream client sends it."""
+    return {"trace_id": trace_id, "parent_span": "s0"}
 
 
 class TestBitIdentity:
@@ -82,8 +93,12 @@ class TestBitIdentity:
         single = Client(single_address)
         vertices = [int(v) for v in fitted_hard.vertex_ids][:6]
         for i, vertex in enumerate(vertices):
-            request = {"id": f"q{i}", "vertex": vertex, "top_k": 4}
-            assert match_payload(routed.ask_raw(request)) == \
+            request = {"id": f"q{i}", "vertex": vertex, "top_k": 4,
+                       "trace": trace_ctx(f"bit-{i}")}
+            routed_raw = routed.ask_raw(request)
+            assert json.loads(routed_raw)["trace_id"] == f"bit-{i}", \
+                "router minted its own id instead of joining the caller's"
+            assert match_payload(routed_raw) == \
                 match_payload(single.ask_raw(request)), f"vertex {vertex}"
         routed.close()
         single.close()
@@ -97,7 +112,8 @@ class TestBitIdentity:
         routed = Client(routed_address)
         single = Client(single_address)
         vertex = int(fitted_hard.vertex_ids[0])
-        request = {"id": "dflt", "vertex": vertex}
+        request = {"id": "dflt", "vertex": vertex,
+                   "trace": trace_ctx("dflt-trace")}
         assert match_payload(routed.ask_raw(request)) == \
             match_payload(single.ask_raw(request))
         routed.close()
@@ -197,7 +213,8 @@ class TestBreakerRecovery:
         deadline = time.monotonic() + 10.0
         healed = False
         while time.monotonic() < deadline and not healed:
-            request = {"id": "heal", "vertex": vertex, "top_k": 3}
+            request = {"id": "heal", "vertex": vertex, "top_k": 3,
+                       "trace": trace_ctx("heal-trace")}
             routed_raw = client.ask_raw(request)
             healed = json.loads(routed_raw).get("reason") != "partial"
             if healed:
